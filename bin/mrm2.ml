@@ -1,0 +1,450 @@
+(* Command-line front end for the second-order MRM solvers.
+
+   Subcommands:
+     moments   - raw moments of the accumulated reward at time t
+     bounds    - moment-based bounds on P(B(t) <= x)
+     simulate  - Monte-Carlo estimates with confidence intervals
+     path      - a discretized joint sample path (t, state, B(t))
+     info      - model summary (states, rates, uniformization constants)
+
+   Built-in models: onoff (the paper's Section-7 multiplexer),
+   repair (machine repairman), multi (fault-tolerant multiprocessor). *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Model selection                                                     *)
+
+type model_kind = Onoff | Repair | Multi
+
+let model_kind_conv =
+  let parse = function
+    | "onoff" -> Ok Onoff
+    | "repair" -> Ok Repair
+    | "multi" -> Ok Multi
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with Onoff -> "onoff" | Repair -> "repair" | Multi -> "multi")
+  in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_kind_conv Onoff
+    & info [ "model" ] ~docv:"NAME"
+        ~doc:"Built-in model: $(b,onoff), $(b,repair) or $(b,multi).")
+
+let sigma2_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "sigma2" ] ~docv:"V"
+        ~doc:"Per-source rate variance of the onoff model (paper uses 0, 1, 10).")
+
+let size_arg =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "size" ] ~docv:"N"
+        ~doc:
+          "Model size: sources (onoff), machines (repair) or processors \
+           (multi).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:
+          "Load the model from a file in the Model_io text format instead \
+           of using a built-in (overrides --model/--sigma2/--size).")
+
+let build_model ?file kind ~sigma2 ~size =
+  match file with
+  | Some path -> (Mrm_core.Model_io.load path).Mrm_core.Model_io.model
+  | None -> begin
+      match kind with
+      | Onoff ->
+          let p =
+            { (Mrm_models.Onoff.table1 ~sigma2) with
+              sources = size;
+              capacity = float_of_int size;
+            }
+          in
+          Mrm_models.Onoff.model p
+      | Repair ->
+          Mrm_models.Machine_repair.(model { default with machines = size })
+      | Multi ->
+          Mrm_models.Multiprocessor.(model { default with processors = size })
+    end
+
+let t_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "time"; "t" ] ~docv:"T" ~doc:"Accumulation horizon $(docv).")
+
+let eps_arg =
+  Arg.(
+    value & opt float 1e-9
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:"Truncation-error bound of the randomization method.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for simulation commands.")
+
+(* ------------------------------------------------------------------ *)
+(* moments                                                             *)
+
+type method_kind = Mrandom | Mode | Mgaver
+
+let method_conv =
+  let parse = function
+    | "randomization" | "rand" -> Ok Mrandom
+    | "ode" -> Ok Mode
+    | "gaver" -> Ok Mgaver
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Mrandom -> "randomization" | Mode -> "ode" | Mgaver -> "gaver")
+  in
+  Arg.conv (parse, print)
+
+let moments_cmd =
+  let order =
+    Arg.(
+      value & opt int 3
+      & info [ "order" ] ~docv:"N" ~doc:"Highest moment order.")
+  in
+  let method_ =
+    Arg.(
+      value
+      & opt method_conv Mrandom
+      & info [ "method" ] ~docv:"M"
+          ~doc:
+            "Solver: $(b,randomization) (paper Section 6), $(b,ode) (eq. 6, \
+             Heun) or $(b,gaver) (transform domain).")
+  in
+  let run file kind sigma2 size t order eps method_ =
+    let model = build_model ?file kind ~sigma2 ~size in
+    (* Model files may declare impulse rewards; route those through the
+       impulse-extended solver (randomization method only). *)
+    let impulses =
+      match file with
+      | Some path -> (Mrm_core.Model_io.load path).Mrm_core.Model_io.impulses
+      | None -> []
+    in
+    let pi = (model : Mrm_core.Model.t).initial in
+    let unconditional m = Mrm_linalg.Vec.dot pi m in
+    (match method_ with
+    | Mrandom when impulses <> [] ->
+        let wrapped = Mrm_core.Impulse.make model impulses in
+        let r = Mrm_core.Impulse.moments ~eps wrapped ~t ~order in
+        Printf.printf
+          "# randomization+impulses: q = %g, d = %g, G = %d\n"
+          r.diagnostics.q r.diagnostics.d r.diagnostics.iterations;
+        Array.iteri
+          (fun n v -> Printf.printf "E[B^%d] = %.12g\n" n (unconditional v))
+          r.moments
+    | Mrandom ->
+        let r = Mrm_core.Randomization.moments ~eps model ~t ~order in
+        Printf.printf
+          "# randomization: q = %g, d = %g, G = %d, log10 error bound = %.2f\n"
+          r.diagnostics.q r.diagnostics.d r.diagnostics.iterations
+          (r.diagnostics.log_error_bound /. log 10.);
+        Array.iteri
+          (fun n v -> Printf.printf "E[B^%d] = %.12g\n" n (unconditional v))
+          r.moments
+    | Mode ->
+        let m = Mrm_core.Moments_ode.moments model ~t ~order in
+        Array.iteri
+          (fun n v -> Printf.printf "E[B^%d] = %.12g\n" n (unconditional v))
+          m
+    | Mgaver ->
+        let m = Mrm_core.Transform_moments.moments model ~t ~order in
+        Array.iteri
+          (fun n v -> Printf.printf "E[B^%d] = %.12g\n" n (unconditional v))
+          m);
+    0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg $ order
+      $ eps_arg $ method_)
+  in
+  Cmd.v
+    (Cmd.info "moments" ~doc:"Moments of the accumulated reward at time t")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+
+let bounds_cmd =
+  let points =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "points" ] ~docv:"X1,X2,..."
+          ~doc:"Evaluation points (default: mean + k/2 std, k = -4..4).")
+  in
+  let moment_count =
+    Arg.(
+      value & opt int 23
+      & info [ "moments" ] ~docv:"K"
+          ~doc:"Number of moments to compute (the paper's figures use 23).")
+  in
+  let run file kind sigma2 size t moment_count points =
+    let model = build_model ?file kind ~sigma2 ~size in
+    let pi = (model : Mrm_core.Model.t).initial in
+    let r = Mrm_core.Randomization.moments model ~t ~order:moment_count in
+    let moments =
+      Array.init (moment_count + 1) (fun n ->
+          Mrm_linalg.Vec.dot pi r.moments.(n))
+    in
+    let bounds = Mrm_core.Moment_bounds.prepare moments in
+    Printf.printf "# using %d moments (%d Gauss nodes)\n"
+      (Mrm_core.Moment_bounds.moments_used bounds)
+      (Mrm_core.Moment_bounds.quadrature_size bounds);
+    let points =
+      if points <> [] then points
+      else begin
+        let mean = moments.(1) in
+        let std = sqrt (Float.max 0. (moments.(2) -. (mean *. mean))) in
+        List.init 9 (fun k -> mean +. (float_of_int (k - 4) /. 2. *. std))
+      end
+    in
+    List.iter
+      (fun x ->
+        let b = Mrm_core.Moment_bounds.cdf_bounds bounds x in
+        Printf.printf "x = %-12g %.6f <= F(x) <= %.6f\n" x b.lower b.upper)
+      points;
+    0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg
+      $ moment_count $ points)
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Moment-based bounds on the reward distribution")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let replicas =
+    Arg.(
+      value & opt int 100_000
+      & info [ "replicas" ] ~docv:"R" ~doc:"Number of i.i.d. samples.")
+  in
+  let order =
+    Arg.(
+      value & opt int 3
+      & info [ "order" ] ~docv:"N" ~doc:"Highest moment order to estimate.")
+  in
+  let run file kind sigma2 size t replicas order seed =
+    let model = build_model ?file kind ~sigma2 ~size in
+    let rng = Mrm_util.Rng.create ~seed () in
+    let estimates =
+      Mrm_core.Simulate.estimate_moments model rng ~t ~max_order:order
+        ~replicas
+    in
+    Array.iter
+      (fun e ->
+        Printf.printf "E[B^%d] ~ %.8g   95%% CI [%.8g, %.8g]\n"
+          e.Mrm_core.Simulate.order e.value e.ci_low e.ci_high)
+      estimates;
+    0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg
+      $ replicas $ order $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo moment estimates with CIs")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* path                                                                *)
+
+let path_cmd =
+  let grid =
+    Arg.(
+      value & opt int 200
+      & info [ "grid" ] ~docv:"K" ~doc:"Number of grid intervals.")
+  in
+  let run file kind sigma2 size t grid seed =
+    let model = build_model ?file kind ~sigma2 ~size in
+    let rng = Mrm_util.Rng.create ~seed () in
+    let path = Mrm_core.Simulate.joint_path model rng ~t_max:t ~grid in
+    print_endline "# t state B(t)";
+    Array.iter
+      (fun p ->
+        Printf.printf "%.6f %d %.8g\n" p.Mrm_core.Simulate.time p.state
+          p.reward)
+      path;
+    0
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg $ grid
+      $ seed_arg)
+  in
+  Cmd.v (Cmd.info "path" ~doc:"Sample a joint (state, reward) path") term
+
+(* ------------------------------------------------------------------ *)
+(* distribution                                                        *)
+
+let distribution_cmd =
+  let points =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "points" ] ~docv:"X1,X2,..."
+          ~doc:"Evaluation points (default: mean + k/2 std, k = -4..4).")
+  in
+  let run file kind sigma2 size t points =
+    let model = build_model ?file kind ~sigma2 ~size in
+    let points =
+      if points <> [] then Array.of_list points
+      else begin
+        let r = Mrm_core.Randomization.moments model ~t ~order:2 in
+        let pi = (model : Mrm_core.Model.t).initial in
+        let mean = Mrm_linalg.Vec.dot pi r.moments.(1) in
+        let std =
+          sqrt
+            (Float.max 0.
+               (Mrm_linalg.Vec.dot pi r.moments.(2) -. (mean *. mean)))
+        in
+        Array.init 9 (fun k -> mean +. (float_of_int (k - 4) /. 2. *. std))
+      end
+    in
+    let values, grid =
+      Mrm_core.Transform_distribution.cdf_grid model ~t points
+    in
+    Printf.printf "# Gil-Pelaez inversion: %d frequencies, step %g\n"
+      grid.Mrm_core.Transform_distribution.count
+      grid.Mrm_core.Transform_distribution.step;
+    Array.iteri
+      (fun k x -> Printf.printf "P(B <= %-12g) = %.6f\n" x values.(k))
+      points;
+    0
+  in
+  let term =
+    Term.(const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg $ points)
+  in
+  Cmd.v
+    (Cmd.info "distribution"
+       ~doc:"CDF of the accumulated reward (transform-domain inversion)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mtta                                                                *)
+
+let mtta_cmd =
+  let targets =
+    Arg.(
+      required
+      & opt (some (list int)) None
+      & info [ "targets" ] ~docv:"S1,S2,..."
+          ~doc:"Target state indices (e.g. the all-failed state).")
+  in
+  let run file kind sigma2 size targets =
+    let model = build_model ?file kind ~sigma2 ~size in
+    let mtta =
+      Mrm_ctmc.Absorption.mean_time_to_absorption
+        (model : Mrm_core.Model.t).generator
+        ~initial:(model : Mrm_core.Model.t).initial ~targets
+    in
+    Printf.printf "mean time to reach {%s} = %g\n"
+      (String.concat ", " (List.map string_of_int targets))
+      mtta;
+    0
+  in
+  let term =
+    Term.(const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ targets)
+  in
+  Cmd.v
+    (Cmd.info "mtta" ~doc:"Mean time to absorption into a target state set")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* fluid                                                               *)
+
+let fluid_cmd =
+  let capacity =
+    Arg.(
+      value & opt float 5.
+      & info [ "capacity" ] ~docv:"C" ~doc:"Drain rate of the buffer.")
+  in
+  let peak =
+    Arg.(
+      value & opt float 10.
+      & info [ "peak" ] ~docv:"P" ~doc:"Peak input rate while ON.")
+  in
+  let sigma2 =
+    Arg.(
+      value & opt float 2.
+      & info [ "fluid-sigma2" ] ~docv:"V"
+          ~doc:"Brownian variance of the input while ON.")
+  in
+  let run capacity peak sigma2 =
+    let generator =
+      Mrm_ctmc.Generator.of_triplets ~states:2 [ (0, 1, 0.5); (1, 0, 1.0) ]
+    in
+    let queue =
+      Mrm_fluid.Fluid.make ~generator
+        ~rates:[| -.capacity; peak -. capacity |]
+        ~variances:[| Float.max 1e-6 (sigma2 /. 10.); sigma2 |]
+    in
+    let s = Mrm_fluid.Fluid.stationary queue in
+    Printf.printf
+      "ON-OFF fluid queue: drift %.4f, mean level %.6f, decay rate %.6f\n"
+      (Mrm_fluid.Fluid.mean_drift s)
+      (Mrm_fluid.Fluid.mean_level s)
+      (Mrm_fluid.Fluid.decay_rate s);
+    List.iter
+      (fun x ->
+        Printf.printf "P(level > %-8g) = %.8f\n" x (Mrm_fluid.Fluid.ccdf s x))
+      [ 0.; 0.5; 1.; 2.; 4.; 8.; 16. ];
+    0
+  in
+  let term = Term.(const run $ capacity $ peak $ sigma2) in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:"Stationary second-order fluid queue for an ON-OFF source")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+
+let info_cmd =
+  let run file kind sigma2 size =
+    let model = build_model ?file kind ~sigma2 ~size in
+    Format.printf "%a@." Mrm_core.Model.pp model;
+    let q =
+      Mrm_ctmc.Generator.uniformization_rate
+        (model : Mrm_core.Model.t).generator
+    in
+    Printf.printf "uniformization rate q = %g\n" q;
+    Printf.printf "steady-state reward rate = %.8g\n"
+      (Mrm_core.Steady.reward_rate model);
+    0
+  in
+  let term = Term.(const run $ file_arg $ model_arg $ sigma2_arg $ size_arg) in
+  Cmd.v (Cmd.info "info" ~doc:"Print a model summary") term
+
+let () =
+  let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
+  let root = Cmd.group (Cmd.info "mrm2" ~doc)
+      [ moments_cmd; bounds_cmd; distribution_cmd; simulate_cmd; path_cmd;
+        mtta_cmd; fluid_cmd; info_cmd ]
+  in
+  exit (Cmd.eval' root)

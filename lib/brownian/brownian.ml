@@ -1,0 +1,60 @@
+type params = { drift : float; variance : float }
+
+let validate { drift; variance } =
+  if not (Float.is_finite drift) then
+    invalid_arg "Brownian.validate: drift must be finite";
+  if not (Float.is_finite variance) || variance < 0. then
+    invalid_arg "Brownian.validate: variance must be finite and >= 0"
+
+let density p ~t y =
+  validate p;
+  if t <= 0. then invalid_arg "Brownian.density: requires t > 0";
+  if p.variance <= 0. then
+    invalid_arg "Brownian.density: degenerate (variance = 0); use cdf";
+  Mrm_util.Special.normal_pdf ~mu:(p.drift *. t)
+    ~sigma:(sqrt (p.variance *. t))
+    y
+
+let cdf p ~t y =
+  validate p;
+  if t < 0. then invalid_arg "Brownian.cdf: requires t >= 0";
+  let mu = p.drift *. t in
+  let var = p.variance *. t in
+  if var = 0. then (if y >= mu then 1. else 0.)
+  else Mrm_util.Special.normal_cdf ~mu ~sigma:(sqrt var) y
+
+let laplace_transform p ~t v =
+  validate p;
+  exp ((-.v *. p.drift *. t) +. (v *. v /. 2. *. p.variance *. t))
+
+let raw_moment p ~t n =
+  validate p;
+  if n < 0 then invalid_arg "Brownian.raw_moment: requires n >= 0";
+  let mu = p.drift *. t and var = p.variance *. t in
+  (* m_0 = 1, m_1 = mu, m_n = mu m_{n-1} + (n-1) var m_{n-2}. *)
+  let rec go k m_prev m_prev2 =
+    if k > n then m_prev
+    else go (k + 1) ((mu *. m_prev) +. (float_of_int (k - 1) *. var *. m_prev2))
+        m_prev
+  in
+  if n = 0 then 1. else go 2 mu 1.
+
+let sample_increment p rng ~dt =
+  validate p;
+  if dt < 0. then invalid_arg "Brownian.sample_increment: requires dt >= 0";
+  Mrm_util.Rng.gaussian rng ~mu:(p.drift *. dt)
+    ~sigma:(sqrt (p.variance *. dt))
+
+let sample_path p rng ~t_max ~steps =
+  validate p;
+  if steps <= 0 then invalid_arg "Brownian.sample_path: requires steps > 0";
+  if t_max <= 0. then invalid_arg "Brownian.sample_path: requires t_max > 0";
+  let dt = t_max /. float_of_int steps in
+  let rec go k x acc =
+    if k > steps then List.rev acc
+    else begin
+      let x' = x +. sample_increment p rng ~dt in
+      go (k + 1) x' ((float_of_int k *. dt, x') :: acc)
+    end
+  in
+  go 1 0. [ (0., 0.) ]

@@ -1,0 +1,35 @@
+(** Brownian motion with drift — the per-state reward accumulation process
+    of a second-order MRM (Definition 1 of the paper). *)
+
+type params = { drift : float; variance : float }
+(** Drift [r] and variance [sigma^2 >= 0]. [variance = 0] degenerates to
+    the deterministic accumulation of a first-order MRM. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument if [variance < 0] or either field is not
+    finite. *)
+
+val density : params -> t:float -> float -> float
+(** [density p ~t y] is the density of [X(t)] given [X(0) = 0], i.e. the
+    N(r t, sigma^2 t) density (eq. under Definition 1). Requires [t > 0]
+    and [variance > 0]. *)
+
+val cdf : params -> t:float -> float -> float
+(** Distribution function of [X(t)]; handles [variance = 0] as a step. *)
+
+val laplace_transform : params -> t:float -> float -> float
+(** Double-sided Laplace transform [f*(t,v) = exp (-v r t + v^2/2 s^2 t)]. *)
+
+val raw_moment : params -> t:float -> int -> float
+(** [raw_moment p ~t n] is [E[X(t)^n]] in closed form, via the normal
+    moment recursion [m_n = mu m_{n-1} + (n-1) v m_{n-2}] with [mu = r t],
+    [v = sigma^2 t]. *)
+
+val sample_increment : params -> Mrm_util.Rng.t -> dt:float -> float
+(** Reward increment over an interval of length [dt >= 0]:
+    N(r dt, sigma^2 dt). *)
+
+val sample_path :
+  params -> Mrm_util.Rng.t -> t_max:float -> steps:int -> (float * float) list
+(** Discretized trajectory [(t_k, X(t_k))], [X(0) = 0], on a uniform grid
+    of [steps] intervals. *)

@@ -1,0 +1,45 @@
+module Generator = Mrm_ctmc.Generator
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+
+let dual_model model =
+  if not (Model.is_first_order model) then
+    invalid_arg "Completion_time: model must be first-order";
+  let n = Model.dim model in
+  let rates = model.Model.rates in
+  Array.iteri
+    (fun i r ->
+      if r <= 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Completion_time: rate %g at state %d (need all > 0)" r i))
+    rates;
+  (* Reward-clock generator R^{-1} Q: row i scaled by 1/r_i. *)
+  let triplets = ref [] in
+  Sparse.iter (Generator.matrix model.Model.generator) (fun i j v ->
+      if i <> j && v > 0. then triplets := (i, j, v /. rates.(i)) :: !triplets);
+  let dual_generator = Generator.of_triplets ~states:n !triplets in
+  Model.first_order ~generator:dual_generator
+    ~rates:(Array.map (fun r -> 1. /. r) rates)
+    ~initial:model.Model.initial
+
+let moments ?eps model ~x ~order =
+  if x < 0. then invalid_arg "Completion_time.moments: requires x >= 0";
+  let dual = dual_model model in
+  let result = Randomization.moments ?eps dual ~t:x ~order in
+  Array.init (order + 1) (fun n ->
+      Vec.dot model.Model.initial result.Randomization.moments.(n))
+
+let mean ?eps model ~x =
+  let m = moments ?eps model ~x ~order:1 in
+  m.(1)
+
+let cdf ?eps model ~x ~t =
+  ignore eps;
+  if t < 0. then 0.
+  else if x = 0. then 1.
+  else begin
+    (* P(T_x <= t) = P(dual reward over (0, x) <= t). *)
+    let dual = dual_model model in
+    Transform_distribution.cdf dual ~t:x t
+  end

@@ -1,0 +1,29 @@
+(** Completion time analysis for first-order models with strictly
+    positive rates: the time [T_x] at which the accumulated reward first
+    reaches level [x].
+
+    With all [r_i > 0] and [sigma_i = 0], [B(t)] is strictly increasing,
+    so [P(B(t) > x) = P(T_x < t)] and the pair [(T_x, Z)] viewed in the
+    "reward clock" is itself a first-order MRM: the chain moves with
+    generator [R^{-1} Q] (state changes per unit of {e reward}) while
+    accumulating {e time} at rate [1/r_i]. This classical duality turns
+    every solver in the library into a completion-time solver for free. *)
+
+val dual_model : Model.t -> Model.t
+(** The reward-clock dual. @raise Invalid_argument unless the model is
+    first-order with all rates strictly positive. *)
+
+val moments : ?eps:float -> Model.t -> x:float -> order:int -> float array
+(** Raw moments [E T_x^n] for [n = 0..order] (unconditional, using the
+    model's initial distribution), computed by running the randomization
+    solver on the dual for "time" [x]. *)
+
+val mean : ?eps:float -> Model.t -> x:float -> float
+
+val cdf : ?eps:float -> Model.t -> x:float -> t:float -> float
+(** [P(T_x <= t) = P(B(t) >= x)], evaluated through the duality with the
+    Gil-Pelaez distribution solver on the dual model. First-order duals
+    carry atoms (the no-jump paths), where Fourier inversion converges
+    slowly: expect absolute accuracy around 1e-3 rather than the 1e-6 of
+    the smooth second-order case, and the midpoint convention exactly at
+    an atom. *)

@@ -1,0 +1,38 @@
+module Transient = Mrm_ctmc.Transient
+module Vec = Mrm_linalg.Vec
+
+let check_first_order m =
+  if not (Model.is_first_order m) then
+    invalid_arg
+      "First_order: model has non-zero variances; use Randomization directly"
+
+let moments ?eps m ~t ~order =
+  check_first_order m;
+  Randomization.moments ?eps m ~t ~order
+
+let moment ?eps m ~t ~order =
+  check_first_order m;
+  Randomization.moment ?eps m ~t ~order
+
+let mean ?eps m ~t = moment ?eps m ~t ~order:1
+
+(* Simpson's rule over the expected instantaneous reward rate. Valid for
+   any variance (the mean is variance-independent), so no first-order
+   check here. *)
+let expected_reward_integral ?eps m ~t ~steps =
+  if steps <= 0 then
+    invalid_arg "First_order.expected_reward_integral: steps > 0";
+  let steps = if steps mod 2 = 1 then steps + 1 else steps in
+  let g = m.Model.generator and pi = m.Model.initial in
+  let rates = m.Model.rates in
+  let h = t /. float_of_int steps in
+  let rate_at u =
+    let eps = Option.map (fun e -> e /. 10.) eps in
+    Vec.dot (Transient.probabilities ?eps g ~initial:pi ~t:u) rates
+  in
+  let acc = ref (rate_at 0. +. rate_at t) in
+  for k = 1 to steps - 1 do
+    let w = if k mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. rate_at (float_of_int k *. h))
+  done;
+  !acc *. h /. 3.

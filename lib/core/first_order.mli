@@ -1,0 +1,19 @@
+(** First-order (ordinary) Markov reward model solver — the paper's
+    baseline. Runs the same randomization recursion with the [S'] term
+    absent ([sigma_i^2 = 0]); the paper stresses that the second-order
+    analysis has "practically the same" cost, which the benchmark harness
+    quantifies. *)
+
+val moments :
+  ?eps:float -> Model.t -> t:float -> order:int -> Randomization.result
+(** @raise Invalid_argument if the model has any non-zero variance. *)
+
+val moment : ?eps:float -> Model.t -> t:float -> order:int -> float
+val mean : ?eps:float -> Model.t -> t:float -> float
+
+val expected_reward_integral :
+  ?eps:float -> Model.t -> t:float -> steps:int -> float
+(** Independent oracle for the mean: [E B(t) = int_0^t p(u) r du],
+    evaluated with Simpson's rule on uniformization-computed transient
+    probabilities. Used by the test suite; exposed because it is handy for
+    validating models. *)

@@ -1,0 +1,265 @@
+module Generator = Mrm_ctmc.Generator
+module Poisson = Mrm_ctmc.Poisson
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+module Special = Mrm_util.Special
+module Rng = Mrm_util.Rng
+
+type t = { base : Model.t; impulses : Sparse.t }
+
+let make base impulse_list =
+  let n = Model.dim base in
+  let q = Generator.matrix base.Model.generator in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (i, j, rho) ->
+      if i = j then
+        invalid_arg "Impulse.make: impulses live on transitions (i <> j)";
+      if rho < 0. || not (Float.is_finite rho) then
+        invalid_arg
+          (Printf.sprintf "Impulse.make: invalid impulse %g on (%d,%d)" rho i
+             j);
+      if Hashtbl.mem seen (i, j) then
+        invalid_arg
+          (Printf.sprintf "Impulse.make: duplicate impulse on (%d,%d)" i j);
+      Hashtbl.add seen (i, j) ();
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Impulse.make: state out of range";
+      if Sparse.get q i j <= 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Impulse.make: impulse on (%d,%d) but q_ij = 0 (cannot fire)" i
+             j))
+    impulse_list;
+  let impulses =
+    Sparse.of_triplets ~rows:n ~cols:n
+      (List.filter (fun (_, _, rho) -> rho > 0.) impulse_list)
+  in
+  { base; impulses }
+
+let max_impulse t =
+  let worst = ref 0. in
+  Sparse.iter t.impulses (fun _ _ rho -> worst := Float.max !worst rho);
+  !worst
+
+(* Q^(m): entries q_ij rho_ij^m on the impulse support. *)
+let q_power_matrix t m =
+  let q = Generator.matrix t.base.Model.generator in
+  let triplets = ref [] in
+  Sparse.iter t.impulses (fun i j rho ->
+      let rate = Sparse.get q i j in
+      triplets := (i, j, rate *. (rho ** float_of_int m)) :: !triplets);
+  Sparse.of_triplets ~rows:(Model.dim t.base) ~cols:(Model.dim t.base)
+    !triplets
+
+let unshift_moments = Randomization.unshift_moments
+
+let moments ?(eps = 1e-9) t ~t:horizon ~order =
+  if horizon < 0. then invalid_arg "Impulse.moments: requires t >= 0";
+  if order < 0 then invalid_arg "Impulse.moments: requires order >= 0";
+  if not (eps > 0.) then invalid_arg "Impulse.moments: requires eps > 0";
+  let base = t.base in
+  let n_states = Model.dim base in
+  let q = Generator.uniformization_rate base.Model.generator in
+  if horizon = 0. || q = 0. || Sparse.nnz t.impulses = 0 then
+    (* No transitions can fire (or no impulses): defer to the pure-rate
+       solver, which also covers the q = 0 closed form. *)
+    Randomization.moments ~eps base ~t:horizon ~order
+  else begin
+    let min_rate = Model.min_rate base in
+    let shift = if min_rate < 0. then min_rate else 0. in
+    let shifted_rates = Array.map (fun r -> r -. shift) base.Model.rates in
+    let max_shifted_rate = Array.fold_left Float.max 0. shifted_rates in
+    let max_std_dev = Model.max_std_dev base in
+    (* d must also dominate the impulses for P^(m) substochasticity. *)
+    let d =
+      Float.max (max_impulse t)
+        (Float.max (max_shifted_rate /. q) (max_std_dev /. sqrt q))
+    in
+    let lambda = q *. horizon in
+    (* Truncation from the generalized bound
+       (4d)^n (qt)^n tail(G+1-n) < eps, with G >= 2 * order. *)
+    let g =
+      if order = 0 then Poisson.tail_quantile ~lambda ~log_eps:(log eps)
+      else begin
+        let log_prefactor =
+          float_of_int order *. (log 4. +. log d +. log lambda)
+        in
+        let m =
+          Poisson.tail_quantile ~lambda ~log_eps:(log eps -. log_prefactor)
+        in
+        max (2 * order) (m + order - 1)
+      end
+    in
+    let q' = Generator.uniformized base.Model.generator ~rate:q in
+    let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
+    let s' = Array.map (fun v -> v /. (q *. d *. d)) base.Model.variances in
+    (* P^(m) = Q^(m) / (q d^m), for m = 1..order. *)
+    let p_matrices =
+      Array.init order (fun k ->
+          let m = k + 1 in
+          Sparse.scale (1. /. (q *. (d ** float_of_int m))) (q_power_matrix t m))
+    in
+    let u = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
+    u.(0) <- Vec.ones n_states;
+    let acc = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
+    let scratch = Vec.zeros n_states in
+    let scratch2 = Vec.zeros n_states in
+    for k = 0 to g do
+      let w = Poisson.pmf ~lambda k in
+      if w > 0. then
+        for j = 1 to order do
+          Vec.axpy ~alpha:w ~x:u.(j) ~y:acc.(j)
+        done;
+      if k < g then
+        for j = order downto 1 do
+          Sparse.mv_into q' u.(j) scratch;
+          for i = 0 to n_states - 1 do
+            scratch.(i) <- scratch.(i) +. (r'.(i) *. u.(j - 1).(i))
+          done;
+          if j >= 2 then
+            for i = 0 to n_states - 1 do
+              scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. u.(j - 2).(i))
+            done;
+          (* Impulse terms: sum_m (1/m!) P^(m) U^(j-m). *)
+          for m = 1 to j do
+            if Sparse.nnz p_matrices.(m - 1) > 0 then begin
+              Sparse.mv_into p_matrices.(m - 1) u.(j - m) scratch2;
+              Vec.axpy
+                ~alpha:(1. /. Special.factorial m)
+                ~x:scratch2 ~y:scratch
+            end
+          done;
+          Array.blit scratch 0 u.(j) 0 n_states
+        done
+    done;
+    let shifted_moments =
+      Array.init (order + 1) (fun n ->
+          if n = 0 then Vec.ones n_states
+          else Vec.scale (Special.factorial n *. (d ** float_of_int n)) acc.(n))
+    in
+    let log_error_bound =
+      if order = 0 then neg_infinity
+      else
+        (float_of_int order *. (log 4. +. log d +. log lambda))
+        +. Poisson.log_tail ~lambda (max 0 (g + 1 - order))
+    in
+    {
+      Randomization.moments = unshift_moments ~shift ~t:horizon shifted_moments;
+      diagnostics = { q; d; shift; iterations = g; eps; log_error_bound };
+    }
+  end
+
+let moment ?eps t ~t:horizon ~order =
+  let { Randomization.moments = m; _ } = moments ?eps t ~t:horizon ~order in
+  Vec.dot t.base.Model.initial m.(order)
+
+let mean ?eps t ~t:horizon = moment ?eps t ~t:horizon ~order:1
+
+let variance ?eps t ~t:horizon =
+  let { Randomization.moments = m; _ } = moments ?eps t ~t:horizon ~order:2 in
+  let pi = t.base.Model.initial in
+  let m1 = Vec.dot pi m.(1) and m2 = Vec.dot pi m.(2) in
+  m2 -. (m1 *. m1)
+
+(* Impulse-extended moment ODE (independent comparator). *)
+let moments_ode ?(method_ = Mrm_ode.Ode.Heun) ?steps t ~t:horizon ~order =
+  if horizon < 0. then invalid_arg "Impulse.moments_ode: requires t >= 0";
+  if order < 0 then invalid_arg "Impulse.moments_ode: requires order >= 0";
+  let base = t.base in
+  let n = Model.dim base in
+  let qm = Generator.matrix base.Model.generator in
+  let q_powers = Array.init order (fun k -> q_power_matrix t (k + 1)) in
+  let rates = base.Model.rates and variances = base.Model.variances in
+  let rhs ~t:_ ~y =
+    let dy = Array.make (n * (order + 1)) 0. in
+    let block j = Array.sub y (j * n) n in
+    for j = 0 to order do
+      let qv = Sparse.mv qm (block j) in
+      let jf = float_of_int j in
+      for i = 0 to n - 1 do
+        let drift =
+          if j >= 1 then jf *. rates.(i) *. y.(((j - 1) * n) + i) else 0.
+        in
+        let diffusion =
+          if j >= 2 then
+            0.5 *. jf *. (jf -. 1.) *. variances.(i) *. y.(((j - 2) * n) + i)
+          else 0.
+        in
+        dy.((j * n) + i) <- qv.(i) +. drift +. diffusion
+      done;
+      (* Impulse coupling: + sum_m C(j,m) Q^(m) V^(j-m). *)
+      for m = 1 to j do
+        if Sparse.nnz q_powers.(m - 1) > 0 then begin
+          let coupled = Sparse.mv q_powers.(m - 1) (block (j - m)) in
+          let coefficient = Special.binomial j m in
+          for i = 0 to n - 1 do
+            dy.((j * n) + i) <- dy.((j * n) + i) +. (coefficient *. coupled.(i))
+          done
+        end
+      done
+    done;
+    dy
+  in
+  let y0 = Array.make (n * (order + 1)) 0. in
+  for i = 0 to n - 1 do
+    y0.(i) <- 1.
+  done;
+  if horizon = 0. then Array.init (order + 1) (fun j -> Array.sub y0 (j * n) n)
+  else begin
+    let steps =
+      Option.value steps
+        ~default:(Moments_ode.default_steps base ~t:horizon)
+    in
+    let y =
+      Mrm_ode.Ode.integrate method_ rhs ~t0:0. ~t1:horizon ~steps y0
+    in
+    Array.init (order + 1) (fun j -> Array.sub y (j * n) n)
+  end
+
+let sample t rng ~t:horizon ~replicas =
+  if horizon < 0. then invalid_arg "Impulse.sample: requires t >= 0";
+  if replicas <= 0 then invalid_arg "Impulse.sample: requires replicas > 0";
+  let base = t.base in
+  let g = base.Model.generator in
+  let n = Model.dim base in
+  let exit_rates = Generator.exit_rates g in
+  let targets = Array.make n [||] and probabilities = Array.make n [||] in
+  for i = 0 to n - 1 do
+    let jumps = Generator.embedded_jump_distribution g i in
+    targets.(i) <- Array.map fst jumps;
+    probabilities.(i) <- Array.map snd jumps
+  done;
+  let impulse i j = Sparse.get t.impulses i j in
+  let one_sample () =
+    let rec go state now reward =
+      if now >= horizon then reward
+      else begin
+        let exit = exit_rates.(state) in
+        if exit <= 0. then
+          reward
+          +. Mrm_brownian.Brownian.sample_increment
+               (Model.brownian_of_state base state)
+               rng ~dt:(horizon -. now)
+        else begin
+          let sojourn = Rng.exponential rng ~rate:exit in
+          let dt = Float.min sojourn (horizon -. now) in
+          let reward =
+            reward
+            +. Mrm_brownian.Brownian.sample_increment
+                 (Model.brownian_of_state base state)
+                 rng ~dt
+          in
+          if now +. sojourn >= horizon then reward
+          else begin
+            let next =
+              targets.(state).(Rng.categorical rng probabilities.(state))
+            in
+            go next (now +. sojourn) (reward +. impulse state next)
+          end
+        end
+      end
+    in
+    go (Rng.categorical rng base.Model.initial) 0. 0.
+  in
+  Array.init replicas (fun _ -> one_sample ())

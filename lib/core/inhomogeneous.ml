@@ -1,0 +1,121 @@
+module Generator = Mrm_ctmc.Generator
+module Transient = Mrm_ctmc.Transient
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+
+type t = {
+  states : int;
+  generator : float -> Generator.t;
+  rates : float -> float array;
+  variances : float -> float array;
+  initial : float array;
+}
+
+let make ~states ~generator ~rates ~variances ~initial =
+  if states <= 0 then invalid_arg "Inhomogeneous.make: states > 0";
+  Transient.validate_initial ~dim:states initial;
+  (* Probe the callbacks once at t = 0 to catch dimension bugs early. *)
+  let check_probe t =
+    if Generator.dim (generator t) <> states then
+      invalid_arg "Inhomogeneous.make: generator dimension mismatch";
+    if Array.length (rates t) <> states then
+      invalid_arg "Inhomogeneous.make: rates dimension mismatch";
+    if Array.length (variances t) <> states then
+      invalid_arg "Inhomogeneous.make: variances dimension mismatch";
+    Array.iter
+      (fun v ->
+        if v < 0. || not (Float.is_finite v) then
+          invalid_arg "Inhomogeneous.make: invalid variance")
+      (variances t)
+  in
+  check_probe 0.;
+  { states; generator; rates; variances; initial = Array.copy initial }
+
+let of_homogeneous (m : Model.t) =
+  {
+    states = Model.dim m;
+    generator = (fun _ -> m.Model.generator);
+    rates = (fun _ -> m.Model.rates);
+    variances = (fun _ -> m.Model.variances);
+    initial = Array.copy m.Model.initial;
+  }
+
+let moments ?(tol = 1e-10) ?(breakpoints = [||]) model ~t ~order =
+  if t < 0. then invalid_arg "Inhomogeneous.moments: requires t >= 0";
+  if order < 0 then invalid_arg "Inhomogeneous.moments: requires order >= 0";
+  let n = model.states in
+  let horizon = t in
+  (* The moment system is a BACKWARD equation: V_i(s) = E[B over (s, T)^n |
+     Z(s) = i] satisfies -dV/ds = Q(s) V + ..., V(T) = initial condition.
+     Substituting u = T - s gives a forward ODE whose coefficients are
+     evaluated at reversed time T - u. (For a homogeneous model the
+     direction is invisible; for switching generators it is not — the
+     two-segment composition test in the suite pins this down.) *)
+  let rhs ~t:u ~y =
+    let clock = Float.max 0. (horizon -. u) in
+    let qm = Generator.matrix (model.generator clock) in
+    let rates = model.rates clock and variances = model.variances clock in
+    let dy = Array.make (n * (order + 1)) 0. in
+    for j = 0 to order do
+      let qv = Sparse.mv qm (Array.sub y (j * n) n) in
+      let jf = float_of_int j in
+      for i = 0 to n - 1 do
+        let drift =
+          if j >= 1 then jf *. rates.(i) *. y.(((j - 1) * n) + i) else 0.
+        in
+        let diffusion =
+          if j >= 2 then
+            0.5 *. jf *. (jf -. 1.) *. variances.(i) *. y.(((j - 2) * n) + i)
+          else 0.
+        in
+        dy.((j * n) + i) <- qv.(i) +. drift +. diffusion
+      done
+    done;
+    dy
+  in
+  let y0 = Array.make (n * (order + 1)) 0. in
+  for i = 0 to n - 1 do
+    y0.(i) <- 1.
+  done;
+  let y =
+    if t = 0. then y0
+    else begin
+      (* Integrate piecewise between user-declared coefficient
+         discontinuities; an adaptive stepper cannot reliably detect a
+         jump in the vector field on its own. *)
+      (* Breakpoints are given in model time; map them to the reversed
+         integration clock u = T - s. *)
+      let cuts =
+        Array.to_list breakpoints
+        |> List.map (fun s -> horizon -. s)
+        |> List.filter (fun u -> u > 0. && u < t)
+        |> List.sort_uniq compare
+      in
+      let segments =
+        let rec build from = function
+          | [] -> [ (from, t) ]
+          | cut :: rest -> (from, cut) :: build cut rest
+        in
+        build 0. cuts
+      in
+      List.fold_left
+        (fun y (t0, t1) ->
+          if t1 <= t0 then y
+          else begin
+            let q0 = Generator.uniformization_rate (model.generator t0) in
+            let dt0 =
+              if q0 > 0. then Float.min ((t1 -. t0) /. 10.) (0.5 /. q0)
+              else (t1 -. t0) /. 10.
+            in
+            Mrm_ode.Ode.rkf45 rhs ~t0 ~t1 ~tol ~dt0 y
+          end)
+        y0 segments
+    end
+  in
+  Array.init (order + 1) (fun j -> Array.sub y (j * n) n)
+
+let moment ?tol ?breakpoints model ~t ~order =
+  let m = moments ?tol ?breakpoints model ~t ~order in
+  Vec.dot model.initial m.(order)
+
+let mean ?tol ?breakpoints model ~t = moment ?tol ?breakpoints model ~t ~order:1

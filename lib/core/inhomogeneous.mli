@@ -1,0 +1,53 @@
+(** Inhomogeneous second-order Markov reward models: generator, drifts and
+    variances may depend on (global) time.
+
+    The paper's introduction points to inhomogeneous MRMs (its ref. [6],
+    Telek–Horváth–Horváth 2003) as a generalization whose analysis often
+    costs no more than the homogeneous case. The moment system becomes a
+    {e backward} equation in the start time [s] of the accumulation
+    window [(s, T)]:
+
+    [-dV^(n)/ds = Q(s) V^(n) + n R(s) V^(n-1) + n(n-1)/2 S(s) V^(n-2)]
+
+    solved here in the reversed clock [u = T - s] (coefficients evaluated
+    at [T - u]) — for a homogeneous model the direction is invisible, for
+    switching coefficients it is essential (see the two-segment
+    composition test). Randomization does not apply directly (no single
+    uniformization rate), so the system is integrated with the adaptive
+    RKF45 stepper. The homogeneous solvers remain the fast path; this is
+    the generality escape hatch. *)
+
+type t
+(** An inhomogeneous model over a fixed state count. *)
+
+val make :
+  states:int ->
+  generator:(float -> Mrm_ctmc.Generator.t) ->
+  rates:(float -> float array) ->
+  variances:(float -> float array) ->
+  initial:float array ->
+  t
+(** The callbacks receive absolute time and must return consistent
+    dimensions; the generator callback is re-validated at every
+    evaluation point of the stepper (its cost, typically small, is paid
+    per RHS evaluation).
+    @raise Invalid_argument on a bad initial vector. *)
+
+val of_homogeneous : Model.t -> t
+(** Wrap a homogeneous model (constant callbacks); handy for testing. *)
+
+val moments :
+  ?tol:float -> ?breakpoints:float array -> t -> t:float -> order:int ->
+  float array array
+(** Per-state raw moments at time [t] (layout as
+    {!Randomization.moments}); adaptive integration to local tolerance
+    [tol] (default 1e-10). If the coefficient callbacks jump (switching
+    generators, stepped rates), pass the jump instants as [breakpoints]:
+    the integration restarts at each, which an adaptive stepper cannot do
+    reliably on its own. *)
+
+val moment :
+  ?tol:float -> ?breakpoints:float array -> t -> t:float -> order:int -> float
+(** Initial-distribution unconditional moment. *)
+
+val mean : ?tol:float -> ?breakpoints:float array -> t -> t:float -> float

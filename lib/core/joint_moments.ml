@@ -1,0 +1,172 @@
+module Generator = Mrm_ctmc.Generator
+module Poisson = Mrm_ctmc.Poisson
+module Sparse = Mrm_linalg.Sparse
+module Dense = Mrm_linalg.Dense
+module Vec = Mrm_linalg.Vec
+module Special = Mrm_util.Special
+
+(* Left-multiply a dense matrix by the sparse Q' (per column). *)
+let sparse_times_dense sparse dense =
+  let rows = Sparse.rows sparse and cols = Dense.cols dense in
+  let out = Dense.zeros ~rows ~cols in
+  let column = Array.make (Dense.rows dense) 0. in
+  let result = Array.make rows 0. in
+  for j = 0 to cols - 1 do
+    for i = 0 to Dense.rows dense - 1 do
+      column.(i) <- Dense.get dense i j
+    done;
+    Sparse.mv_into sparse column result;
+    for i = 0 to rows - 1 do
+      Dense.set out i j result.(i)
+    done
+  done;
+  out
+
+let diag_times_dense diag dense =
+  Dense.init ~rows:(Dense.rows dense) ~cols:(Dense.cols dense) (fun i j ->
+      diag.(i) *. Dense.get dense i j)
+
+let add_scaled_into ~alpha source target =
+  (* target := target + alpha * source *)
+  for i = 0 to Dense.rows target - 1 do
+    for j = 0 to Dense.cols target - 1 do
+      Dense.set target i j (Dense.get target i j +. (alpha *. Dense.get source i j))
+    done
+  done
+
+(* Map matrix moments of the shifted process back: columns carry the final
+   state, so the binomial unshift applies entry-wise exactly as for the
+   vector case (B = B~ + shift t regardless of the final state). *)
+let unshift ~shift ~t matrices =
+  if shift = 0. then matrices
+  else begin
+    let c = shift *. t in
+    let order = Array.length matrices - 1 in
+    Array.init (order + 1) (fun n ->
+        Dense.init
+          ~rows:(Dense.rows matrices.(0))
+          ~cols:(Dense.cols matrices.(0))
+          (fun i j ->
+            let acc = ref 0. in
+            for k = 0 to n do
+              acc :=
+                !acc
+                +. Special.binomial n k
+                   *. (c ** float_of_int k)
+                   *. Dense.get matrices.(n - k) i j
+            done;
+            !acc))
+  end
+
+let matrices ?(eps = 1e-9) model ~t ~order =
+  if t < 0. then invalid_arg "Joint_moments.matrices: requires t >= 0";
+  if order < 0 then invalid_arg "Joint_moments.matrices: requires order >= 0";
+  let n = Model.dim model in
+  let q = Generator.uniformization_rate model.Model.generator in
+  let identity = Dense.identity n in
+  if t = 0. then
+    Array.init (order + 1) (fun k ->
+        if k = 0 then identity else Dense.zeros ~rows:n ~cols:n)
+  else if q = 0. then begin
+    (* No transitions: Z(t) = Z(0) and B is per-state Brownian. *)
+    Array.init (order + 1) (fun k ->
+        Dense.init ~rows:n ~cols:n (fun i j ->
+            if i <> j then 0.
+            else
+              Mrm_brownian.Brownian.raw_moment
+                (Model.brownian_of_state model i)
+                ~t k))
+  end
+  else begin
+    let min_rate = Model.min_rate model in
+    let shift = if min_rate < 0. then min_rate else 0. in
+    let shifted_rates = Array.map (fun r -> r -. shift) model.Model.rates in
+    let max_shifted_rate = Array.fold_left Float.max 0. shifted_rates in
+    let max_std_dev = Model.max_std_dev model in
+    let d = Float.max (max_shifted_rate /. q) (max_std_dev /. sqrt q) in
+    let lambda = q *. t in
+    let g =
+      if d = 0. || order = 0 then
+        Poisson.tail_quantile ~lambda ~log_eps:(log eps)
+      else begin
+        let log_prefactor =
+          log 2.
+          +. (float_of_int order *. log d)
+          +. Special.log_factorial order
+          +. (float_of_int order *. log lambda)
+        in
+        let m =
+          Poisson.tail_quantile ~lambda ~log_eps:(log eps -. log_prefactor)
+        in
+        max 1 (m + order - 1)
+      end
+    in
+    let q' = Generator.uniformized model.Model.generator ~rate:q in
+    let r' =
+      if d = 0. then Array.make n 0.
+      else Array.map (fun r -> r /. (q *. d)) shifted_rates
+    in
+    let s' =
+      if d = 0. then Array.make n 0.
+      else Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances
+    in
+    let u = Array.init (order + 1) (fun _ -> Dense.zeros ~rows:n ~cols:n) in
+    u.(0) <- Dense.copy identity;
+    let acc = Array.init (order + 1) (fun _ -> Dense.zeros ~rows:n ~cols:n) in
+    for k = 0 to g do
+      let w = Poisson.pmf ~lambda k in
+      if w > 0. then
+        for j = 0 to order do
+          add_scaled_into ~alpha:w u.(j) acc.(j)
+        done;
+      if k < g then begin
+        for j = order downto 1 do
+          let next = sparse_times_dense q' u.(j) in
+          add_scaled_into ~alpha:1. (diag_times_dense r' u.(j - 1)) next;
+          if j >= 2 then
+            add_scaled_into ~alpha:0.5 (diag_times_dense s' u.(j - 2)) next;
+          u.(j) <- next
+        done;
+        u.(0) <- sparse_times_dense q' u.(0)
+      end
+    done;
+    let shifted =
+      Array.init (order + 1) (fun k ->
+          if k = 0 then acc.(0)
+          else Dense.scale (Special.factorial k *. (d ** float_of_int k)) acc.(k))
+    in
+    unshift ~shift ~t shifted
+  end
+
+let reward_with_final_state ?eps model ~t ~order =
+  let m = matrices ?eps model ~t ~order in
+  Dense.vm model.Model.initial m.(order)
+
+let covariance ?eps model ~t1 ~t2 =
+  let t1, t2 = if t1 <= t2 then (t1, t2) else (t2, t1) in
+  if t1 < 0. then invalid_arg "Joint_moments.covariance: requires t >= 0";
+  let pi = model.Model.initial in
+  let first = Randomization.moments ?eps model ~t:t1 ~order:2 in
+  let m1_t1 = Vec.dot pi first.Randomization.moments.(1) in
+  let m2_t1 = Vec.dot pi first.Randomization.moments.(2) in
+  if t2 = t1 then m2_t1 -. (m1_t1 *. m1_t1)
+  else begin
+    (* E[B(t1) B(t2)] = E[B(t1)^2]
+       + sum_j E[B(t1) 1(Z(t1)=j)] E[B(t2)-B(t1) | Z(t1)=j]. *)
+    let weighted = reward_with_final_state ?eps model ~t:t1 ~order:1 in
+    let increment =
+      Randomization.moments ?eps model ~t:(t2 -. t1) ~order:1
+    in
+    let cross =
+      m2_t1 +. Vec.dot weighted increment.Randomization.moments.(1)
+    in
+    let m1_t2 = Randomization.mean ?eps model ~t:t2 in
+    cross -. (m1_t1 *. m1_t2)
+  end
+
+let correlation ?eps model ~t1 ~t2 =
+  let v1 = Randomization.variance ?eps model ~t:t1 in
+  let v2 = Randomization.variance ?eps model ~t:t2 in
+  if v1 <= 0. || v2 <= 0. then
+    invalid_arg "Joint_moments.correlation: variances must be positive";
+  covariance ?eps model ~t1 ~t2 /. sqrt (v1 *. v2)

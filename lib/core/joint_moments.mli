@@ -1,0 +1,35 @@
+(** Joint moments of the accumulated reward and the final state, and the
+    covariance structure of the reward process they unlock.
+
+    [M^(n)(t)] is the matrix with entries
+    [M^(n)_ij = E[B(t)^n 1(Z(t) = j) | Z(0) = i]]. It satisfies the same
+    backward ODE as eq. (6) with matrix initial conditions
+    ([M^(0)(0) = I], [M^(n)(0) = 0]), so the randomization recursion of
+    Theorem 3 applies column-wise verbatim — the only difference is that
+    order 0 now evolves ([U^(0)(k) = Q'^k]) instead of staying [h].
+
+    With these, two-time quantities follow from the Markov property, e.g.
+    [E[B(t1) B(t2)] = E[B(t1)^2] + (pi M^(1)(t1)) . V^(1)(t2 - t1)]
+    for [t1 <= t2].
+
+    Dense matrices throughout: cost and memory are [O(G N^2)], intended
+    for models up to a few thousand states. *)
+
+val matrices :
+  ?eps:float -> Model.t -> t:float -> order:int -> Mrm_linalg.Dense.t array
+(** [matrices m ~t ~order] returns [M^(0) .. M^(order)]. Row sums of
+    [M^(n)] recover [V^(n)] (asserted in the tests); [M^(0)] is the
+    transient probability matrix. Requires non-negative drifts or applies
+    the usual shift internally. *)
+
+val reward_with_final_state :
+  ?eps:float -> Model.t -> t:float -> order:int -> float array
+(** [pi M^(order)(t)] — per-final-state decomposition
+    [E[B(t)^order 1(Z(t) = j)]] of the unconditional moment. *)
+
+val covariance : ?eps:float -> Model.t -> t1:float -> t2:float -> float
+(** [Cov(B(t1), B(t2))]; arguments in either order. *)
+
+val correlation : ?eps:float -> Model.t -> t1:float -> t2:float -> float
+(** Pearson correlation of [B(t1)] and [B(t2)]; requires both variances
+    positive. *)

@@ -1,0 +1,67 @@
+module Generator = Mrm_ctmc.Generator
+module Transient = Mrm_ctmc.Transient
+
+type t = {
+  generator : Generator.t;
+  rates : float array;
+  variances : float array;
+  initial : float array;
+}
+
+let make ~generator ~rates ~variances ~initial =
+  let n = Generator.dim generator in
+  if Array.length rates <> n then
+    invalid_arg
+      (Printf.sprintf "Model.make: %d rates for %d states"
+         (Array.length rates) n);
+  if Array.length variances <> n then
+    invalid_arg
+      (Printf.sprintf "Model.make: %d variances for %d states"
+         (Array.length variances) n);
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r) then
+        invalid_arg (Printf.sprintf "Model.make: rate %g at state %d" r i))
+    rates;
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) || v < 0. then
+        invalid_arg
+          (Printf.sprintf "Model.make: variance %g at state %d" v i))
+    variances;
+  Transient.validate_initial ~dim:n initial;
+  {
+    generator;
+    rates = Array.copy rates;
+    variances = Array.copy variances;
+    initial = Array.copy initial;
+  }
+
+let dim m = Generator.dim m.generator
+let is_first_order m = Array.for_all (fun v -> v = 0.) m.variances
+
+let first_order ~generator ~rates ~initial =
+  make ~generator ~rates
+    ~variances:(Array.make (Generator.dim generator) 0.)
+    ~initial
+
+let with_variances m variances =
+  make ~generator:m.generator ~rates:m.rates ~variances ~initial:m.initial
+
+let min_rate m = Array.fold_left Float.min infinity m.rates
+let max_rate m = Array.fold_left Float.max neg_infinity m.rates
+
+let max_std_dev m =
+  sqrt (Array.fold_left Float.max 0. m.variances)
+
+let brownian_of_state m i =
+  if i < 0 || i >= dim m then
+    invalid_arg "Model.brownian_of_state: state out of range";
+  { Mrm_brownian.Brownian.drift = m.rates.(i); variance = m.variances.(i) }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>second-order MRM: %d states, r in [%g, %g], sigma^2 in [0, %g]%s@]"
+    (dim m) (min_rate m) (max_rate m)
+    (Array.fold_left Float.max 0. m.variances)
+    (if is_first_order m then " (first-order)" else "")

@@ -1,0 +1,48 @@
+(** Second-order Markov reward models (paper, Definition 2).
+
+    A model is a CTMC (generator [Q], initial distribution [pi]) together
+    with per-state Brownian reward parameters: drift [r_i] (matrix [R])
+    and variance [sigma_i^2 >= 0] (matrix [S]). A first-order (ordinary)
+    MRM is the special case [S = 0]. *)
+
+type t = private {
+  generator : Mrm_ctmc.Generator.t;
+  rates : float array;  (** drift [r_i] per state; any sign *)
+  variances : float array;  (** [sigma_i^2 >= 0] per state *)
+  initial : float array;  (** initial probability vector [pi] *)
+}
+
+val make :
+  generator:Mrm_ctmc.Generator.t ->
+  rates:float array ->
+  variances:float array ->
+  initial:float array ->
+  t
+(** @raise Invalid_argument on dimension mismatches, non-finite rates,
+    negative variances, or an invalid probability vector. *)
+
+val dim : t -> int
+
+val is_first_order : t -> bool
+(** True iff every variance is 0. *)
+
+val first_order :
+  generator:Mrm_ctmc.Generator.t ->
+  rates:float array ->
+  initial:float array ->
+  t
+(** Convenience constructor with [S = 0]. *)
+
+val with_variances : t -> float array -> t
+(** Same structure-state process and rates, different [S]; used to sweep
+    [sigma^2] as in the paper's example (Table 1). *)
+
+val min_rate : t -> float
+val max_rate : t -> float
+val max_std_dev : t -> float
+(** [max_i sigma_i]. *)
+
+val brownian_of_state : t -> int -> Mrm_brownian.Brownian.params
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary (dimensions, rate ranges). *)

@@ -1,0 +1,142 @@
+module Generator = Mrm_ctmc.Generator
+module Sparse = Mrm_linalg.Sparse
+
+type parsed = { model : Model.t; impulses : (int * int * float) list }
+
+let fail_line line_number message =
+  failwith (Printf.sprintf "Model_io: line %d: %s" line_number message)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let states = ref None in
+  let transitions = ref [] in
+  let rewards = Hashtbl.create 16 in
+  let initial_entries = ref [] in
+  let impulses = ref [] in
+  let parse_int line_number s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail_line line_number (Printf.sprintf "bad integer %S" s)
+  in
+  let parse_float line_number s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail_line line_number (Printf.sprintf "bad number %S" s)
+  in
+  List.iteri
+    (fun index raw ->
+      let line_number = index + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some cut -> String.sub raw 0 cut
+        | None -> raw
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      in
+      match tokens with
+      | [] -> ()
+      | [ "states"; n ] -> begin
+          match !states with
+          | Some _ -> fail_line line_number "duplicate 'states' declaration"
+          | None -> states := Some (parse_int line_number n)
+        end
+      | [ "transition"; i; j; rate ] ->
+          transitions :=
+            ( parse_int line_number i,
+              parse_int line_number j,
+              parse_float line_number rate )
+            :: !transitions
+      | [ "reward"; i; drift; variance ] -> begin
+          let state = parse_int line_number i in
+          if Hashtbl.mem rewards state then
+            fail_line line_number
+              (Printf.sprintf "duplicate reward for state %d" state);
+          Hashtbl.add rewards state
+            (parse_float line_number drift, parse_float line_number variance)
+        end
+      | [ "initial"; i; p ] ->
+          initial_entries :=
+            (parse_int line_number i, parse_float line_number p)
+            :: !initial_entries
+      | [ "impulse"; i; j; rho ] ->
+          impulses :=
+            ( parse_int line_number i,
+              parse_int line_number j,
+              parse_float line_number rho )
+            :: !impulses
+      | keyword :: _ ->
+          fail_line line_number (Printf.sprintf "unknown directive %S" keyword))
+    lines;
+  let n =
+    match !states with
+    | Some n when n > 0 -> n
+    | Some n -> failwith (Printf.sprintf "Model_io: states %d must be > 0" n)
+    | None -> failwith "Model_io: missing 'states' declaration"
+  in
+  let check_state label s =
+    if s < 0 || s >= n then
+      failwith (Printf.sprintf "Model_io: %s state %d out of [0, %d)" label s n)
+  in
+  List.iter
+    (fun (i, j, _) ->
+      check_state "transition" i;
+      check_state "transition" j)
+    !transitions;
+  let generator =
+    try Generator.of_triplets ~states:n !transitions
+    with Invalid_argument message -> failwith ("Model_io: " ^ message)
+  in
+  let rates = Array.make n 0. and variances = Array.make n 0. in
+  Hashtbl.iter
+    (fun state (drift, variance) ->
+      check_state "reward" state;
+      rates.(state) <- drift;
+      variances.(state) <- variance)
+    rewards;
+  let initial = Array.make n 0. in
+  List.iter
+    (fun (state, p) ->
+      check_state "initial" state;
+      initial.(state) <- p)
+    !initial_entries;
+  let model =
+    try Model.make ~generator ~rates ~variances ~initial
+    with Invalid_argument message -> failwith ("Model_io: " ^ message)
+  in
+  { model; impulses = List.rev !impulses }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      parse_string (really_input_string ic size))
+
+let to_string ?(impulses = []) model =
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n = Model.dim model in
+  out "states %d\n" n;
+  Sparse.iter (Generator.matrix model.Model.generator) (fun i j v ->
+      if i <> j && v <> 0. then out "transition %d %d %.17g\n" i j v);
+  for i = 0 to n - 1 do
+    if model.Model.rates.(i) <> 0. || model.Model.variances.(i) <> 0. then
+      out "reward %d %.17g %.17g\n" i model.Model.rates.(i)
+        model.Model.variances.(i)
+  done;
+  for i = 0 to n - 1 do
+    if model.Model.initial.(i) <> 0. then
+      out "initial %d %.17g\n" i model.Model.initial.(i)
+  done;
+  List.iter (fun (i, j, rho) -> out "impulse %d %d %.17g\n" i j rho) impulses;
+  Buffer.contents buf
+
+let save ~path ?impulses model =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?impulses model))

@@ -1,0 +1,40 @@
+(** Plain-text serialization of second-order MRMs, so the CLI (and user
+    scripts) can analyze models that are not built into the model zoo.
+
+    Format (line-oriented; [#] starts a comment; blank lines ignored):
+
+    {v
+    states 3
+    # from to rate        (off-diagonal entries of Q; diagonal is implied)
+    transition 0 1 2.5
+    transition 1 0 1.0
+    transition 1 2 0.5
+    transition 2 0 3.0
+    # state drift variance
+    reward 0 4.0 0.3
+    reward 1 2.0 1.0
+    reward 2 0.5 0.1
+    # initial probabilities (states default to 0)
+    initial 0 1.0
+    # optional impulse rewards on transitions
+    impulse 0 1 0.4
+    v}
+
+    Unlisted rewards default to drift 0, variance 0. *)
+
+type parsed = {
+  model : Model.t;
+  impulses : (int * int * float) list;  (** empty if none declared *)
+}
+
+val parse_string : string -> parsed
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val load : string -> parsed
+(** Read and parse a file. @raise Sys_error on I/O failure, [Failure] on
+    parse errors. *)
+
+val to_string : ?impulses:(int * int * float) list -> Model.t -> string
+(** Render a model in the same format ([parse_string] round-trips it). *)
+
+val save : path:string -> ?impulses:(int * int * float) list -> Model.t -> unit

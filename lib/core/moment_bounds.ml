@@ -1,0 +1,205 @@
+module Tridiag = Mrm_linalg.Tridiag
+
+type bound = { point : float; lower : float; upper : float }
+
+type t = {
+  scale : float;  (** support scaling applied before conditioning *)
+  total_mass : float;  (** m_0 *)
+  alpha : float array;  (** Jacobi diagonal, length n *)
+  beta : float array;  (** Jacobi off-diagonal beta_1..beta_n, length n *)
+  moments_used : int;
+}
+
+let moments_used t = t.moments_used
+let quadrature_size t = Array.length t.alpha
+
+(* Cholesky H = R^T R of the (n+1)x(n+1) Hankel moment matrix; returns the
+   upper factor, or None when positive-definiteness fails at this order. *)
+let hankel_cholesky moments n =
+  let size = n + 1 in
+  let r = Array.make_matrix size size 0. in
+  let ok = ref true in
+  (try
+     for i = 0 to size - 1 do
+       for j = i to size - 1 do
+         let acc = ref moments.(i + j) in
+         for k = 0 to i - 1 do
+           acc := !acc -. (r.(k).(i) *. r.(k).(j))
+         done;
+         if i = j then begin
+           (* Require a pivot with margin: losing ~14 digits in the Hankel
+              products means anything at round-off scale is noise. *)
+           if !acc <= 1e-13 *. abs_float moments.(0) || not (Float.is_finite !acc)
+           then begin
+             ok := false;
+             raise Exit
+           end;
+           r.(i).(i) <- sqrt !acc
+         end
+         else r.(i).(j) <- !acc /. r.(i).(i)
+       done
+     done
+   with Exit -> ());
+  if !ok then Some r else None
+
+(* Jacobi coefficients from the Cholesky factor (Golub–Meurant):
+   alpha_j = r_{j,j+1}/r_{j,j} - r_{j-1,j}/r_{j-1,j-1},
+   beta_j  = r_{j,j}/r_{j-1,j-1}. *)
+let jacobi_from_cholesky r n =
+  let alpha = Array.make n 0. and beta = Array.make n 0. in
+  for j = 0 to n - 1 do
+    let current = r.(j).(j + 1) /. r.(j).(j) in
+    let previous = if j = 0 then 0. else r.(j - 1).(j) /. r.(j - 1).(j - 1) in
+    alpha.(j) <- current -. previous
+  done;
+  for j = 1 to n do
+    beta.(j - 1) <- r.(j).(j) /. r.(j - 1).(j - 1)
+  done;
+  (alpha, beta)
+
+let prepare moments =
+  let count = Array.length moments in
+  if count < 3 then
+    invalid_arg "Moment_bounds.prepare: need at least moments m0, m1, m2";
+  Array.iteri
+    (fun k m ->
+      if not (Float.is_finite m) then
+        invalid_arg
+          (Printf.sprintf "Moment_bounds.prepare: moment %d is not finite" k))
+    moments;
+  if moments.(0) <= 0. then
+    invalid_arg "Moment_bounds.prepare: m0 must be positive";
+  (* Scale the support to O(1): CDF bounds are invariant, conditioning is
+     not. *)
+  let scale =
+    let worst = ref 1e-30 in
+    for k = 1 to count - 1 do
+      let magnitude =
+        (abs_float moments.(k) /. moments.(0)) ** (1. /. float_of_int k)
+      in
+      worst := Float.max !worst magnitude
+    done;
+    !worst
+  in
+  let scaled =
+    Array.mapi (fun k m -> m /. (scale ** float_of_int k)) moments
+  in
+  (* Largest n with m_0..m_{2n} available and H_{n+1} positive definite. *)
+  let n_max = (count - 1) / 2 in
+  let rec fit n =
+    if n < 1 then
+      invalid_arg
+        "Moment_bounds.prepare: moment sequence is not positive definite"
+    else begin
+      match hankel_cholesky scaled n with
+      | Some r -> (n, r)
+      | None -> fit (n - 1)
+    end
+  in
+  let n, r = fit n_max in
+  let alpha, beta = jacobi_from_cholesky r n in
+  {
+    scale;
+    total_mass = moments.(0);
+    alpha;
+    beta;
+    moments_used = (2 * n) + 1;
+  }
+
+(* Tridiagonal solve (J_n - x I) delta = beta_n^2 e_n by the Thomas
+   algorithm; the caller perturbs x on breakdown. *)
+let radau_shift t x =
+  let n = Array.length t.alpha in
+  let beta_border = t.beta.(n - 1) in
+  if n = 1 then
+    (* (alpha_0 - x) delta = beta_1^2 *)
+    x +. (beta_border *. beta_border /. (t.alpha.(0) -. x))
+  else begin
+    let diag = Array.init n (fun i -> t.alpha.(i) -. x) in
+    let off = Array.sub t.beta 0 (n - 1) in
+    let rhs = Array.make n 0. in
+    rhs.(n - 1) <- beta_border *. beta_border;
+    (* Forward elimination. *)
+    let c' = Array.make (n - 1) 0. in
+    let d' = Array.make n 0. in
+    let pivot0 = if diag.(0) = 0. then 1e-300 else diag.(0) in
+    c'.(0) <- off.(0) /. pivot0;
+    d'.(0) <- rhs.(0) /. pivot0;
+    for i = 1 to n - 1 do
+      let pivot = diag.(i) -. (off.(i - 1) *. c'.(i - 1)) in
+      let pivot = if pivot = 0. then 1e-300 else pivot in
+      if i < n - 1 then c'.(i) <- off.(i) /. pivot;
+      d'.(i) <- (rhs.(i) -. (off.(i - 1) *. d'.(i - 1))) /. pivot
+    done;
+    (* Only the last component of delta is needed: back substitution ends
+       at index n-1 immediately. *)
+    x +. d'.(n - 1)
+  end
+
+let radau_rule t x =
+  let alpha_hat = radau_shift t x in
+  let diag = Array.append t.alpha [| alpha_hat |] in
+  let offdiag = Array.copy t.beta in
+  let { Tridiag.eigenvalues; first_components } =
+    Tridiag.eigen ~diag ~offdiag
+  in
+  let weights =
+    Array.map (fun c -> t.total_mass *. c *. c) first_components
+  in
+  (eigenvalues, weights)
+
+let cdf_bounds t point =
+  let x = point /. t.scale in
+  let nodes, weights = radau_rule t x in
+  let node_tolerance = 1e-7 *. (1. +. abs_float x) in
+  let below = ref 0. and at = ref 0. in
+  Array.iteri
+    (fun i node ->
+      if node < x -. node_tolerance then below := !below +. weights.(i)
+      else if node <= x +. node_tolerance then at := !at +. weights.(i))
+    nodes;
+  let clamp v = Float.max 0. (Float.min t.total_mass v) /. t.total_mass in
+  { point; lower = clamp !below; upper = clamp (!below +. !at) }
+
+let cdf_bounds_grid t points = Array.map (cdf_bounds t) points
+
+let quantile_bounds t p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Moment_bounds.quantile_bounds: requires 0 < p < 1";
+  (* Bracket from the Gauss support, padded by the measure's scale: all
+     mass of any matching distribution has CMS bounds that are 0 left of
+     the bracket and 1 right of it. *)
+  let n = Array.length t.alpha in
+  let diag = Array.copy t.alpha in
+  let offdiag = Array.sub t.beta 0 (max 0 (n - 1)) in
+  let { Tridiag.eigenvalues; _ } = Tridiag.eigen ~diag ~offdiag in
+  let node_min = eigenvalues.(0) *. t.scale in
+  let node_max = eigenvalues.(n - 1) *. t.scale in
+  let pad = (10. *. (node_max -. node_min)) +. (10. *. t.scale) +. 1. in
+  let lo_bracket = node_min -. pad and hi_bracket = node_max +. pad in
+  (* upper-bound(x) is nondecreasing in x; find the smallest x with
+     upper(x) >= p. *)
+  let bisect predicate =
+    let lo = ref lo_bracket and hi = ref hi_bracket in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if predicate mid then hi := mid else lo := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  in
+  let lower_quantile = bisect (fun x -> (cdf_bounds t x).upper >= p) in
+  let upper_quantile = bisect (fun x -> (cdf_bounds t x).lower > p) in
+  (lower_quantile, upper_quantile)
+
+let gauss_quadrature t =
+  let n = Array.length t.alpha in
+  let diag = Array.copy t.alpha in
+  let offdiag = Array.sub t.beta 0 (max 0 (n - 1)) in
+  let { Tridiag.eigenvalues; first_components } =
+    Tridiag.eigen ~diag ~offdiag
+  in
+  let nodes = Array.map (fun v -> v *. t.scale) eigenvalues in
+  let weights =
+    Array.map (fun c -> t.total_mass *. c *. c) first_components
+  in
+  (nodes, weights)

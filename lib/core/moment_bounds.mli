@@ -1,0 +1,56 @@
+(** Upper and lower bounds on a distribution function from a finite set of
+    raw moments — the method behind Figures 5–7 of the paper (its ref.
+    [12], Rácz–Tari–Telek).
+
+    Implementation: the classical Chebyshev–Markov–Stieltjes inequalities
+    realized through orthogonal-polynomial machinery (Golub–Meurant):
+
+    + moments -> three-term recurrence (Jacobi matrix) via Hankel
+      Cholesky, with adaptive order reduction when binary64 runs out of
+      positive-definiteness;
+    + for each evaluation point [x], a Gauss–Radau modification pins a
+      quadrature node at [x];
+    + nodes/weights from the symmetric tridiagonal eigensolver
+      (Golub–Welsch);
+    + [sum of weights strictly below x <= F(x-) <= F(x) <= same + weight
+      at x].
+
+    The distribution is scaled to O(1) support before the Hankel step —
+    CDF bounds are scale-invariant, the conditioning is not. *)
+
+type t
+(** Prepared bound evaluator for one moment sequence. *)
+
+type bound = { point : float; lower : float; upper : float }
+
+val prepare : float array -> t
+(** [prepare moments] with [moments.(k) = E[X^k]] and [moments.(0) = 1].
+    Requires at least 3 moments (m_0, m_1, m_2).
+    @raise Invalid_argument on too few/non-finite moments or when even
+    the 1-point Hankel problem is not positive definite (inconsistent
+    moments). *)
+
+val moments_used : t -> int
+(** How many moments survived the positive-definiteness reduction (an odd
+    number [2n+2 <= length moments] may be reported as the count actually
+    consumed). *)
+
+val quadrature_size : t -> int
+(** Number of interior Gauss nodes [n] in use. *)
+
+val cdf_bounds : t -> float -> bound
+(** Bounds on [F(x)]. Results are clamped to [0, 1]. *)
+
+val cdf_bounds_grid : t -> float array -> bound array
+
+val gauss_quadrature : t -> (float array * float array)
+(** The plain [n]-point Gauss rule (nodes, weights) of the underlying
+    measure; exposed for testing (it integrates polynomials of degree
+    [2n-1] exactly against the moment sequence). *)
+
+val quantile_bounds : t -> float -> float * float
+(** [quantile_bounds t p] returns [(lo, hi)] such that every distribution
+    with the given moments has its [p]-quantile inside [[lo, hi]]:
+    [lo = inf (x : upper-bound(x) >= p)] and
+    [hi = sup (x : lower-bound(x) <= p)], found by bisection.
+    @raise Invalid_argument unless [0 < p < 1]. *)

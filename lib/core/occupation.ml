@@ -1,0 +1,36 @@
+module Generator = Mrm_ctmc.Generator
+module Vec = Mrm_linalg.Vec
+
+let indicator_rates g states =
+  let n = Generator.dim g in
+  let rates = Array.make n 0. in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Occupation: state out of range";
+      if rates.(s) <> 0. then invalid_arg "Occupation: duplicate state";
+      rates.(s) <- 1.)
+    states;
+  rates
+
+let occupation_model g ~initial ~states =
+  Model.first_order ~generator:g ~rates:(indicator_rates g states) ~initial
+
+let expected_time_in ?eps g ~initial ~states ~t =
+  Randomization.mean ?eps (occupation_model g ~initial ~states) ~t
+
+let interval_availability_moments ?eps g ~initial ~states ~t ~order =
+  if t <= 0. then
+    invalid_arg "Occupation.interval_availability_moments: requires t > 0";
+  let model = occupation_model g ~initial ~states in
+  let result = Randomization.moments ?eps model ~t ~order in
+  Array.init (order + 1) (fun n ->
+      Vec.dot initial result.Randomization.moments.(n)
+      /. (t ** float_of_int n))
+
+let availability_bounds ?(moment_count = 16) g ~initial ~states ~t points =
+  let moments =
+    interval_availability_moments g ~initial ~states ~t ~order:moment_count
+  in
+  let bounds = Moment_bounds.prepare moments in
+  Array.map (Moment_bounds.cdf_bounds bounds) points

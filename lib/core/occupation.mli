@@ -1,0 +1,31 @@
+(** Occupation-time and interval-availability measures as reward models.
+
+    The accumulated reward with [r_i = 1(i in S)], [sigma_i = 0] is the
+    occupation time of [S] over [(0, t)]; divided by [t] it is the
+    interval availability — the classical performability measure this
+    paper's framework generalizes. These are thin constructors over
+    {!Model} plus convenience evaluators. *)
+
+val occupation_model :
+  Mrm_ctmc.Generator.t -> initial:float array -> states:int list ->
+  Model.t
+(** First-order MRM whose accumulated reward is the time spent in
+    [states]. @raise Invalid_argument on duplicate/out-of-range states. *)
+
+val expected_time_in :
+  ?eps:float -> Mrm_ctmc.Generator.t -> initial:float array ->
+  states:int list -> t:float -> float
+(** [E] time spent in [states] during [(0, t)]. *)
+
+val interval_availability_moments :
+  ?eps:float -> Mrm_ctmc.Generator.t -> initial:float array ->
+  states:int list -> t:float -> order:int -> float array
+(** Raw moments of the interval availability [A(t) = occupation/t],
+    orders [0..order]. *)
+
+val availability_bounds :
+  ?moment_count:int -> Mrm_ctmc.Generator.t -> initial:float array ->
+  states:int list -> t:float -> float array ->
+  Moment_bounds.bound array
+(** CDF bounds on the interval availability at the given points (moment
+    count default 16). *)

@@ -1,0 +1,113 @@
+module Generator = Mrm_ctmc.Generator
+module Sparse = Mrm_linalg.Sparse
+
+type solution = {
+  xs : float array;
+  density : float array array;
+  dx : float;
+  steps_taken : int;
+}
+
+let solve ?(x_margin = 8.) ?(cells = 400) model ~t =
+  if t <= 0. then invalid_arg "Pde.solve: requires t > 0";
+  if cells < 10 then invalid_arg "Pde.solve: requires cells >= 10";
+  let n = Model.dim model in
+  let rates = model.Model.rates and variances = model.Model.variances in
+  let r_min = Model.min_rate model and r_max = Model.max_rate model in
+  let sigma_max = Model.max_std_dev model in
+  (* Domain wide enough for every conditional density plus diffusion. *)
+  let spread = (x_margin *. sigma_max *. sqrt t) +. 1e-6 in
+  let x_min = (Float.min 0. (r_min *. t)) -. spread -. 1. in
+  let x_max = (Float.max 0. (r_max *. t)) +. spread +. 1. in
+  let dx = (x_max -. x_min) /. float_of_int cells in
+  let xs = Array.init (cells + 1) (fun j -> x_min +. (float_of_int j *. dx)) in
+  (* b.(i).(j): conditional density of state i at grid node j. Initial
+     condition: a delta at x = 0, i.e. mass 1/dx in the nearest node. *)
+  let zero_index =
+    let j = int_of_float (Float.round ((0. -. x_min) /. dx)) in
+    max 0 (min cells j)
+  in
+  let b = Array.init n (fun _ -> Array.make (cells + 1) 0.) in
+  for i = 0 to n - 1 do
+    b.(i).(zero_index) <- 1. /. dx
+  done;
+  let q_matrix = Generator.matrix model.Model.generator in
+  let q = Generator.uniformization_rate model.Model.generator in
+  (* CFL-limited explicit step: transport |r|/dx, diffusion sigma^2/dx^2,
+     exchange q. *)
+  let rate_bound =
+    let worst = ref q in
+    for i = 0 to n - 1 do
+      worst :=
+        Float.max !worst
+          ((abs_float rates.(i) /. dx) +. (variances.(i) /. (dx *. dx)))
+    done;
+    !worst
+  in
+  let dt_stable = 0.4 /. Float.max rate_bound 1e-12 in
+  let steps = max 1 (int_of_float (ceil (t /. dt_stable))) in
+  let dt = t /. float_of_int steps in
+  let next = Array.init n (fun _ -> Array.make (cells + 1) 0.) in
+  (* Coupling term: eq. (4) conditions on the initial state, so the vector
+     b(t, x) over initial states evolves with Q applied directly
+     ((Q b)_i = sum_k q_ik b_k). *)
+  let node_values = Array.make n 0. in
+  for _step = 1 to steps do
+    for j = 0 to cells do
+      for i = 0 to n - 1 do
+        node_values.(i) <- b.(i).(j)
+      done;
+      let coupled = Sparse.mv q_matrix node_values in
+      for i = 0 to n - 1 do
+        next.(i).(j) <- b.(i).(j) +. (dt *. coupled.(i))
+      done
+    done;
+    (* Transport (upwind) and diffusion (central), zero-inflow boundary. *)
+    for i = 0 to n - 1 do
+      let r = rates.(i) and s2 = variances.(i) in
+      let bi = b.(i) in
+      for j = 0 to cells do
+        let left = if j > 0 then bi.(j - 1) else 0. in
+        let right = if j < cells then bi.(j + 1) else 0. in
+        let advection =
+          if r >= 0. then r *. (bi.(j) -. left) /. dx
+          else r *. (right -. bi.(j)) /. dx
+        in
+        let diffusion =
+          0.5 *. s2 *. (right -. (2. *. bi.(j)) +. left) /. (dx *. dx)
+        in
+        next.(i).(j) <- next.(i).(j) +. (dt *. (diffusion -. advection))
+      done
+    done;
+    for i = 0 to n - 1 do
+      Array.blit next.(i) 0 b.(i) 0 (cells + 1)
+    done
+  done;
+  { xs; density = b; dx; steps_taken = steps }
+
+let unconditional_density model solution =
+  let pi = model.Model.initial in
+  let cells = Array.length solution.xs in
+  Array.init cells (fun j ->
+      let acc = ref 0. in
+      Array.iteri (fun i p -> acc := !acc +. (p *. solution.density.(i).(j))) pi;
+      !acc)
+
+let trapezoid xs dx f =
+  let n = Array.length xs in
+  let acc = ref 0. in
+  for j = 0 to n - 1 do
+    let w = if j = 0 || j = n - 1 then 0.5 else 1. in
+    acc := !acc +. (w *. f j)
+  done;
+  !acc *. dx
+
+let cdf model solution x =
+  let density = unconditional_density model solution in
+  trapezoid solution.xs solution.dx (fun j ->
+      if solution.xs.(j) <= x then density.(j) else 0.)
+
+let raw_moment model solution n =
+  let density = unconditional_density model solution in
+  trapezoid solution.xs solution.dx (fun j ->
+      (solution.xs.(j) ** float_of_int n) *. density.(j))

@@ -1,0 +1,35 @@
+(** Finite-difference solution of the density PDE (Corollary 1, eq. 4):
+
+    [db/dt + R db/dx - 1/2 S d2b/dx2 = Q b],   [b(0, x) = delta(x)]
+
+    First-order upwind transport + central diffusion, explicit Euler in
+    time under a CFL-limited step. The paper notes this route "might be
+    slow and inaccurate" beyond small models — it exists as the
+    distribution-level comparator for the moment methods (its moments are
+    checked against randomization in the tests). *)
+
+type solution = {
+  xs : float array;  (** grid points *)
+  density : float array array;
+      (** [density.(i).(j)] = conditional density [b_i(t, xs.(j))] *)
+  dx : float;
+  steps_taken : int;
+}
+
+val solve :
+  ?x_margin:float -> ?cells:int -> Model.t -> t:float -> solution
+(** Evolve the density to time [t]. The spatial domain is chosen
+    automatically from the reward range ([min/max drift * t] widened by
+    [x_margin] standard deviations of the largest-variance state, default
+    8; [cells] grid cells, default 400).
+    @raise Invalid_argument if [t <= 0]. *)
+
+val unconditional_density : Model.t -> solution -> float array
+(** [sum_i pi_i b_i(t, x)] on the grid. *)
+
+val cdf : Model.t -> solution -> float -> float
+(** CDF of the unconditional density at a point (trapezoidal integration
+    over the grid). *)
+
+val raw_moment : Model.t -> solution -> int -> float
+(** Grid moment [int x^n sum_i pi_i b_i(t,x) dx]. *)

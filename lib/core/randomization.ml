@@ -1,0 +1,310 @@
+module Generator = Mrm_ctmc.Generator
+module Poisson = Mrm_ctmc.Poisson
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+module Special = Mrm_util.Special
+
+type diagnostics = {
+  q : float;
+  d : float;
+  shift : float;
+  iterations : int;
+  eps : float;
+  log_error_bound : float;
+}
+
+type result = { moments : float array array; diagnostics : diagnostics }
+
+(* Closed-form path for models without transitions (q = 0): each state is a
+   plain Brownian motion, eq. (6) decouples. *)
+let moments_no_transitions model ~t ~order =
+  let n = Model.dim model in
+  Array.init (order + 1) (fun k ->
+      Array.init n (fun i ->
+          Mrm_brownian.Brownian.raw_moment
+            (Model.brownian_of_state model i)
+            ~t k))
+
+(* Map moments of the shifted process B~ back to B = B~ + shift * t via the
+   binomial expansion of (B~ + c)^n with c = shift * t. *)
+let unshift_moments ~shift ~t shifted =
+  if shift = 0. then shifted
+  else begin
+    let c = shift *. t in
+    let order = Array.length shifted - 1 in
+    let n_states = Array.length shifted.(0) in
+    Array.init (order + 1) (fun n ->
+        Array.init n_states (fun i ->
+            let acc = ref 0. in
+            for j = 0 to n do
+              acc :=
+                !acc
+                +. Special.binomial n j
+                   *. (c ** float_of_int j)
+                   *. shifted.(n - j).(i)
+            done;
+            !acc))
+  end
+
+(* Truncation point from Theorem 4, with a corrected tail index. The
+   paper's appendix bounds the truncated series by
+   2 d^n n! (qt)^n sum_{k >= G+n+1} Pois(qt; k), but the substitution
+   w_k k!/(k-n)! = (qt)^n w_{k-n} actually shifts the index the other way:
+   the tail starts at G+1-n. We therefore pick the smallest G with
+   2 d^n n! (qt)^n * P(Pois(qt) >= G+1-n) < eps (G is larger than the
+   paper's by about 2n; validated empirically in the test suite). *)
+let truncation_point ~d ~lambda ~order ~eps =
+  if order = 0 then
+    (* V^(0) is exact (row sums are 1); a single term suffices, but we keep
+       enough terms for the weights to sum to ~1. *)
+    Poisson.tail_quantile ~lambda ~log_eps:(log eps)
+  else begin
+    let log_prefactor =
+      log 2.
+      +. (float_of_int order *. log d)
+      +. Special.log_factorial order
+      +. (float_of_int order *. log lambda)
+    in
+    let log_eps = log eps -. log_prefactor in
+    let m = Poisson.tail_quantile ~lambda ~log_eps in
+    max 1 (m + order - 1)
+  end
+
+let moments ?(eps = 1e-9) model ~t ~order =
+  if t < 0. then invalid_arg "Randomization.moments: requires t >= 0";
+  if order < 0 then invalid_arg "Randomization.moments: requires order >= 0";
+  if not (eps > 0.) then invalid_arg "Randomization.moments: requires eps > 0";
+  let n_states = Model.dim model in
+  let q = Generator.uniformization_rate model.Model.generator in
+  let trivial_diag ~d ~shift =
+    { q; d; shift; iterations = 0; eps; log_error_bound = neg_infinity }
+  in
+  if t = 0. then begin
+    let moments =
+      Array.init (order + 1) (fun n ->
+          if n = 0 then Vec.ones n_states else Vec.zeros n_states)
+    in
+    { moments; diagnostics = trivial_diag ~d:0. ~shift:0. }
+  end
+  else if q = 0. then
+    {
+      moments = moments_no_transitions model ~t ~order;
+      diagnostics = trivial_diag ~d:0. ~shift:0.;
+    }
+  else begin
+    (* Shift drifts to be non-negative (paper, Section 6). *)
+    let min_rate = Model.min_rate model in
+    let shift = if min_rate < 0. then min_rate else 0. in
+    let shifted_rates = Array.map (fun r -> r -. shift) model.Model.rates in
+    let max_shifted_rate = Array.fold_left Float.max 0. shifted_rates in
+    let max_std_dev = Model.max_std_dev model in
+    (* Minimal d making both R' and S' substochastic (see .mli note). *)
+    let d = Float.max (max_shifted_rate /. q) (max_std_dev /. sqrt q) in
+    if d = 0. then begin
+      (* All shifted rates and variances vanish: B~ is identically 0. *)
+      let shifted =
+        Array.init (order + 1) (fun n ->
+            if n = 0 then Vec.ones n_states else Vec.zeros n_states)
+      in
+      {
+        moments = unshift_moments ~shift ~t shifted;
+        diagnostics = trivial_diag ~d:0. ~shift;
+      }
+    end
+    else begin
+      let lambda = q *. t in
+      let g = truncation_point ~d ~lambda ~order ~eps in
+      let q' = Generator.uniformized model.Model.generator ~rate:q in
+      let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
+      let s' =
+        Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances
+      in
+      (* u.(j) holds U^(j)(k); accumulators acc.(j) build
+         sum_k Pois(lambda;k) U^(j)(k). U^(0)(k) = h for every k because
+         the generator is conservative (Q' h = h), so order 0 is kept
+         implicit and costs nothing. *)
+      let u = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
+      u.(0) <- Vec.ones n_states;
+      let acc = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
+      let scratch = Vec.zeros n_states in
+      for k = 0 to g do
+        let w = Poisson.pmf ~lambda k in
+        if w > 0. then
+          for j = 1 to order do
+            Vec.axpy ~alpha:w ~x:u.(j) ~y:acc.(j)
+          done;
+        if k < g then
+          (* In-place update U^(j)(k) -> U^(j)(k+1), highest order first so
+             lower orders still hold step-k values when read. *)
+          for j = order downto 1 do
+            Sparse.mv_into q' u.(j) scratch;
+            for i = 0 to n_states - 1 do
+              scratch.(i) <- scratch.(i) +. (r'.(i) *. u.(j - 1).(i))
+            done;
+            if j >= 2 then
+              for i = 0 to n_states - 1 do
+                scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. u.(j - 2).(i))
+              done;
+            Array.blit scratch 0 u.(j) 0 n_states
+          done
+      done;
+      (* V^(n) = n! d^n * acc_n; V^(0) = h exactly. *)
+      let shifted_moments =
+        Array.init (order + 1) (fun n ->
+            if n = 0 then Vec.ones n_states
+            else begin
+              let factor = Special.factorial n *. (d ** float_of_int n) in
+              Vec.scale factor acc.(n)
+            end)
+      in
+      let log_error_bound =
+        if order = 0 then neg_infinity
+        else
+          log 2.
+          +. (float_of_int order *. log d)
+          +. Special.log_factorial order
+          +. (float_of_int order *. log lambda)
+          +. Poisson.log_tail ~lambda (max 0 (g + 1 - order))
+      in
+      {
+        moments = unshift_moments ~shift ~t shifted_moments;
+        diagnostics = { q; d; shift; iterations = g; eps; log_error_bound };
+      }
+    end
+  end
+
+let moments_at_times ?(eps = 1e-9) model ~times ~order =
+  if order < 0 then invalid_arg "Randomization.moments_at_times: order >= 0";
+  if not (eps > 0.) then
+    invalid_arg "Randomization.moments_at_times: requires eps > 0";
+  Array.iter
+    (fun t ->
+      if t < 0. then
+        invalid_arg "Randomization.moments_at_times: requires t >= 0")
+    times;
+  let n_states = Model.dim model in
+  let q = Generator.uniformization_rate model.Model.generator in
+  let needs_sweep t = t > 0. && q > 0. in
+  let min_rate = Model.min_rate model in
+  let shift = if min_rate < 0. then min_rate else 0. in
+  let shifted_rates = Array.map (fun r -> r -. shift) model.Model.rates in
+  let max_shifted_rate = Array.fold_left Float.max 0. shifted_rates in
+  let max_std_dev = Model.max_std_dev model in
+  let d = Float.max (max_shifted_rate /. q) (max_std_dev /. sqrt q) in
+  if
+    Array.for_all (fun t -> not (needs_sweep t)) times
+    || d = 0. || order = 0
+  then
+    (* Degenerate cases: the pointwise solver handles each closed-form
+       path; no shared sweep is needed. *)
+    Array.map (fun t -> moments ~eps model ~t ~order) times
+  else begin
+    (* Truncation: one sweep to the largest per-time G. *)
+    let g_of_t = Array.map (fun t ->
+        if needs_sweep t then
+          truncation_point ~d ~lambda:(q *. t) ~order ~eps
+        else 0) times
+    in
+    let g = Array.fold_left max 1 g_of_t in
+    let q' = Generator.uniformized model.Model.generator ~rate:q in
+    let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
+    let s' = Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances in
+    let u = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
+    u.(0) <- Vec.ones n_states;
+    (* One accumulator block per requested time point. *)
+    let accumulators =
+      Array.map
+        (fun _ -> Array.init (order + 1) (fun _ -> Vec.zeros n_states))
+        times
+    in
+    let scratch = Vec.zeros n_states in
+    for k = 0 to g do
+      Array.iteri
+        (fun time_index t ->
+          if needs_sweep t && k <= g_of_t.(time_index) then begin
+            let w = Poisson.pmf ~lambda:(q *. t) k in
+            if w > 0. then
+              for j = 1 to order do
+                Vec.axpy ~alpha:w ~x:u.(j) ~y:accumulators.(time_index).(j)
+              done
+          end)
+        times;
+      if k < g then
+        for j = order downto 1 do
+          Sparse.mv_into q' u.(j) scratch;
+          for i = 0 to n_states - 1 do
+            scratch.(i) <- scratch.(i) +. (r'.(i) *. u.(j - 1).(i))
+          done;
+          if j >= 2 then
+            for i = 0 to n_states - 1 do
+              scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. u.(j - 2).(i))
+            done;
+          Array.blit scratch 0 u.(j) 0 n_states
+        done
+    done;
+    Array.mapi
+      (fun time_index t ->
+        if not (needs_sweep t) then moments ~eps model ~t ~order
+        else begin
+          let lambda = q *. t in
+          let shifted_moments =
+            Array.init (order + 1) (fun n ->
+                if n = 0 then Vec.ones n_states
+                else
+                  Vec.scale
+                    (Special.factorial n *. (d ** float_of_int n))
+                    accumulators.(time_index).(n))
+          in
+          let g_t = g_of_t.(time_index) in
+          let log_error_bound =
+            log 2.
+            +. (float_of_int order *. log d)
+            +. Special.log_factorial order
+            +. (float_of_int order *. log lambda)
+            +. Poisson.log_tail ~lambda (max 0 (g_t + 1 - order))
+          in
+          {
+            moments = unshift_moments ~shift ~t shifted_moments;
+            diagnostics =
+              { q; d; shift; iterations = g_t; eps; log_error_bound };
+          }
+        end)
+      times
+  end
+
+let moment ?eps model ~t ~order =
+  let { moments = m; _ } = moments ?eps model ~t ~order in
+  Vec.dot model.Model.initial m.(order)
+
+let moment_series ?eps model ~times ~order =
+  Array.map
+    (fun t ->
+      let { moments = m; _ } = moments ?eps model ~t ~order in
+      let unconditional =
+        Array.init (order + 1) (fun n -> Vec.dot model.Model.initial m.(n))
+      in
+      (t, unconditional))
+    times
+
+let mean ?eps model ~t = moment ?eps model ~t ~order:1
+
+let variance ?eps model ~t =
+  let { moments = m; _ } = moments ?eps model ~t ~order:2 in
+  let pi = model.Model.initial in
+  let m1 = Vec.dot pi m.(1) and m2 = Vec.dot pi m.(2) in
+  m2 -. (m1 *. m1)
+
+let central_moment ?eps model ~t ~order =
+  let { moments = m; _ } = moments ?eps model ~t ~order in
+  let pi = model.Model.initial in
+  let raw = Array.init (order + 1) (fun n -> Vec.dot pi m.(n)) in
+  let mu = raw.(1) in
+  let acc = ref 0. in
+  for j = 0 to order do
+    acc :=
+      !acc
+      +. Special.binomial order j
+         *. ((-.mu) ** float_of_int j)
+         *. raw.(order - j)
+  done;
+  !acc

@@ -1,0 +1,42 @@
+module Stationary = Mrm_ctmc.Stationary
+module Generator = Mrm_ctmc.Generator
+module Dense = Mrm_linalg.Dense
+module Lu = Mrm_linalg.Lu
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+
+let stationary_distribution model =
+  let g = model.Model.generator in
+  if Generator.dim g <= 2000 then Stationary.gth g
+  else Stationary.power_iteration g
+
+let reward_rate model =
+  Vec.dot (stationary_distribution model) model.Model.rates
+
+let mean_line model ~times =
+  let rho = reward_rate model in
+  Array.map (fun t -> (t, rho *. t)) times
+
+(* Poisson equation Q g = -(r - rho 1). Q is singular (rank n-1 for an
+   irreducible chain); pin the solution with the normalization pi g = 0 by
+   replacing the last column equationwise: solve the augmented system
+   (Q + h pi) g = -(r - rho 1), whose unique solution satisfies pi g = 0
+   automatically (h = column of ones). *)
+let variance_rate model =
+  let n = Model.dim model in
+  let pi = stationary_distribution model in
+  let rho = Vec.dot pi model.Model.rates in
+  let centered = Array.map (fun r -> rho -. r) model.Model.rates in
+  let q_dense = Sparse.to_dense (Generator.matrix model.Model.generator) in
+  let augmented =
+    Dense.init ~rows:n ~cols:n (fun i j -> Dense.get q_dense i j +. pi.(j))
+  in
+  let g = Lu.solve_system augmented centered in
+  let brownian_part = Vec.dot pi model.Model.variances in
+  let modulation_part = ref 0. in
+  for i = 0 to n - 1 do
+    modulation_part :=
+      !modulation_part
+      +. (2. *. pi.(i) *. (model.Model.rates.(i) -. rho) *. g.(i))
+  done;
+  brownian_part +. !modulation_part

@@ -1,0 +1,24 @@
+(** Steady-state reward analysis.
+
+    Figure 3 of the paper overlays the transient mean with the
+    stationary-start mean, which is exactly linear:
+    [E_pi-stat B(t) = t * sum_i pi_i r_i]. The long-run variance rate (an
+    extension beyond the paper; standard Markov-reward CLT constant,
+    including the Brownian contribution [sum_i pi_i sigma_i^2]) is also
+    provided. *)
+
+val stationary_distribution : Model.t -> float array
+(** GTH for models up to 2000 states, power iteration beyond. *)
+
+val reward_rate : Model.t -> float
+(** [rho = sum_i pi-stat_i r_i]. *)
+
+val mean_line : Model.t -> times:float array -> (float * float) array
+(** [(t, rho * t)] — the straight line of Figure 3. *)
+
+val variance_rate : Model.t -> float
+(** Asymptotic variance growth rate [lim Var B(t) / t]: the Brownian part
+    [sum_i pi_i sigma_i^2] plus the rate-modulation part
+    [2 sum_i pi_i (r_i - rho) g_i], where [g] solves the Poisson equation
+    [Q g = -(r - rho 1)] with [pi g = 0]. Dense solve; intended for small
+    and mid-size models. *)

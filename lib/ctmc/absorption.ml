@@ -1,0 +1,94 @@
+module Dense = Mrm_linalg.Dense
+module Lu = Mrm_linalg.Lu
+module Sparse = Mrm_linalg.Sparse
+
+type analysis = { hit_probability : float array; expected_time : float array }
+
+let analyze g ~targets =
+  let n = Generator.dim g in
+  if targets = [] then invalid_arg "Absorption.analyze: empty target set";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Absorption.analyze: target out of range")
+    targets;
+  let is_target = Array.make n false in
+  List.iter (fun s -> is_target.(s) <- true) targets;
+  (* Reverse reachability from the target set: a state that cannot reach
+     it has hit probability 0 and infinite hitting time; keeping such
+     states in the linear system would make it singular. *)
+  let predecessors = Array.make n [] in
+  Sparse.iter (Generator.matrix g) (fun i j v ->
+      if i <> j && v > 0. then predecessors.(j) <- i :: predecessors.(j));
+  let can_reach = Array.copy is_target in
+  let frontier = Queue.create () in
+  List.iter (fun s -> Queue.add s frontier) targets;
+  while not (Queue.is_empty frontier) do
+    let s = Queue.pop frontier in
+    List.iter
+      (fun p ->
+        if not can_reach.(p) then begin
+          can_reach.(p) <- true;
+          Queue.add p frontier
+        end)
+      predecessors.(s)
+  done;
+  (* Index the states entering the linear system: non-target states that
+     can reach the target. *)
+  let solving = ref [] in
+  for i = n - 1 downto 0 do
+    if (not is_target.(i)) && can_reach.(i) then solving := i :: !solving
+  done;
+  let solving = Array.of_list !solving in
+  let m = Array.length solving in
+  let position = Array.make n (-1) in
+  Array.iteri (fun k i -> position.(i) <- k) solving;
+  let hit_probability =
+    Array.init n (fun i -> if is_target.(i) then 1. else 0.)
+  in
+  let expected_time =
+    Array.init n (fun i -> if is_target.(i) then 0. else infinity)
+  in
+  if m > 0 then begin
+    (* Restricted generator block over the solving states, and the rate
+       into the target set per solving state. Flows into non-reaching
+       states carry hit probability 0 and drop out of the system. *)
+    let t_block = Dense.zeros ~rows:m ~cols:m in
+    let into_target = Array.make m 0. in
+    Sparse.iter (Generator.matrix g) (fun i j v ->
+        if position.(i) >= 0 then begin
+          let row = position.(i) in
+          if is_target.(j) then begin
+            if i <> j then into_target.(row) <- into_target.(row) +. v
+          end
+          else if position.(j) >= 0 then Dense.set t_block row position.(j) v
+          (* Flows to non-reaching states carry hit probability 0: they
+             drop out of the system but still count in the exit rate on
+             the diagonal (the i = j entry lands in the branch above). *)
+        end);
+    let neg_t =
+      Dense.init ~rows:m ~cols:m (fun i j -> -.Dense.get t_block i j)
+    in
+    (* After restriction every solving state drains into the target (or a
+       0-probability sink), so -T is a nonsingular M-matrix. *)
+    let factorization = Lu.factorize neg_t in
+    let probabilities = Lu.solve factorization into_target in
+    let times = Lu.solve factorization (Array.make m 1.) in
+    Array.iteri
+      (fun row state ->
+        let p = Float.max 0. (Float.min 1. probabilities.(row)) in
+        hit_probability.(state) <- p;
+        expected_time.(state) <-
+          (if p < 1. -. 1e-9 then infinity else times.(row)))
+      solving
+  end;
+  { hit_probability; expected_time }
+
+let mean_time_to_absorption g ~initial ~targets =
+  Transient.validate_initial ~dim:(Generator.dim g) initial;
+  let { expected_time; _ } = analyze g ~targets in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p -> if p > 0. then acc := !acc +. (p *. expected_time.(i)))
+    initial;
+  !acc

@@ -1,0 +1,25 @@
+(** First-passage / absorption analysis of CTMCs.
+
+    Given a set of target (absorbing) states, computes hitting
+    probabilities and expected hitting times by dense linear solves on the
+    non-target states. Used e.g. for mean-time-to-failure measures in the
+    performability examples. *)
+
+type analysis = {
+  hit_probability : float array;
+      (** probability of ever reaching the target set, per start state *)
+  expected_time : float array;
+      (** expected hitting time per start state; [infinity] where the
+          target is reached with probability < 1, [0.] on target states *)
+}
+
+val analyze : Generator.t -> targets:int list -> analysis
+(** States that cannot reach the target set (found by reverse
+    reachability) get probability 0 and time [infinity]; the linear system
+    is solved over the remaining states, where it is nonsingular.
+    @raise Invalid_argument if [targets] is empty or out of range.
+    Dense O(n^3); intended for models up to a few thousand states. *)
+
+val mean_time_to_absorption :
+  Generator.t -> initial:float array -> targets:int list -> float
+(** Initial-distribution average of [expected_time]. *)

@@ -1,0 +1,147 @@
+module Dense = Mrm_linalg.Dense
+module Lu = Mrm_linalg.Lu
+module Expm = Mrm_linalg.Expm
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+module Rng = Mrm_util.Rng
+
+type t = {
+  alpha : float array;
+  t_matrix : Dense.t;
+  exit : float array;  (** -T 1 *)
+  neg_t_factorization : Lu.t;
+}
+
+let make ~alpha ~t_matrix =
+  let n = Dense.rows t_matrix in
+  if Dense.cols t_matrix <> n then
+    invalid_arg "Phase_type.make: T must be square";
+  if Array.length alpha <> n then
+    invalid_arg "Phase_type.make: alpha dimension mismatch";
+  let mass = ref 0. in
+  Array.iteri
+    (fun i a ->
+      if a < 0. || not (Float.is_finite a) then
+        invalid_arg (Printf.sprintf "Phase_type.make: alpha_%d = %g" i a);
+      mass := !mass +. a)
+    alpha;
+  if !mass > 1. +. 1e-9 then
+    invalid_arg "Phase_type.make: alpha mass exceeds 1";
+  let exit = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let row_sum = ref 0. in
+    for j = 0 to n - 1 do
+      let v = Dense.get t_matrix i j in
+      if i = j then begin
+        if v >= 0. then
+          invalid_arg "Phase_type.make: diagonal of T must be negative"
+      end
+      else if v < 0. then
+        invalid_arg "Phase_type.make: negative off-diagonal in T";
+      row_sum := !row_sum +. v
+    done;
+    if !row_sum > 1e-9 then
+      invalid_arg "Phase_type.make: row sums of T must be <= 0";
+    exit.(i) <- Float.max 0. (-. !row_sum)
+  done;
+  let neg_t =
+    Dense.init ~rows:n ~cols:n (fun i j -> -.Dense.get t_matrix i j)
+  in
+  let neg_t_factorization =
+    match Lu.factorize neg_t with
+    | f -> f
+    | exception Lu.Singular _ ->
+        invalid_arg
+          "Phase_type.make: T is singular — absorption is not certain"
+  in
+  { alpha = Array.copy alpha; t_matrix; exit; neg_t_factorization }
+
+let of_absorbing_chain g ~initial ~targets =
+  Transient.validate_initial ~dim:(Generator.dim g) initial;
+  if targets = [] then invalid_arg "Phase_type.of_absorbing_chain: no targets";
+  let n = Generator.dim g in
+  let is_target = Array.make n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Phase_type.of_absorbing_chain: target out of range";
+      is_target.(s) <- true)
+    targets;
+  let phases = ref [] in
+  for i = n - 1 downto 0 do
+    if not is_target.(i) then phases := i :: !phases
+  done;
+  let phases = Array.of_list !phases in
+  let m = Array.length phases in
+  let position = Array.make n (-1) in
+  Array.iteri (fun k i -> position.(i) <- k) phases;
+  let t_matrix = Dense.zeros ~rows:m ~cols:m in
+  Sparse.iter (Generator.matrix g) (fun i j v ->
+      if (not is_target.(i)) && not is_target.(j) then
+        Dense.set t_matrix position.(i) position.(j) v);
+  let alpha = Array.make m 0. in
+  Array.iteri
+    (fun i p -> if (not is_target.(i)) && p > 0. then alpha.(position.(i)) <- p)
+    initial;
+  make ~alpha ~t_matrix
+
+let phases d = Array.length d.alpha
+let exit_rates d = Array.copy d.exit
+
+let raw_moment d n =
+  if n < 0 then invalid_arg "Phase_type.raw_moment: n >= 0";
+  if n = 0 then 1.
+  else begin
+    (* n! alpha (-T)^{-n} 1 : repeated solves against the ones vector. *)
+    let v = ref (Vec.ones (phases d)) in
+    for _ = 1 to n do
+      v := Lu.solve d.neg_t_factorization !v
+    done;
+    Mrm_util.Special.factorial n *. Vec.dot d.alpha !v
+  end
+
+let mean d = raw_moment d 1
+
+let variance d =
+  let m1 = raw_moment d 1 in
+  raw_moment d 2 -. (m1 *. m1)
+
+let cdf d x =
+  if x < 0. then 0.
+  else begin
+    let e = Expm.expm (Dense.scale x d.t_matrix) in
+    let survival = Vec.dot (Dense.vm d.alpha e) (Vec.ones (phases d)) in
+    Float.max 0. (Float.min 1. (1. -. survival))
+  end
+
+let pdf d x =
+  if x < 0. then 0.
+  else begin
+    let e = Expm.expm (Dense.scale x d.t_matrix) in
+    Float.max 0. (Vec.dot (Dense.vm d.alpha e) d.exit)
+  end
+
+let sample d rng =
+  let n = phases d in
+  (* Atom at zero from the alpha deficit. *)
+  let mass = Vec.sum d.alpha in
+  if mass < 1. && Rng.uniform rng >= mass then 0.
+  else begin
+    let state = ref (Rng.categorical rng d.alpha) in
+    let clock = ref 0. in
+    let absorbed = ref false in
+    while not !absorbed do
+      let i = !state in
+      let total_rate = -.Dense.get d.t_matrix i i in
+      clock := !clock +. Rng.exponential rng ~rate:total_rate;
+      (* Choose absorption vs each transient target. *)
+      let weights = Array.make (n + 1) 0. in
+      for j = 0 to n - 1 do
+        if j <> i then weights.(j) <- Dense.get d.t_matrix i j
+      done;
+      weights.(n) <- d.exit.(i);
+      let choice = Rng.categorical rng weights in
+      if choice = n then absorbed := true else state := choice
+    done;
+    !clock
+  end

@@ -1,0 +1,45 @@
+(** Continuous phase-type distributions PH(alpha, T): absorption times of
+    a CTMC with transient generator block [T].
+
+    Completion/repair/outage durations in performability models are
+    phase-type; this module gives their distribution, moments and
+    sampling, complementing the accumulated-reward analyses. *)
+
+type t
+
+val make : alpha:float array -> t_matrix:Mrm_linalg.Dense.t -> t
+(** [alpha] is the initial distribution over the transient phases (its
+    deficit [1 - sum alpha] is an atom at 0); [t_matrix] is the transient
+    generator block: strictly negative diagonal, non-negative
+    off-diagonal, row sums <= 0 with at least one strict (so absorption
+    happens).
+    @raise Invalid_argument if the matrix is not a valid transient block
+    or absorption is not certain from some phase reachable under
+    [alpha]. *)
+
+val of_absorbing_chain :
+  Generator.t -> initial:float array -> targets:int list -> t
+(** The hitting time of [targets] as a phase-type distribution (restricts
+    the generator to the complement).
+    @raise Invalid_argument if some non-target state cannot reach the
+    target set. *)
+
+val phases : t -> int
+val exit_rates : t -> float array
+(** Absorption rate per phase: [-T 1]. *)
+
+val mean : t -> float
+val raw_moment : t -> int -> float
+(** [E X^n = n! alpha (-T)^{-n} 1]. *)
+
+val variance : t -> float
+
+val cdf : t -> float -> float
+(** [1 - alpha e^(T x) 1] (dense matrix exponential; phases up to a few
+    hundred). *)
+
+val pdf : t -> float -> float
+(** [alpha e^(T x) (-T 1)]. *)
+
+val sample : t -> Mrm_util.Rng.t -> float
+(** Simulate the absorbing chain. *)

@@ -1,0 +1,96 @@
+module Special = Mrm_util.Special
+module Logspace = Mrm_util.Logspace
+
+let log_pmf ~lambda k = Special.log_poisson_pmf ~lambda k
+let pmf ~lambda k = exp (log_pmf ~lambda k)
+
+(* Direct tail summation: terms of a Poisson pmf are decreasing for
+   k >= lambda, so summing from [m] upward converges geometrically once k
+   is a few standard deviations past the mode. We stop when a term falls
+   45 nats below the running sum. *)
+let log_tail_above_mode ~lambda m =
+  let cutoff = 45. in
+  let acc = ref (log_pmf ~lambda m) in
+  let k = ref (m + 1) in
+  let continue = ref true in
+  while !continue do
+    let term = log_pmf ~lambda !k in
+    if term < !acc -. cutoff then continue := false
+    else begin
+      acc := Logspace.log_add !acc term;
+      incr k
+    end
+  done;
+  !acc
+
+let log_tail ~lambda m =
+  if lambda < 0. then invalid_arg "Poisson.log_tail: lambda >= 0";
+  if m <= 0 then 0.
+  else if lambda = 0. then neg_infinity
+  else if float_of_int m > lambda then log_tail_above_mode ~lambda m
+  else begin
+    (* Below the mode the tail is >= ~1/2; head summation is accurate
+       enough there because no catastrophic cancellation occurs. *)
+    let head = ref neg_infinity in
+    for k = 0 to m - 1 do
+      head := Logspace.log_add !head (log_pmf ~lambda k)
+    done;
+    if !head >= 0. then
+      (* Rounding pushed the head to ~1; fall back to direct summation. *)
+      log_tail_above_mode ~lambda m
+    else Logspace.log1p (-.exp !head)
+  end
+
+let tail_quantile ~lambda ~log_eps =
+  if lambda < 0. then invalid_arg "Poisson.tail_quantile: lambda >= 0";
+  if log_tail ~lambda 1 < log_eps then 1
+  else begin
+    (* Bracket then bisect: log_tail is decreasing in m. *)
+    let hi = ref 2 in
+    while log_tail ~lambda !hi >= log_eps do
+      hi := !hi * 2;
+      if !hi > 1 lsl 40 then
+        invalid_arg "Poisson.tail_quantile: eps unreachable"
+    done;
+    let lo = ref (!hi / 2) and hi = ref !hi in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if log_tail ~lambda mid < log_eps then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+type window = { left : int; right : int; weights : float array; mass : float }
+
+let weights_window ~lambda ~eps =
+  if lambda < 0. then invalid_arg "Poisson.weights_window: lambda >= 0";
+  if not (eps > 0. && eps < 1.) then
+    invalid_arg "Poisson.weights_window: eps in (0,1)";
+  if lambda = 0. then { left = 0; right = 0; weights = [| 1. |]; mass = 1. }
+  else begin
+    let log_eps_half = log (eps /. 2.) in
+    let right = tail_quantile ~lambda ~log_eps:log_eps_half in
+    (* Left cut: largest l with P(X < l) <= eps/2; scan up from 0 in log
+       space (cheap: the left tail is short for the lambdas we meet). *)
+    let left =
+      if lambda < 50. then 0
+      else begin
+        let acc = ref neg_infinity and l = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let next = Logspace.log_add !acc (log_pmf ~lambda !l) in
+          if next > log_eps_half then continue := false
+          else begin
+            acc := next;
+            incr l
+          end
+        done;
+        !l
+      end
+    in
+    let weights =
+      Array.init (right - left + 1) (fun k -> pmf ~lambda (left + k))
+    in
+    let mass = Array.fold_left ( +. ) 0. weights in
+    { left; right; weights; mass }
+  end

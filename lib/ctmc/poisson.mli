@@ -1,0 +1,29 @@
+(** Stable computation of Poisson probabilities and tails for
+    randomization/uniformization, valid for rates up to ~10^7 where the
+    naive [e^-qt (qt)^k / k!] underflows long before the mass does. *)
+
+val log_pmf : lambda:float -> int -> float
+(** [log P(X = k)] for X ~ Poisson(lambda). *)
+
+val pmf : lambda:float -> int -> float
+
+val log_tail : lambda:float -> int -> float
+(** [log_tail ~lambda m] is [log P(X >= m)], computed by direct tail
+    summation (never through 1 - head, so it stays accurate down to
+    ~1e-300). *)
+
+val tail_quantile : lambda:float -> log_eps:float -> int
+(** Smallest [m] with [log P(X >= m) < log_eps]; the truncation-point
+    primitive behind Theorem 4's [G]. *)
+
+type window = {
+  left : int;
+  right : int;
+  weights : float array;  (** [weights.(k - left) = P(X = left + k)] *)
+  mass : float;  (** total captured probability *)
+}
+
+val weights_window : lambda:float -> eps:float -> window
+(** A (left, right) truncation window capturing at least [1 - eps] of the
+    mass, with the individual weights in linear space (they are
+    representable once the negligible tails are cut). *)

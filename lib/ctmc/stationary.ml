@@ -1,0 +1,75 @@
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+module Logspace = Mrm_util.Logspace
+
+(* GTH elimination: censor states n-1, n-2, ... and back-substitute.
+   Uses only additions/multiplications/divisions of non-negative numbers,
+   which is why it is the reference method for small chains. *)
+let gth g =
+  let n = Generator.dim g in
+  let a = Mrm_linalg.Dense.to_arrays (Sparse.to_dense (Generator.matrix g)) in
+  (* Work with rates: zero the diagonal, keep off-diagonal rates. *)
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 0.
+  done;
+  for k = n - 1 downto 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. a.(k).(j)
+    done;
+    if !s <= 0. then
+      invalid_arg "Stationary.gth: chain is reducible (zero departure mass)";
+    for i = 0 to k - 1 do
+      let factor = a.(i).(k) /. !s in
+      if factor > 0. then
+        for j = 0 to k - 1 do
+          if j <> i then a.(i).(j) <- a.(i).(j) +. (factor *. a.(k).(j))
+        done
+    done
+  done;
+  let pi = Array.make n 0. in
+  pi.(0) <- 1.;
+  for k = 1 to n - 1 do
+    let s = ref 0. in
+    for j = 0 to k - 1 do
+      s := !s +. a.(k).(j)
+    done;
+    let acc = ref 0. in
+    for i = 0 to k - 1 do
+      acc := !acc +. (pi.(i) *. a.(i).(k))
+    done;
+    pi.(k) <- !acc /. !s
+  done;
+  let total = Vec.sum pi in
+  Array.map (fun x -> x /. total) pi
+
+let power_iteration ?(eps = 1e-12) ?(max_iterations = 1_000_000) g =
+  let n = Generator.dim g in
+  let q = Generator.uniformization_rate g in
+  if q = 0. then Array.make n (1. /. float_of_int n)
+  else begin
+    let p' = Generator.uniformized g ~rate:q in
+    let pi = ref (Array.make n (1. /. float_of_int n)) in
+    let rec go iteration =
+      if iteration > max_iterations then
+        failwith "Stationary.power_iteration: did not converge";
+      let next = Sparse.vm !pi p' in
+      let delta = Vec.norm1 (Vec.sub next !pi) in
+      pi := next;
+      if delta > eps then go (iteration + 1)
+    in
+    go 0;
+    !pi
+  end
+
+let birth_death ~states ~birth ~death =
+  if states <= 0 then invalid_arg "Stationary.birth_death: states > 0";
+  let log_pi = Array.make states 0. in
+  for i = 1 to states - 1 do
+    let b = birth (i - 1) and d = death i in
+    if b <= 0. || d <= 0. then
+      invalid_arg "Stationary.birth_death: chain must be irreducible";
+    log_pi.(i) <- log_pi.(i - 1) +. log b -. log d
+  done;
+  let log_total = Logspace.log_sum_exp log_pi in
+  Array.map (fun lp -> exp (lp -. log_total)) log_pi

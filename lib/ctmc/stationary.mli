@@ -1,0 +1,21 @@
+(** Stationary distributions of irreducible CTMCs.
+
+    Used for the stationary-start mean line of Figure 3 and the
+    steady-state reward rate. *)
+
+val gth : Generator.t -> float array
+(** Grassmann–Taksar–Heyman elimination on a dense copy — numerically
+    stable (no subtractions), O(n^3); intended for models up to a few
+    thousand states.
+    @raise Invalid_argument if the chain is reducible (a pivot vanishes). *)
+
+val power_iteration :
+  ?eps:float -> ?max_iterations:int -> Generator.t -> float array
+(** Iterate [pi := pi P'] on the uniformized chain until the l1 change
+    falls below [eps] (default 1e-12). Suitable for large sparse models.
+    @raise Failure if [max_iterations] (default 1_000_000) is exceeded. *)
+
+val birth_death :
+  states:int -> birth:(int -> float) -> death:(int -> float) -> float array
+(** Closed-form product solution [pi_i ∝ prod_{j<i} birth j / death (j+1)],
+    computed in log space to avoid overflow for long chains. *)

@@ -1,0 +1,44 @@
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+
+let validate_initial ~dim p =
+  if Array.length p <> dim then
+    invalid_arg
+      (Printf.sprintf "initial vector has dimension %d, expected %d"
+         (Array.length p) dim);
+  Array.iteri
+    (fun i x ->
+      if x < 0. || not (Float.is_finite x) then
+        invalid_arg
+          (Printf.sprintf "initial probability %g at state %d invalid" x i))
+    p;
+  let total = Vec.sum p in
+  if abs_float (total -. 1.) > 1e-9 then
+    invalid_arg (Printf.sprintf "initial probabilities sum to %g, not 1" total)
+
+let probabilities ?(eps = 1e-12) g ~initial ~t =
+  validate_initial ~dim:(Generator.dim g) initial;
+  if t < 0. then invalid_arg "Transient.probabilities: requires t >= 0";
+  let q = Generator.uniformization_rate g in
+  let lambda = q *. t in
+  if lambda = 0. then Array.copy initial
+  else begin
+    let p' = Generator.uniformized g ~rate:q in
+    let window = Poisson.weights_window ~lambda ~eps in
+    let current = ref (Array.copy initial) in
+    let result = Array.make (Generator.dim g) 0. in
+    for k = 0 to window.right do
+      if k >= window.left then begin
+        let w = window.weights.(k - window.left) in
+        Vec.axpy ~alpha:w ~x:!current ~y:result
+      end;
+      if k < window.right then current := Sparse.vm !current p'
+    done;
+    result
+  end
+
+let expected_reward_rate ?eps g ~initial ~rates ~t =
+  if Array.length rates <> Generator.dim g then
+    invalid_arg "Transient.expected_reward_rate: rates dimension mismatch";
+  let p = probabilities ?eps g ~initial ~t in
+  Vec.dot p rates

@@ -1,0 +1,18 @@
+(** Transient state probabilities of a CTMC by uniformization
+    (Jensen's method): [p(t) = sum_k Pois(qt; k) pi P'^k]. *)
+
+val probabilities :
+  ?eps:float -> Generator.t -> initial:float array -> t:float -> float array
+(** Row vector [p(t)] with truncation error below [eps] (default 1e-12) in
+    l1 norm.
+    @raise Invalid_argument if [initial] is not a probability vector of the
+    right dimension or [t < 0]. *)
+
+val expected_reward_rate :
+  ?eps:float -> Generator.t -> initial:float array -> rates:float array ->
+  t:float -> float
+(** [E[r_{Z(t)}]], the instantaneous expected reward rate at [t]. *)
+
+val validate_initial : dim:int -> float array -> unit
+(** Shared initial-probability-vector validation: non-negative entries
+    summing to 1 within 1e-9. *)

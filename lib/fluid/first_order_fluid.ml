@@ -1,0 +1,196 @@
+module Generator = Mrm_ctmc.Generator
+module Stationary_ctmc = Mrm_ctmc.Stationary
+module Dense = Mrm_linalg.Dense
+module Sparse = Mrm_linalg.Sparse
+module Cmatrix = Mrm_linalg.Cmatrix
+module Eigen = Mrm_linalg.Eigen
+module Vec = Mrm_linalg.Vec
+
+type t = {
+  generator : Generator.t;
+  rates : float array;
+  pi : float array;
+  drift : float;
+  up_states : int list;
+}
+
+let make ~generator ~rates =
+  let n = Generator.dim generator in
+  if Array.length rates <> n then
+    invalid_arg "First_order_fluid.make: dimension mismatch";
+  Array.iteri
+    (fun i r ->
+      if r = 0. || not (Float.is_finite r) then
+        invalid_arg
+          (Printf.sprintf
+             "First_order_fluid.make: rate at state %d must be non-zero" i))
+    rates;
+  let pi = Stationary_ctmc.gth generator in
+  let drift = Vec.dot pi rates in
+  if drift >= 0. then
+    invalid_arg
+      (Printf.sprintf "First_order_fluid.make: mean drift %g >= 0" drift);
+  let up_states = ref [] in
+  for i = n - 1 downto 0 do
+    if rates.(i) > 0. then up_states := i :: !up_states
+  done;
+  { generator; rates; pi; drift; up_states = !up_states }
+
+type stationary = {
+  states : int;
+  pi : float array;
+  drift : float;
+  modes : (Complex.t * Complex.t array) array;
+  atom : float;
+}
+
+(* Pencil M(z) = z R - Q^T (singular at the eigenvalues). *)
+let pencil model z =
+  let n = Generator.dim model.generator in
+  let qt =
+    Sparse.to_dense (Sparse.transpose (Generator.matrix model.generator))
+  in
+  Cmatrix.init ~rows:n ~cols:n (fun i j ->
+      let base = { Complex.re = -.Dense.get qt i j; im = 0. } in
+      if i = j then
+        Complex.add base (Complex.mul z { re = model.rates.(i); im = 0. })
+      else base)
+
+let null_vector model z =
+  let n = Generator.dim model.generator in
+  let normalize v =
+    let scale =
+      Array.fold_left (fun acc c -> Float.max acc (Complex.norm c)) 0. v
+    in
+    if scale = 0. then v
+    else Array.map (fun c -> Complex.div c { Complex.re = scale; im = 0. }) v
+  in
+  let start =
+    Array.init n (fun i ->
+        { Complex.re = 1. +. (0.43 *. float_of_int i); im = 0. })
+  in
+  let rec solve z attempt =
+    match Cmatrix.solve (pencil model z) start with
+    | v -> (z, v)
+    | exception Failure _ when attempt < 3 ->
+        let bump =
+          1e-9 *. (1. +. Complex.norm z) *. (10. ** float_of_int attempt)
+        in
+        solve (Complex.add z { re = bump; im = bump /. 7. }) (attempt + 1)
+  in
+  let z', first = solve z 0 in
+  let first = normalize first in
+  match Cmatrix.solve (pencil model z') first with
+  | second -> normalize second
+  | exception Failure _ -> first
+
+let stationary model =
+  let n = Generator.dim model.generator in
+  let qt =
+    Sparse.to_dense (Sparse.transpose (Generator.matrix model.generator))
+  in
+  (* Eigenvalues of R^{-1} Q^T. *)
+  let a =
+    Dense.init ~rows:n ~cols:n (fun i j ->
+        Dense.get qt i j /. model.rates.(i))
+  in
+  let eigenvalues = Eigen.eigenvalues a in
+  let scale =
+    Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 1.
+      eigenvalues
+  in
+  let stable =
+    Array.of_list
+      (List.filter
+         (fun z -> z.Complex.re < -1e-9 *. scale)
+         (Array.to_list eigenvalues))
+  in
+  let up = model.up_states in
+  let n_up = List.length up in
+  if Array.length stable <> n_up then
+    failwith
+      (Printf.sprintf
+         "First_order_fluid.stationary: %d stable modes for %d up states"
+         (Array.length stable) n_up);
+  let vectors = Array.map (fun z -> null_vector model z) stable in
+  (* Boundary conditions F_i(0) = 0 on the up states only. *)
+  let up_array = Array.of_list up in
+  let system =
+    Cmatrix.init ~rows:n_up ~cols:n_up (fun row j ->
+        vectors.(j).(up_array.(row)))
+  in
+  let rhs =
+    Array.init n_up (fun row ->
+        { Complex.re = -.model.pi.(up_array.(row)); im = 0. })
+  in
+  let coefficients =
+    if n_up = 0 then [||] else Cmatrix.solve system rhs
+  in
+  let modes =
+    Array.mapi
+      (fun j z ->
+        (z, Array.map (fun c -> Complex.mul coefficients.(j) c) vectors.(j)))
+      stable
+  in
+  (* Atom at zero: sum of F_i(0) over the down states. *)
+  let atom = ref 0. in
+  for i = 0 to n - 1 do
+    if model.rates.(i) < 0. then begin
+      let value = ref model.pi.(i) in
+      Array.iter
+        (fun (_, mode) -> value := !value +. mode.(i).Complex.re)
+        modes;
+      atom := !atom +. Float.max 0. !value
+    end
+  done;
+  {
+    states = n;
+    pi = Array.copy model.pi;
+    drift = model.drift;
+    modes;
+    atom = !atom;
+  }
+
+let joint_cdf s ~state x =
+  if state < 0 || state >= s.states then
+    invalid_arg "First_order_fluid.joint_cdf: state out of range";
+  if x < 0. then 0.
+  else begin
+    let acc = ref s.pi.(state) in
+    Array.iter
+      (fun (z, mode) ->
+        let exponent = Complex.exp (Complex.mul z { re = x; im = 0. }) in
+        acc := !acc +. (Complex.mul exponent mode.(state)).Complex.re)
+      s.modes;
+    Float.max 0. (Float.min 1. !acc)
+  end
+
+let cdf s x =
+  if x < 0. then 0.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to s.states - 1 do
+      acc := !acc +. joint_cdf s ~state:i x
+    done;
+    Float.max 0. (Float.min 1. !acc)
+  end
+
+let ccdf s x = 1. -. cdf s x
+let atom_at_zero s = s.atom
+
+let mean_level s =
+  let acc = ref Complex.zero in
+  Array.iter
+    (fun (z, mode) ->
+      let total = Array.fold_left Complex.add Complex.zero mode in
+      acc := Complex.add !acc (Complex.div total z))
+    s.modes;
+  !acc.Complex.re
+
+let decay_rate s =
+  let slowest =
+    Array.fold_left
+      (fun acc (z, _) -> Float.max acc z.Complex.re)
+      neg_infinity s.modes
+  in
+  -.slowest

@@ -1,0 +1,42 @@
+(** Classic first-order Markov-modulated fluid queue (Anick–Mitra–Sondhi
+    1982 / Mitra 1988): buffer drift [r_i] with {e no} Brownian term.
+
+    Stationary solution by the spectral method on the generalized
+    eigenproblem [z R phi = Q^T phi]. States with [r_i = 0] are eliminated
+    from the differential part (censoring is not implemented — require
+    [r_i <> 0] instead, which every classical example satisfies).
+
+    Boundary conditions: [F_i(0) = 0] exactly for the up states
+    ([r_i > 0]); with mean drift < 0 there are as many strictly negative
+    eigenvalues as up states, closing the system. Down states keep an atom
+    at level 0 — unlike the second-order queue, where any [sigma_i > 0]
+    washes the atom out; comparing the two is the point of this module
+    (see the sigma->0 convergence test). *)
+
+type t
+
+val make :
+  generator:Mrm_ctmc.Generator.t ->
+  rates:float array ->
+  t
+(** @raise Invalid_argument on dimension mismatch, any [r_i = 0], a
+    reducible chain, or non-negative mean drift. *)
+
+type stationary
+
+val stationary : t -> stationary
+(** @raise Failure on spectral breakdown (wrong stable-eigenvalue count —
+    not expected on valid inputs). *)
+
+val joint_cdf : stationary -> state:int -> float -> float
+(** [F_i(x) = P(X <= x, Z = i)]. *)
+
+val cdf : stationary -> float -> float
+val ccdf : stationary -> float -> float
+
+val atom_at_zero : stationary -> float
+(** [P(X = 0)] — the buffer-empty probability (positive for a stable
+    first-order queue; zero in the second-order one). *)
+
+val mean_level : stationary -> float
+val decay_rate : stationary -> float

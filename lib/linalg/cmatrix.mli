@@ -1,0 +1,24 @@
+(** Complex dense matrices and LU solves.
+
+    Needed by the Abate–Whitt (Euler) Laplace inversion baseline, whose
+    resolvent evaluations [ (sI - Q + vR - v^2/2 S)^{-1} h ] sit at complex
+    [s]. Uses [Stdlib.Complex]. *)
+
+type t
+
+val zeros : rows:int -> cols:int -> t
+val identity : int -> t
+val init : rows:int -> cols:int -> (int -> int -> Complex.t) -> t
+val of_real : Dense.t -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Complex.t -> t -> t
+val mv : t -> Complex.t array -> Complex.t array
+
+val solve : t -> Complex.t array -> Complex.t array
+(** Solve [A x = b] by LU with partial pivoting (by modulus).
+    @raise Failure on singular systems. *)

@@ -1,0 +1,155 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create: negative size";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros ~rows ~cols = create ~rows ~cols 0.
+
+let identity n =
+  let m = zeros ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- 1.
+  done;
+  m
+
+let init ~rows ~cols f =
+  {
+    rows;
+    cols;
+    data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols));
+  }
+
+let of_arrays a =
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Dense.of_arrays: ragged rows")
+    a;
+  init ~rows ~cols (fun i j -> a.(i).(j))
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_index m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Dense: index (%d,%d) out of %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check_index m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j x =
+  check_index m i j;
+  m.data.((i * m.cols) + j) <- x
+
+let to_arrays m =
+  Array.init m.rows (fun i ->
+      Array.init m.cols (fun j -> m.data.((i * m.cols) + j)))
+
+let copy m = { m with data = Array.copy m.data }
+
+let diagonal d =
+  let n = Array.length d in
+  let m = zeros ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- d.(i)
+  done;
+  m
+
+let check_same_shape name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Dense.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let add a b =
+  check_same_shape "add" a b;
+  { a with data = Array.mapi (fun k x -> x +. b.data.(k)) a.data }
+
+let sub a b =
+  check_same_shape "sub" a b;
+  { a with data = Array.mapi (fun k x -> x -. b.data.(k)) a.data }
+
+let scale alpha a = { a with data = Array.map (fun x -> alpha *. x) a.data }
+
+let mul a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Dense.mul: %dx%d by %dx%d" a.rows a.cols b.rows b.cols);
+  let c = zeros ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let mv a x =
+  if a.cols <> Array.length x then
+    invalid_arg "Dense.mv: dimension mismatch";
+  Array.init a.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.cols - 1 do
+        acc := !acc +. (a.data.((i * a.cols) + j) *. x.(j))
+      done;
+      !acc)
+
+let vm x a =
+  if a.rows <> Array.length x then
+    invalid_arg "Dense.vm: dimension mismatch";
+  Array.init a.cols (fun j ->
+      let acc = ref 0. in
+      for i = 0 to a.rows - 1 do
+        acc := !acc +. (x.(i) *. a.data.((i * a.cols) + j))
+      done;
+      !acc)
+
+let transpose a = init ~rows:a.cols ~cols:a.rows (fun i j -> get a j i)
+
+let trace a =
+  let n = min a.rows a.cols in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. a.data.((i * a.cols) + i)
+  done;
+  !acc
+
+let norm_inf a =
+  let worst = ref 0. in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0. in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. abs_float a.data.((i * a.cols) + j)
+    done;
+    worst := Float.max !worst !acc
+  done;
+  !worst
+
+let row a i = Array.init a.cols (fun j -> get a i j)
+let col a j = Array.init a.rows (fun i -> get a i j)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Vec.approx_equal ~tol a.data b.data
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to a.cols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%10.4g" (get a i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < a.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

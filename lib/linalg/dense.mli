@@ -1,0 +1,43 @@
+(** Dense row-major matrices. Sizes are validated on every operation; these
+    matrices back the small-model solvers (ODE, transform inversion) while
+    {!Sparse} backs the large randomization runs. *)
+
+type t
+
+val create : rows:int -> cols:int -> float -> t
+val zeros : rows:int -> cols:int -> t
+val identity : int -> t
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val of_arrays : float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val to_arrays : t -> float array array
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val diagonal : float array -> t
+(** Square matrix with the given diagonal. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val mv : t -> Vec.t -> Vec.t
+(** Matrix–vector product [A x]. *)
+
+val vm : Vec.t -> t -> Vec.t
+(** Row-vector–matrix product [x^T A]. *)
+
+val transpose : t -> t
+val trace : t -> float
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

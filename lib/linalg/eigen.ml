@@ -1,0 +1,247 @@
+(* Householder reduction to Hessenberg form + Francis double-shift QR
+   (the classical EISPACK/Numerical-Recipes "hqr" scheme, 0-indexed). *)
+
+let hessenberg a =
+  let n = Dense.rows a in
+  if Dense.cols a <> n then invalid_arg "Eigen.hessenberg: non-square matrix";
+  let m = Dense.to_arrays a in
+  for k = 0 to n - 3 do
+    (* Householder vector annihilating column k below row k+1. *)
+    let scale = ref 0. in
+    for i = k + 1 to n - 1 do
+      scale := !scale +. abs_float m.(i).(k)
+    done;
+    if !scale > 0. then begin
+      let v = Array.make n 0. in
+      let norm2 = ref 0. in
+      for i = k + 1 to n - 1 do
+        v.(i) <- m.(i).(k) /. !scale;
+        norm2 := !norm2 +. (v.(i) *. v.(i))
+      done;
+      let alpha =
+        if v.(k + 1) >= 0. then -.sqrt !norm2 else sqrt !norm2
+      in
+      let beta = !norm2 -. (v.(k + 1) *. alpha) in
+      if beta > 0. then begin
+        v.(k + 1) <- v.(k + 1) -. alpha;
+        (* Apply H = I - v v^T / beta from the left: M := H M. *)
+        for j = 0 to n - 1 do
+          let dot = ref 0. in
+          for i = k + 1 to n - 1 do
+            dot := !dot +. (v.(i) *. m.(i).(j))
+          done;
+          let factor = !dot /. beta in
+          for i = k + 1 to n - 1 do
+            m.(i).(j) <- m.(i).(j) -. (factor *. v.(i))
+          done
+        done;
+        (* And from the right: M := M H. *)
+        for i = 0 to n - 1 do
+          let dot = ref 0. in
+          for j = k + 1 to n - 1 do
+            dot := !dot +. (m.(i).(j) *. v.(j))
+          done;
+          let factor = !dot /. beta in
+          for j = k + 1 to n - 1 do
+            m.(i).(j) <- m.(i).(j) -. (factor *. v.(j))
+          done
+        done
+      end
+    end;
+    (* Clean the annihilated entries exactly. *)
+    for i = k + 2 to n - 1 do
+      m.(i).(k) <- 0.
+    done
+  done;
+  Dense.of_arrays m
+
+let sign_with magnitude reference =
+  if reference >= 0. then abs_float magnitude else -.abs_float magnitude
+
+let eigenvalues matrix =
+  let n = Dense.rows matrix in
+  if Dense.cols matrix <> n then
+    invalid_arg "Eigen.eigenvalues: non-square matrix";
+  if n = 0 then [||]
+  else begin
+    let a = Dense.to_arrays (hessenberg matrix) in
+    let wr = Array.make n 0. and wi = Array.make n 0. in
+    let anorm = ref 0. in
+    for i = 0 to n - 1 do
+      for j = max 0 (i - 1) to n - 1 do
+        anorm := !anorm +. abs_float a.(i).(j)
+      done
+    done;
+    let eps = epsilon_float in
+    let t = ref 0. in
+    let nn = ref (n - 1) in
+    while !nn >= 0 do
+      let its = ref 0 in
+      let finished_block = ref false in
+      while not !finished_block do
+        (* Find a negligible subdiagonal element. *)
+        let l = ref 0 in
+        (try
+           for candidate = !nn downto 1 do
+             let s =
+               abs_float a.(candidate - 1).(candidate - 1)
+               +. abs_float a.(candidate).(candidate)
+             in
+             let s = if s = 0. then !anorm else s in
+             if abs_float a.(candidate).(candidate - 1) <= eps *. s then begin
+               a.(candidate).(candidate - 1) <- 0.;
+               l := candidate;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        let l = !l in
+        let x = a.(!nn).(!nn) in
+        if l = !nn then begin
+          (* One real root. *)
+          wr.(!nn) <- x +. !t;
+          wi.(!nn) <- 0.;
+          decr nn;
+          finished_block := true
+        end
+        else begin
+          let y = a.(!nn - 1).(!nn - 1) in
+          let w = a.(!nn).(!nn - 1) *. a.(!nn - 1).(!nn) in
+          if l = !nn - 1 then begin
+            (* A 2x2 block: two roots. *)
+            let p = 0.5 *. (y -. x) in
+            let q = (p *. p) +. w in
+            let z = sqrt (abs_float q) in
+            let x = x +. !t in
+            if q >= 0. then begin
+              let z = p +. sign_with z p in
+              wr.(!nn - 1) <- x +. z;
+              wr.(!nn) <- (if z <> 0. then x -. (w /. z) else x +. z);
+              wi.(!nn - 1) <- 0.;
+              wi.(!nn) <- 0.
+            end
+            else begin
+              wr.(!nn - 1) <- x +. p;
+              wr.(!nn) <- x +. p;
+              wi.(!nn - 1) <- -.z;
+              wi.(!nn) <- z
+            end;
+            nn := !nn - 2;
+            finished_block := true
+          end
+          else begin
+            (* Double-shift QR sweep. *)
+            if !its = 40 then
+              failwith "Eigen.eigenvalues: QR iteration did not converge";
+            let x = ref x and y = ref y and w = ref w in
+            if !its = 10 || !its = 20 || !its = 30 then begin
+              (* Exceptional shift. *)
+              t := !t +. !x;
+              for i = 0 to !nn do
+                a.(i).(i) <- a.(i).(i) -. !x
+              done;
+              let s =
+                abs_float a.(!nn).(!nn - 1)
+                +. abs_float a.(!nn - 1).(!nn - 2)
+              in
+              x := 0.75 *. s;
+              y := !x;
+              w := -0.4375 *. s *. s
+            end;
+            incr its;
+            let p = ref 0. and q = ref 0. and r = ref 0. in
+            (* Find two consecutive small subdiagonals. *)
+            let m = ref (!nn - 2) in
+            (try
+               while !m >= l do
+                 let z = a.(!m).(!m) in
+                 let rr = !x -. z in
+                 let ss = !y -. z in
+                 p :=
+                   (((rr *. ss) -. !w) /. a.(!m + 1).(!m)) +. a.(!m).(!m + 1);
+                 q := a.(!m + 1).(!m + 1) -. z -. rr -. ss;
+                 r := a.(!m + 2).(!m + 1);
+                 let scale = abs_float !p +. abs_float !q +. abs_float !r in
+                 p := !p /. scale;
+                 q := !q /. scale;
+                 r := !r /. scale;
+                 if !m = l then raise Exit;
+                 let u =
+                   abs_float a.(!m).(!m - 1)
+                   *. (abs_float !q +. abs_float !r)
+                 in
+                 let v =
+                   abs_float !p
+                   *. (abs_float a.(!m - 1).(!m - 1)
+                      +. abs_float z
+                      +. abs_float a.(!m + 1).(!m + 1))
+                 in
+                 if u <= eps *. v then raise Exit;
+                 decr m
+               done
+             with Exit -> ());
+            let m = !m in
+            for i = m + 2 to !nn do
+              a.(i).(i - 2) <- 0.
+            done;
+            for i = m + 3 to !nn do
+              a.(i).(i - 3) <- 0.
+            done;
+            for k = m to !nn - 1 do
+              if k <> m then begin
+                p := a.(k).(k - 1);
+                q := a.(k + 1).(k - 1);
+                r := (if k <> !nn - 1 then a.(k + 2).(k - 1) else 0.);
+                let scale = abs_float !p +. abs_float !q +. abs_float !r in
+                x := scale;
+                if scale <> 0. then begin
+                  p := !p /. scale;
+                  q := !q /. scale;
+                  r := !r /. scale
+                end
+              end;
+              let s =
+                sign_with (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p
+              in
+              if s <> 0. then begin
+                if k = m then begin
+                  if l <> m then a.(k).(k - 1) <- -.a.(k).(k - 1)
+                end
+                else a.(k).(k - 1) <- -.s *. !x;
+                p := !p +. s;
+                x := !p /. s;
+                y := !q /. s;
+                let z = !r /. s in
+                q := !q /. !p;
+                r := !r /. !p;
+                (* Row modification. *)
+                for j = k to !nn do
+                  let pp =
+                    a.(k).(j) +. (!q *. a.(k + 1).(j))
+                    +. (if k <> !nn - 1 then !r *. a.(k + 2).(j) else 0.)
+                  in
+                  a.(k).(j) <- a.(k).(j) -. (pp *. !x);
+                  a.(k + 1).(j) <- a.(k + 1).(j) -. (pp *. !y);
+                  if k <> !nn - 1 then
+                    a.(k + 2).(j) <- a.(k + 2).(j) -. (pp *. z)
+                done;
+                (* Column modification. *)
+                let mmin = min !nn (k + 3) in
+                for i = l to mmin do
+                  let pp =
+                    (!x *. a.(i).(k)) +. (!y *. a.(i).(k + 1))
+                    +. (if k <> !nn - 1 then z *. a.(i).(k + 2) else 0.)
+                  in
+                  a.(i).(k) <- a.(i).(k) -. pp;
+                  a.(i).(k + 1) <- a.(i).(k + 1) -. (pp *. !q);
+                  if k <> !nn - 1 then
+                    a.(i).(k + 2) <- a.(i).(k + 2) -. (pp *. !r)
+                done
+              end
+            done
+          end
+        end
+      done
+    done;
+    Array.init n (fun i -> { Complex.re = wr.(i); im = wi.(i) })
+  end

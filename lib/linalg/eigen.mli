@@ -1,0 +1,21 @@
+(** Eigenvalues of general (nonsymmetric) real dense matrices:
+    Householder reduction to upper Hessenberg form followed by the
+    Francis implicit double-shift QR iteration.
+
+    Needed by the second-order fluid-queue comparator, whose stationary
+    solution is a spectral decomposition of a quadratic eigenproblem.
+    Eigenvalues only — eigenvectors are recovered separately by inverse
+    iteration on the (nearly singular) shifted matrix, which composes
+    better with the quadratic problem. *)
+
+val eigenvalues : Dense.t -> Complex.t array
+(** All [n] eigenvalues (with multiplicity), in unspecified order.
+    Accuracy is ~1e-12 on well-conditioned spectra and degrades to
+    ~sqrt(epsilon) on defective ones, as is intrinsic to the problem.
+    @raise Invalid_argument on non-square input.
+    @raise Failure if the QR iteration fails to converge (more than 40
+    iterations for some eigenvalue). *)
+
+val hessenberg : Dense.t -> Dense.t
+(** The orthogonally-similar upper Hessenberg form (exposed for tests:
+    similarity preserves trace and eigenvalues). *)

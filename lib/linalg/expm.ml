@@ -1,0 +1,61 @@
+(* Scaling and squaring with the order-13 Pade approximant (coefficients
+   from Higham, "The Scaling and Squaring Method for the Matrix Exponential
+   Revisited", 2005). A fixed order keeps the code small; the scaling step
+   handles all magnitudes. *)
+
+let pade13_coefficients =
+  [| 64764752532480000.; 32382376266240000.; 7771770303897600.;
+     1187353796428800.; 129060195264000.; 10559470521600.; 670442572800.;
+     33522128640.; 1323241920.; 40840800.; 960960.; 16380.; 182.; 1. |]
+
+let expm a =
+  let n = Dense.rows a in
+  if Dense.cols a <> n then invalid_arg "Expm.expm: non-square matrix";
+  if n = 0 then Dense.identity 0
+  else begin
+    (* Scale so that the 1-norm-ish bound is below the Pade13 radius. *)
+    let norm = Dense.norm_inf a in
+    let theta13 = 5.371920351148152 in
+    let squarings =
+      if norm <= theta13 then 0
+      else int_of_float (ceil (log (norm /. theta13) /. log 2.))
+    in
+    let scaled = Dense.scale (1. /. (2. ** float_of_int squarings)) a in
+    let b = pade13_coefficients in
+    let a2 = Dense.mul scaled scaled in
+    let a4 = Dense.mul a2 a2 in
+    let a6 = Dense.mul a2 a4 in
+    let eye = Dense.identity n in
+    (* u = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I) *)
+    let inner_u =
+      Dense.add
+        (Dense.mul a6
+           (Dense.add
+              (Dense.add (Dense.scale b.(13) a6) (Dense.scale b.(11) a4))
+              (Dense.scale b.(9) a2)))
+        (Dense.add
+           (Dense.add (Dense.scale b.(7) a6) (Dense.scale b.(5) a4))
+           (Dense.add (Dense.scale b.(3) a2) (Dense.scale b.(1) eye)))
+    in
+    let u = Dense.mul scaled inner_u in
+    (* v = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I *)
+    let v =
+      Dense.add
+        (Dense.mul a6
+           (Dense.add
+              (Dense.add (Dense.scale b.(12) a6) (Dense.scale b.(10) a4))
+              (Dense.scale b.(8) a2)))
+        (Dense.add
+           (Dense.add (Dense.scale b.(6) a6) (Dense.scale b.(4) a4))
+           (Dense.add (Dense.scale b.(2) a2) (Dense.scale b.(0) eye)))
+    in
+    (* (V - U) X = (V + U). *)
+    let factorization = Lu.factorize (Dense.sub v u) in
+    let result = ref (Lu.solve_matrix factorization (Dense.add v u)) in
+    for _ = 1 to squarings do
+      result := Dense.mul !result !result
+    done;
+    !result
+  end
+
+let expm_action a v = Dense.mv (expm a) v

@@ -1,0 +1,12 @@
+(** Dense matrix exponential by scaling-and-squaring with Padé(13)
+    approximation (Higham 2005, fixed order).
+
+    Used as an independent oracle for CTMC transient solutions
+    ([p(t) = pi e^(Qt)]) in the test suite, and for small-model validation
+    of uniformization. O(n^3); intended for n up to a few hundred. *)
+
+val expm : Dense.t -> Dense.t
+(** [expm a] is [e^A]. @raise Invalid_argument on non-square input. *)
+
+val expm_action : Dense.t -> Vec.t -> Vec.t
+(** [expm_action a v = e^A v] (currently via {!expm}; a convenience). *)

@@ -1,0 +1,88 @@
+type t = {
+  (* Combined L (strict lower, unit diagonal) and U (upper) factors. *)
+  lu : float array array;
+  perm : int array;
+  sign : float;
+  n : int;
+}
+
+exception Singular of int
+
+let factorize a =
+  let n = Dense.rows a in
+  if Dense.cols a <> n then invalid_arg "Lu.factorize: non-square matrix";
+  let lu = Dense.to_arrays a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k below the diagonal. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float lu.(i).(k) > abs_float lu.(!pivot_row).(k) then
+        pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot_row);
+      lu.(!pivot_row) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tp;
+      sign := -. !sign
+    end;
+    let pivot = lu.(k).(k) in
+    if pivot = 0. then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- factor;
+      if factor <> 0. then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign; n }
+
+let solve f b =
+  if Array.length b <> f.n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init f.n (fun i -> b.(f.perm.(i))) in
+  (* Forward substitution with the unit lower factor. *)
+  for i = 1 to f.n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with the upper factor. *)
+  for i = f.n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to f.n - 1 do
+      acc := !acc -. (f.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. f.lu.(i).(i)
+  done;
+  x
+
+let solve_matrix f b =
+  if Dense.rows b <> f.n then
+    invalid_arg "Lu.solve_matrix: dimension mismatch";
+  let cols = Dense.cols b in
+  let out = Dense.zeros ~rows:f.n ~cols in
+  for j = 0 to cols - 1 do
+    let x = solve f (Dense.col b j) in
+    for i = 0 to f.n - 1 do
+      Dense.set out i j x.(i)
+    done
+  done;
+  out
+
+let det f =
+  let acc = ref f.sign in
+  for i = 0 to f.n - 1 do
+    acc := !acc *. f.lu.(i).(i)
+  done;
+  !acc
+
+let inverse f = solve_matrix f (Dense.identity f.n)
+let solve_system a b = solve (factorize a) b

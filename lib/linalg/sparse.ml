@@ -1,0 +1,204 @@
+type t = {
+  rows : int;
+  cols : int;
+  (* CSR: row i occupies [row_start.(i), row_start.(i+1)) in col_index and
+     values; col_index is strictly increasing within a row. *)
+  row_start : int array;
+  col_index : int array;
+  values : float array;
+}
+
+let rows m = m.rows
+let cols m = m.cols
+let nnz m = Array.length m.values
+
+let of_triplets ~rows ~cols triplets =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.of_triplets: negative size";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= rows || j < 0 || j >= cols then
+        invalid_arg
+          (Printf.sprintf "Sparse.of_triplets: (%d,%d) out of %dx%d" i j rows
+             cols))
+    triplets;
+  let sorted =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+      triplets
+  in
+  (* Merge duplicates, drop exact zeros. *)
+  let merged = ref [] and count = ref 0 in
+  let flush (i, j, v) =
+    if v <> 0. then begin
+      merged := (i, j, v) :: !merged;
+      incr count
+    end
+  in
+  let rec go pending = function
+    | [] -> Option.iter flush pending
+    | (i, j, v) :: rest -> begin
+        match pending with
+        | Some (pi, pj, pv) when pi = i && pj = j ->
+            go (Some (i, j, pv +. v)) rest
+        | Some p ->
+            flush p;
+            go (Some (i, j, v)) rest
+        | None -> go (Some (i, j, v)) rest
+      end
+  in
+  go None sorted;
+  let entries = Array.of_list (List.rev !merged) in
+  let n_entries = Array.length entries in
+  let row_start = Array.make (rows + 1) 0 in
+  Array.iter (fun (i, _, _) -> row_start.(i + 1) <- row_start.(i + 1) + 1)
+    entries;
+  for i = 0 to rows - 1 do
+    row_start.(i + 1) <- row_start.(i + 1) + row_start.(i)
+  done;
+  let col_index = Array.make n_entries 0 in
+  let values = Array.make n_entries 0. in
+  Array.iteri
+    (fun k (_, j, v) ->
+      col_index.(k) <- j;
+      values.(k) <- v)
+    entries;
+  { rows; cols; row_start; col_index; values }
+
+let of_dense d =
+  let triplets = ref [] in
+  for i = Dense.rows d - 1 downto 0 do
+    for j = Dense.cols d - 1 downto 0 do
+      let v = Dense.get d i j in
+      if v <> 0. then triplets := (i, j, v) :: !triplets
+    done
+  done;
+  of_triplets ~rows:(Dense.rows d) ~cols:(Dense.cols d) !triplets
+
+let to_dense m =
+  let d = Dense.zeros ~rows:m.rows ~cols:m.cols in
+  for i = 0 to m.rows - 1 do
+    for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      Dense.set d i m.col_index.(k) m.values.(k)
+    done
+  done;
+  d
+
+let identity n =
+  {
+    rows = n;
+    cols = n;
+    row_start = Array.init (n + 1) (fun i -> i);
+    col_index = Array.init n (fun i -> i);
+    values = Array.make n 1.;
+  }
+
+let diagonal d =
+  let n = Array.length d in
+  of_triplets ~rows:n ~cols:n
+    (List.filteri (fun _ (_, _, v) -> v <> 0.)
+       (List.init n (fun i -> (i, i, d.(i)))))
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg "Sparse.get: index out of range";
+  let lo = ref m.row_start.(i) and hi = ref (m.row_start.(i + 1) - 1) in
+  let result = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = m.col_index.(mid) in
+    if c = j then begin
+      result := m.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mv_into m x y =
+  if Array.length x <> m.cols || Array.length y <> m.rows then
+    invalid_arg "Sparse.mv_into: dimension mismatch";
+  if x == y then invalid_arg "Sparse.mv_into: x and y must be distinct";
+  let row_start = m.row_start
+  and col_index = m.col_index
+  and values = m.values in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0. in
+    for k = row_start.(i) to row_start.(i + 1) - 1 do
+      acc := !acc +. (values.(k) *. x.(col_index.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let mv m x =
+  let y = Array.make m.rows 0. in
+  mv_into m x y;
+  y
+
+let vm x m =
+  if Array.length x <> m.rows then invalid_arg "Sparse.vm: dimension mismatch";
+  let y = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0. then
+      for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+        y.(m.col_index.(k)) <- y.(m.col_index.(k)) +. (xi *. m.values.(k))
+      done
+  done;
+  y
+
+let map_values f m =
+  (* [f 0.] is not required to be 0; rebuild through triplets to stay
+     canonical when f introduces zeros. *)
+  let triplets = ref [] in
+  for i = m.rows - 1 downto 0 do
+    for k = m.row_start.(i + 1) - 1 downto m.row_start.(i) do
+      triplets := (i, m.col_index.(k), f m.values.(k)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:m.rows ~cols:m.cols !triplets
+
+let scale alpha m =
+  if alpha = 0. then of_triplets ~rows:m.rows ~cols:m.cols []
+  else { m with values = Array.map (fun v -> alpha *. v) m.values }
+
+let iter m f =
+  for i = 0 to m.rows - 1 do
+    for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
+      f i m.col_index.(k) m.values.(k)
+    done
+  done
+
+let triplets_of m =
+  let acc = ref [] in
+  iter m (fun i j v -> acc := (i, j, v) :: !acc);
+  !acc
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Sparse.add: shape mismatch";
+  of_triplets ~rows:a.rows ~cols:a.cols (triplets_of a @ triplets_of b)
+
+let add_scaled_identity c a =
+  if a.rows <> a.cols then
+    invalid_arg "Sparse.add_scaled_identity: non-square matrix";
+  let diag = List.init a.rows (fun i -> (i, i, c)) in
+  of_triplets ~rows:a.rows ~cols:a.cols (diag @ triplets_of a)
+
+let transpose a =
+  of_triplets ~rows:a.cols ~cols:a.rows
+    (List.map (fun (i, j, v) -> (j, i, v)) (triplets_of a))
+
+let row_sums m =
+  let sums = Array.make m.rows 0. in
+  iter m (fun i _ v -> sums.(i) <- sums.(i) +. v);
+  sums
+
+let mean_nnz_per_row m =
+  if m.rows = 0 then 0. else float_of_int (nnz m) /. float_of_int m.rows
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>sparse %dx%d (%d nnz)" m.rows m.cols (nnz m);
+  if nnz m <= 64 then
+    iter m (fun i j v -> Format.fprintf ppf "@,(%d,%d) = %g" i j v);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Compressed-sparse-row matrices.
+
+    The randomization solver's inner loop is a sequence of CSR
+    matrix–vector products with the uniformized generator; the paper's
+    large example ([|S| = 200,001]) only fits with this representation. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Build from (row, col, value) triplets. Duplicate entries are summed;
+    exact zeros are dropped. @raise Invalid_argument on out-of-range
+    indices. *)
+
+val of_dense : Dense.t -> t
+val to_dense : t -> Dense.t
+
+val identity : int -> t
+val diagonal : float array -> t
+
+val get : t -> int -> int -> float
+(** O(log nnz-in-row) lookup; 0. for absent entries. *)
+
+val mv : t -> Vec.t -> Vec.t
+(** [mv a x] is [A x]. *)
+
+val mv_into : t -> Vec.t -> Vec.t -> unit
+(** [mv_into a x y] writes [A x] into pre-allocated [y] (no allocation in
+    the hot loop). [x] and [y] must be distinct arrays. *)
+
+val vm : Vec.t -> t -> Vec.t
+(** [vm x a] is [x^T A]. *)
+
+val scale : float -> t -> t
+val add : t -> t -> t
+val add_scaled_identity : float -> t -> t
+(** [add_scaled_identity c a] is [A + cI] (square only). *)
+
+val transpose : t -> t
+val row_sums : t -> Vec.t
+val map_values : (float -> float) -> t -> t
+val iter : t -> (int -> int -> float -> unit) -> unit
+val mean_nnz_per_row : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type eig = { eigenvalues : float array; first_components : float array }
+
+(* Implicit-shift QL for a symmetric tridiagonal matrix, rotating a row
+   vector [z] along (initialized to e_1 to track eigenvector first
+   components). Classic tql2 adaptation (Golub–Welsch variant). *)
+let ql_implicit d e z =
+  let n = Array.length d in
+  let e = Array.append e [| 0. |] in
+  let hypot a b = Float.hypot a b in
+  for l = 0 to n - 1 do
+    let iter = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (* Find a negligible off-diagonal element. *)
+      let m = ref l in
+      (try
+         while !m < n - 1 do
+           let dd = abs_float d.(!m) +. abs_float d.(!m + 1) in
+           if abs_float e.(!m) <= epsilon_float *. dd then raise Exit;
+           incr m
+         done
+       with Exit -> ());
+      if !m = l then continue := false
+      else begin
+        incr iter;
+        if !iter > 50 then
+          failwith "Tridiag.eigen: QL iteration failed to converge";
+        let m = !m in
+        (* Wilkinson shift. *)
+        let g = (d.(l + 1) -. d.(l)) /. (2. *. e.(l)) in
+        let r = hypot g 1. in
+        let g =
+          d.(m) -. d.(l)
+          +. (e.(l) /. (g +. (if g >= 0. then abs_float r else -.abs_float r)))
+        in
+        let s = ref 1. and c = ref 1. and p = ref 0. in
+        let g = ref g in
+        (try
+           for i = m - 1 downto l do
+             let f = ref (!s *. e.(i)) in
+             let b = !c *. e.(i) in
+             let r = hypot !f !g in
+             e.(i + 1) <- r;
+             if r = 0. then begin
+               d.(i + 1) <- d.(i + 1) -. !p;
+               e.(m) <- 0.;
+               raise Exit
+             end;
+             s := !f /. r;
+             c := !g /. r;
+             let gg = d.(i + 1) -. !p in
+             let rr = ((d.(i) -. gg) *. !s) +. (2. *. !c *. b) in
+             p := !s *. rr;
+             d.(i + 1) <- gg +. !p;
+             g := (!c *. rr) -. b;
+             (* Rotate the tracked row vector. *)
+             let fz = z.(i + 1) in
+             z.(i + 1) <- (!s *. z.(i)) +. (!c *. fz);
+             z.(i) <- (!c *. z.(i)) -. (!s *. fz)
+           done;
+           d.(l) <- d.(l) -. !p;
+           e.(l) <- !g;
+           e.(m) <- 0.
+         with Exit -> ())
+      end
+    done
+  done
+
+let eigen ~diag ~offdiag =
+  let n = Array.length diag in
+  if Array.length offdiag <> max 0 (n - 1) then
+    invalid_arg "Tridiag.eigen: offdiag must have length n-1";
+  let d = Array.copy diag in
+  let e = Array.copy offdiag in
+  let z = Array.make n 0. in
+  if n > 0 then z.(0) <- 1.;
+  if n > 1 then ql_implicit d e z;
+  (* Sort ascending, carrying first components along. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare d.(i) d.(j)) order;
+  {
+    eigenvalues = Array.map (fun i -> d.(i)) order;
+    first_components = Array.map (fun i -> z.(i)) order;
+  }
+
+let eigenvalues ~diag ~offdiag = (eigen ~diag ~offdiag).eigenvalues

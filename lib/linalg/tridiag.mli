@@ -1,0 +1,23 @@
+(** Symmetric tridiagonal eigenproblem (implicit-shift QL).
+
+    This is the computational heart of the Golub–Welsch step in the
+    moment-based distribution bounds: Gauss quadrature nodes are the
+    eigenvalues of the Jacobi matrix and the weights come from the first
+    components of its eigenvectors. *)
+
+type eig = {
+  eigenvalues : float array;  (** ascending *)
+  first_components : float array;
+      (** first component of each (normalized) eigenvector, aligned with
+          [eigenvalues] *)
+}
+
+val eigen : diag:float array -> offdiag:float array -> eig
+(** [eigen ~diag ~offdiag] solves the symmetric tridiagonal eigenproblem
+    with diagonal [diag] (length n) and sub/super-diagonal [offdiag]
+    (length n-1).
+    @raise Invalid_argument on inconsistent lengths.
+    @raise Failure if the QL iteration fails to converge. *)
+
+val eigenvalues : diag:float array -> offdiag:float array -> float array
+(** Eigenvalues only (same algorithm). *)

@@ -1,0 +1,58 @@
+module Generator = Mrm_ctmc.Generator
+module Stationary = Mrm_ctmc.Stationary
+
+type params = {
+  machines : int;
+  repairmen : int;
+  failure : float;
+  repair : float;
+  throughput : float;
+  throughput_variance : float;
+}
+
+let default =
+  {
+    machines = 16;
+    repairmen = 2;
+    failure = 0.2;
+    repair = 1.5;
+    throughput = 1.;
+    throughput_variance = 0.5;
+  }
+
+let validate p =
+  if p.machines <= 0 then invalid_arg "Machine_repair: machines > 0";
+  if p.repairmen <= 0 then invalid_arg "Machine_repair: repairmen > 0";
+  if p.failure <= 0. || p.repair <= 0. then
+    invalid_arg "Machine_repair: failure and repair rates must be positive";
+  if p.throughput < 0. || p.throughput_variance < 0. then
+    invalid_arg "Machine_repair: throughput parameters must be >= 0"
+
+(* State i = number of failed machines. *)
+let birth p i = float_of_int (p.machines - i) *. p.failure
+let death p i = float_of_int (min i p.repairmen) *. p.repair
+
+let generator p =
+  validate p;
+  Generator.birth_death ~states:(p.machines + 1) ~birth:(birth p)
+    ~death:(death p)
+
+let model ?initial p =
+  validate p;
+  let states = p.machines + 1 in
+  let initial =
+    match initial with
+    | Some pi -> pi
+    | None -> Array.init states (fun i -> if i = 0 then 1. else 0.)
+  in
+  let working i = float_of_int (p.machines - i) in
+  let rates = Array.init states (fun i -> working i *. p.throughput) in
+  let variances =
+    Array.init states (fun i -> working i *. p.throughput_variance)
+  in
+  Mrm_core.Model.make ~generator:(generator p) ~rates ~variances ~initial
+
+let stationary p =
+  validate p;
+  Stationary.birth_death ~states:(p.machines + 1) ~birth:(birth p)
+    ~death:(death p)

@@ -1,0 +1,31 @@
+(** Classic machine-repairman performability model, as a second-order MRM.
+
+    [machines] identical machines fail independently at rate [failure];
+    [repairmen] repair facilities each fix one machine at rate [repair].
+    The background CTMC counts failed machines (birth–death). A working
+    machine produces at rate [throughput] with per-machine production
+    variance [throughput_variance] — so state [i] (i failed) has drift
+    [(machines - i) * throughput] and variance
+    [(machines - i) * throughput_variance].
+
+    The accumulated reward over [(0, t)] is total production — a typical
+    performability measure the paper's framework targets. *)
+
+type params = {
+  machines : int;
+  repairmen : int;
+  failure : float;
+  repair : float;
+  throughput : float;
+  throughput_variance : float;
+}
+
+val default : params
+(** 16 machines, 2 repairmen, failure 0.2, repair 1.5, throughput 1,
+    variance 0.5. *)
+
+val model : ?initial:float array -> params -> Mrm_core.Model.t
+(** Default initial state: all machines working. *)
+
+val generator : params -> Mrm_ctmc.Generator.t
+val stationary : params -> float array

@@ -1,0 +1,81 @@
+module Generator = Mrm_ctmc.Generator
+
+type params = {
+  processors : int;
+  failure : float;
+  repair : float;
+  reboot : float;
+  coverage : float;
+  service_rate : float;
+  service_variance : float;
+}
+
+let default =
+  {
+    processors = 8;
+    failure = 0.1;
+    repair = 1.0;
+    reboot = 4.0;
+    coverage = 0.95;
+    service_rate = 1.;
+    service_variance = 2.;
+  }
+
+let validate p =
+  if p.processors <= 0 then invalid_arg "Multiprocessor: processors > 0";
+  if p.failure <= 0. || p.repair <= 0. || p.reboot <= 0. then
+    invalid_arg "Multiprocessor: rates must be positive";
+  if not (p.coverage >= 0. && p.coverage <= 1.) then
+    invalid_arg "Multiprocessor: coverage must lie in [0, 1]";
+  if p.service_rate < 0. || p.service_variance < 0. then
+    invalid_arg "Multiprocessor: service parameters must be >= 0"
+
+(* Layout: up states first (0..n), then down states (down i at
+   n + 1 + (i - 1) for i = 1..n). *)
+let state_count p = (2 * p.processors) + 1
+
+let up_index p i =
+  if i < 0 || i > p.processors then
+    invalid_arg "Multiprocessor.up_index: out of range";
+  i
+
+let down_index p i =
+  if i < 1 || i > p.processors then
+    invalid_arg "Multiprocessor.down_index: out of range";
+  p.processors + i
+
+let generator p =
+  validate p;
+  let n = p.processors in
+  let triplets = ref [] in
+  let push i j v = if v > 0. then triplets := (i, j, v) :: !triplets in
+  for i = 1 to n do
+    let rate = float_of_int i *. p.failure in
+    (* Covered failure: graceful degradation. *)
+    push (up_index p i) (up_index p (i - 1)) (rate *. p.coverage);
+    (* Uncovered failure: system-wide outage, then reboot with i-1. *)
+    push (up_index p i) (down_index p i) (rate *. (1. -. p.coverage));
+    push (down_index p i) (up_index p (i - 1)) p.reboot
+  done;
+  for i = 0 to n - 1 do
+    (* Single repair facility. *)
+    push (up_index p i) (up_index p (i + 1)) p.repair
+  done;
+  Generator.of_triplets ~states:(state_count p) !triplets
+
+let model ?initial p =
+  validate p;
+  let states = state_count p in
+  let initial =
+    match initial with
+    | Some pi -> pi
+    | None ->
+        Array.init states (fun s -> if s = up_index p p.processors then 1. else 0.)
+  in
+  let rates = Array.make states 0. in
+  let variances = Array.make states 0. in
+  for i = 0 to p.processors do
+    rates.(up_index p i) <- float_of_int i *. p.service_rate;
+    variances.(up_index p i) <- float_of_int i *. p.service_variance
+  done;
+  Mrm_core.Model.make ~generator:(generator p) ~rates ~variances ~initial

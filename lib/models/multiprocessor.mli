@@ -1,0 +1,43 @@
+(** Fault-tolerant multiprocessor with imperfect coverage — a
+    performability model whose background CTMC is {e not} birth–death
+    (it exercises the general sparse-generator path of the solvers).
+
+    [processors] processors fail at rate [failure] each. A failure is
+    covered with probability [coverage]: the system degrades gracefully
+    to one fewer processor. An uncovered failure takes the whole system
+    down; a reboot at rate [reboot] brings it back with one fewer
+    processor. A single repair facility restores processors at rate
+    [repair]. State space: [up i] (i = 0..n working) and [down i]
+    (entered by an uncovered failure while [i] were working).
+
+    Reward: computing capacity [i * service_rate] with variance
+    [i * service_variance] while up with [i] processors; 0 while down. *)
+
+type params = {
+  processors : int;
+  failure : float;
+  repair : float;
+  reboot : float;
+  coverage : float;  (** in [0, 1] *)
+  service_rate : float;
+  service_variance : float;
+}
+
+val default : params
+(** 8 processors, failure 0.1, repair 1.0, reboot 4.0, coverage 0.95,
+    service rate 1, service variance 2. *)
+
+val state_count : params -> int
+(** [2 * processors]: up states 0..n, down states for i = 1..n-1 ... see
+    [state_of_index]. *)
+
+val up_index : params -> int -> int
+(** Index of [up i]; [0 <= i <= processors]. *)
+
+val down_index : params -> int -> int
+(** Index of [down i]; [1 <= i <= processors]. *)
+
+val model : ?initial:float array -> params -> Mrm_core.Model.t
+(** Default initial state: all processors up. *)
+
+val generator : params -> Mrm_ctmc.Generator.t

@@ -1,0 +1,78 @@
+module Generator = Mrm_ctmc.Generator
+module Stationary = Mrm_ctmc.Stationary
+
+type params = {
+  capacity : float;
+  sources : int;
+  on_to_off : float;
+  off_to_on : float;
+  peak_rate : float;
+  rate_variance : float;
+}
+
+let table1 ~sigma2 =
+  {
+    capacity = 32.;
+    sources = 32;
+    on_to_off = 4.;
+    off_to_on = 3.;
+    peak_rate = 1.;
+    rate_variance = sigma2;
+  }
+
+let table2 =
+  {
+    capacity = 200_000.;
+    sources = 200_000;
+    on_to_off = 4.;
+    off_to_on = 3.;
+    peak_rate = 1.;
+    rate_variance = 10.;
+  }
+
+let scaled_table2 ~sources =
+  if sources <= 0 then invalid_arg "Onoff.scaled_table2: sources > 0";
+  { table2 with sources; capacity = float_of_int sources }
+
+let validate p =
+  if p.sources <= 0 then invalid_arg "Onoff: sources must be positive";
+  if p.on_to_off <= 0. || p.off_to_on <= 0. then
+    invalid_arg "Onoff: alpha and beta must be positive";
+  if p.peak_rate < 0. then invalid_arg "Onoff: peak rate must be >= 0";
+  if p.rate_variance < 0. then invalid_arg "Onoff: variance must be >= 0"
+
+let generator p =
+  validate p;
+  let n = p.sources in
+  Generator.birth_death ~states:(n + 1)
+    ~birth:(fun i -> float_of_int (n - i) *. p.off_to_on)
+    ~death:(fun i -> float_of_int i *. p.on_to_off)
+
+let uniformization_rate p =
+  validate p;
+  float_of_int p.sources *. Float.max p.on_to_off p.off_to_on
+
+let model ?initial p =
+  validate p;
+  let states = p.sources + 1 in
+  let initial =
+    match initial with
+    | Some pi -> pi
+    | None ->
+        (* All sources OFF at time 0, as in the paper. *)
+        Array.init states (fun i -> if i = 0 then 1. else 0.)
+  in
+  let rates =
+    Array.init states (fun i -> p.capacity -. (float_of_int i *. p.peak_rate))
+  in
+  let variances =
+    Array.init states (fun i -> float_of_int i *. p.rate_variance)
+  in
+  Mrm_core.Model.make ~generator:(generator p) ~rates ~variances ~initial
+
+let stationary p =
+  validate p;
+  let n = p.sources in
+  Stationary.birth_death ~states:(n + 1)
+    ~birth:(fun i -> float_of_int (n - i) *. p.off_to_on)
+    ~death:(fun i -> float_of_int i *. p.on_to_off)

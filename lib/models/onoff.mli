@@ -1,0 +1,44 @@
+(** The paper's Section-7 example: a priority multiplexer.
+
+    A channel of capacity [c] serves [n] exponential ON–OFF class-1
+    sources (ON->OFF rate [alpha], OFF->ON rate [beta]); an ON source
+    transmits at rate [r] with variance [sigma2]. The background CTMC is
+    the birth–death chain counting active sources (Figure 2):
+    state [i] has birth rate [(n - i) beta], death rate [i alpha]. The
+    reward is the capacity left for class-2 traffic:
+    [r_i = c - i r], [sigma_i^2 = i sigma2].
+
+    Table 1 parameters: [c = 32, n = 32, alpha = 4, beta = 3, r = 1,
+    sigma2 in {0, 1, 10}]; Table 2: [c = n = 200_000, sigma2 = 10]. *)
+
+type params = {
+  capacity : float;  (** C *)
+  sources : int;  (** N *)
+  on_to_off : float;  (** alpha *)
+  off_to_on : float;  (** beta *)
+  peak_rate : float;  (** r *)
+  rate_variance : float;  (** sigma^2 *)
+}
+
+val table1 : sigma2:float -> params
+(** The paper's small example with the chosen variance. *)
+
+val table2 : params
+(** The paper's large example (200,001 states). *)
+
+val scaled_table2 : sources:int -> params
+(** Table 2 shape at a reduced state count ([capacity = sources]), for
+    quick benchmark runs. *)
+
+val model : ?initial:float array -> params -> Mrm_core.Model.t
+(** Build the second-order MRM. Default initial distribution: all sources
+    OFF (state 0), as in the paper. *)
+
+val generator : params -> Mrm_ctmc.Generator.t
+val uniformization_rate : params -> float
+(** [q = N * max(alpha, beta)] in closed form (checked against the
+    generator in tests). *)
+
+val stationary : params -> float array
+(** Product-form stationary distribution of the birth–death background
+    process (each source independently ON w.p. beta/(alpha+beta)). *)

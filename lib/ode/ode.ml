@@ -1,0 +1,138 @@
+module Vec = Mrm_linalg.Vec
+
+type rhs = t:float -> y:float array -> float array
+type method_ = Euler | Heun | Rk4
+
+let euler_step f ~t ~dt y =
+  let k1 = f ~t ~y in
+  Array.mapi (fun i yi -> yi +. (dt *. k1.(i))) y
+
+let heun_step f ~t ~dt y =
+  let k1 = f ~t ~y in
+  let predictor = Array.mapi (fun i yi -> yi +. (dt *. k1.(i))) y in
+  let k2 = f ~t:(t +. dt) ~y:predictor in
+  Array.mapi (fun i yi -> yi +. (dt /. 2. *. (k1.(i) +. k2.(i)))) y
+
+let rk4_step f ~t ~dt y =
+  let k1 = f ~t ~y in
+  let mid1 = Array.mapi (fun i yi -> yi +. (dt /. 2. *. k1.(i))) y in
+  let k2 = f ~t:(t +. (dt /. 2.)) ~y:mid1 in
+  let mid2 = Array.mapi (fun i yi -> yi +. (dt /. 2. *. k2.(i))) y in
+  let k3 = f ~t:(t +. (dt /. 2.)) ~y:mid2 in
+  let last = Array.mapi (fun i yi -> yi +. (dt *. k3.(i))) y in
+  let k4 = f ~t:(t +. dt) ~y:last in
+  Array.mapi
+    (fun i yi ->
+      yi +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+    y
+
+let step method_ f ~t ~dt y =
+  match method_ with
+  | Euler -> euler_step f ~t ~dt y
+  | Heun -> heun_step f ~t ~dt y
+  | Rk4 -> rk4_step f ~t ~dt y
+
+let check_interval ~t0 ~t1 ~steps =
+  if steps <= 0 then invalid_arg "Ode: requires steps > 0";
+  if t1 < t0 then invalid_arg "Ode: requires t1 >= t0"
+
+let integrate method_ f ~t0 ~t1 ~steps y0 =
+  check_interval ~t0 ~t1 ~steps;
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let y = ref (Array.copy y0) in
+  for k = 0 to steps - 1 do
+    let t = t0 +. (float_of_int k *. dt) in
+    y := step method_ f ~t ~dt !y
+  done;
+  !y
+
+let trajectory method_ f ~t0 ~t1 ~steps y0 =
+  check_interval ~t0 ~t1 ~steps;
+  let dt = (t1 -. t0) /. float_of_int steps in
+  let out = Array.make (steps + 1) (t0, Array.copy y0) in
+  let y = ref (Array.copy y0) in
+  for k = 1 to steps do
+    let t = t0 +. (float_of_int (k - 1) *. dt) in
+    y := step method_ f ~t ~dt !y;
+    out.(k) <- (t +. dt, Array.copy !y)
+  done;
+  out
+
+(* Fehlberg 4(5) Butcher tableau. *)
+let rkf45 f ~t0 ~t1 ~tol ?dt0 ?(max_steps = 1_000_000) y0 =
+  if t1 < t0 then invalid_arg "Ode.rkf45: requires t1 >= t0";
+  if tol <= 0. then invalid_arg "Ode.rkf45: requires tol > 0";
+  if t1 = t0 then Array.copy y0
+  else begin
+    let dt = ref (Option.value dt0 ~default:((t1 -. t0) /. 100.)) in
+    let t = ref t0 in
+    let y = ref (Array.copy y0) in
+    let steps = ref 0 in
+    let combine coefficients =
+      Array.mapi
+        (fun i yi ->
+          let acc = ref yi in
+          List.iter (fun (c, (k : float array)) -> acc := !acc +. (!dt *. c *. k.(i)))
+            coefficients;
+          !acc)
+        !y
+    in
+    while !t < t1 do
+      incr steps;
+      if !steps > max_steps then failwith "Ode.rkf45: max step count exceeded";
+      if !t +. !dt > t1 then dt := t1 -. !t;
+      let k1 = f ~t:!t ~y:!y in
+      let k2 = f ~t:(!t +. (0.25 *. !dt)) ~y:(combine [ (0.25, k1) ]) in
+      let k3 =
+        f
+          ~t:(!t +. (3. /. 8. *. !dt))
+          ~y:(combine [ (3. /. 32., k1); (9. /. 32., k2) ])
+      in
+      let k4 =
+        f
+          ~t:(!t +. (12. /. 13. *. !dt))
+          ~y:
+            (combine
+               [ (1932. /. 2197., k1); (-7200. /. 2197., k2);
+                 (7296. /. 2197., k3) ])
+      in
+      let k5 =
+        f ~t:(!t +. !dt)
+          ~y:
+            (combine
+               [ (439. /. 216., k1); (-8., k2); (3680. /. 513., k3);
+                 (-845. /. 4104., k4) ])
+      in
+      let k6 =
+        f
+          ~t:(!t +. (0.5 *. !dt))
+          ~y:
+            (combine
+               [ (-8. /. 27., k1); (2., k2); (-3544. /. 2565., k3);
+                 (1859. /. 4104., k4); (-11. /. 40., k5) ])
+      in
+      let y4 =
+        combine
+          [ (25. /. 216., k1); (1408. /. 2565., k3); (2197. /. 4104., k4);
+            (-1. /. 5., k5) ]
+      in
+      let y5 =
+        combine
+          [ (16. /. 135., k1); (6656. /. 12825., k3); (28561. /. 56430., k4);
+            (-9. /. 50., k5); (2. /. 55., k6) ]
+      in
+      let scale = 1. +. Vec.norm_inf !y in
+      let error = Vec.max_abs_diff y4 y5 /. scale in
+      if error <= tol || !dt <= 1e-14 *. (t1 -. t0) then begin
+        t := !t +. !dt;
+        y := y5
+      end;
+      (* Standard step-size controller with safety factor. *)
+      let factor =
+        if error = 0. then 2.
+        else Float.min 2. (Float.max 0.2 (0.9 *. ((tol /. error) ** 0.25)))
+      in
+      dt := !dt *. factor
+    done;
+    !y
+  end

@@ -1,0 +1,33 @@
+(** Explicit ODE steppers over [float array] states.
+
+    The paper cross-checks the randomization solver against "a numerical
+    ODE solver (working based on eq. 6 using trapezoid rule)"; {!heun} is
+    that comparator (the explicit trapezoidal predictor–corrector), with
+    Euler, RK4 and adaptive RKF45 alongside for convergence studies. *)
+
+type rhs = t:float -> y:float array -> float array
+(** Vector field [dy/dt = f(t, y)]. Must not mutate [y]. *)
+
+type method_ = Euler | Heun | Rk4
+
+val step : method_ -> rhs -> t:float -> dt:float -> float array -> float array
+(** One explicit step of size [dt]. *)
+
+val integrate :
+  method_ -> rhs -> t0:float -> t1:float -> steps:int -> float array ->
+  float array
+(** Fixed-step integration from [t0] to [t1] in [steps] equal steps.
+    @raise Invalid_argument if [steps <= 0] or [t1 < t0]. *)
+
+val trajectory :
+  method_ -> rhs -> t0:float -> t1:float -> steps:int -> float array ->
+  (float * float array) array
+(** Like {!integrate} but retaining every grid point (including [t0]). *)
+
+val rkf45 :
+  rhs -> t0:float -> t1:float -> tol:float -> ?dt0:float ->
+  ?max_steps:int -> float array -> float array
+(** Adaptive Runge–Kutta–Fehlberg 4(5) with a per-step error target [tol]
+    (mixed absolute/relative).
+    @raise Failure if the step count exceeds [max_steps] (default
+    1_000_000). *)

@@ -1,0 +1,90 @@
+let check name ~a ~b ~n =
+  if n <= 0 then invalid_arg (Printf.sprintf "Quadrature.%s: n > 0" name);
+  if b < a then invalid_arg (Printf.sprintf "Quadrature.%s: b >= a" name)
+
+let trapezoid ~f ~a ~b ~n =
+  check "trapezoid" ~a ~b ~n;
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (0.5 *. (f a +. f b)) in
+  for k = 1 to n - 1 do
+    acc := !acc +. f (a +. (float_of_int k *. h))
+  done;
+  !acc *. h
+
+let simpson ~f ~a ~b ~n =
+  check "simpson" ~a ~b ~n;
+  let n = if n mod 2 = 1 then n + 1 else n in
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for k = 1 to n - 1 do
+    let w = if k mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (a +. (float_of_int k *. h)))
+  done;
+  !acc *. h /. 3.
+
+let midpoint ~f ~a ~b ~n =
+  check "midpoint" ~a ~b ~n;
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. f (a +. ((float_of_int k +. 0.5) *. h))
+  done;
+  !acc *. h
+
+(* 5-point Gauss-Legendre nodes/weights on [-1, 1]. *)
+let gl5_nodes =
+  [| -0.9061798459386640; -0.5384693101056831; 0.;
+     0.5384693101056831; 0.9061798459386640 |]
+
+let gl5_weights =
+  [| 0.2369268850561891; 0.4786286704993665; 0.5688888888888889;
+     0.4786286704993665; 0.2369268850561891 |]
+
+let gauss_legendre ~f ~a ~b ~n =
+  check "gauss_legendre" ~a ~b ~n;
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    let left = a +. (float_of_int k *. h) in
+    let center = left +. (h /. 2.) and half = h /. 2. in
+    for p = 0 to 4 do
+      acc := !acc +. (gl5_weights.(p) *. f (center +. (half *. gl5_nodes.(p))))
+    done
+  done;
+  !acc *. (b -. a) /. float_of_int n /. 2.
+
+let adaptive_simpson ?(max_depth = 40) ~f ~a ~b ~tol () =
+  if b < a then invalid_arg "Quadrature.adaptive_simpson: b >= a";
+  if tol <= 0. then invalid_arg "Quadrature.adaptive_simpson: tol > 0";
+  let simpson_panel fa fm fb a b = (b -. a) /. 6. *. (fa +. (4. *. fm) +. fb) in
+  let rec go a b fa fm fb whole tol depth =
+    let m = 0.5 *. (a +. b) in
+    let lm = 0.5 *. (a +. m) and rm = 0.5 *. (m +. b) in
+    let flm = f lm and frm = f rm in
+    let left = simpson_panel fa flm fm a m in
+    let right = simpson_panel fm frm fb m b in
+    let refined = left +. right in
+    if depth <= 0 || abs_float (refined -. whole) <= 15. *. tol then
+      refined +. ((refined -. whole) /. 15.)
+    else
+      go a m fa flm fm left (tol /. 2.) (depth - 1)
+      +. go m b fm frm fb right (tol /. 2.) (depth - 1)
+  in
+  if a = b then 0.
+  else begin
+    (* Pre-split into panels so narrow features away from the global
+       midpoint cannot hide from the first refinement test. *)
+    let panels = 16 in
+    let h = (b -. a) /. float_of_int panels in
+    let acc = ref 0. in
+    for k = 0 to panels - 1 do
+      let left = a +. (float_of_int k *. h) in
+      let right = left +. h in
+      let fa = f left and fb = f right and fm = f (0.5 *. (left +. right)) in
+      let whole = simpson_panel fa fm fb left right in
+      acc :=
+        !acc
+        +. go left right fa fm fb whole (tol /. float_of_int panels) max_depth
+    done;
+    !acc
+  end

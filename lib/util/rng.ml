@@ -1,0 +1,107 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  (* Spare deviate for the polar method. *)
+  mutable cached_normal : float;
+  mutable has_cached_normal : bool;
+}
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let default_seed = 0x5DEECE66DL
+
+let create ?(seed = default_seed) () =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_normal = 0.; has_cached_normal = false }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ step. *)
+let next rng =
+  let open Int64 in
+  let result = add (rotl (add rng.s0 rng.s3) 23) rng.s0 in
+  let t = shift_left rng.s1 17 in
+  rng.s2 <- logxor rng.s2 rng.s0;
+  rng.s3 <- logxor rng.s3 rng.s1;
+  rng.s1 <- logxor rng.s1 rng.s2;
+  rng.s0 <- logxor rng.s0 rng.s3;
+  rng.s2 <- logxor rng.s2 t;
+  rng.s3 <- rotl rng.s3 45;
+  result
+
+let split rng =
+  let state = ref (next rng) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_normal = 0.; has_cached_normal = false }
+
+let uniform rng =
+  (* Top 53 bits to a float in [0, 1). *)
+  let bits = Int64.shift_right_logical (next rng) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let rec uniform_pos rng =
+  let u = uniform rng in
+  if u > 0. then u else uniform_pos rng
+
+let rec normal rng =
+  if rng.has_cached_normal then begin
+    rng.has_cached_normal <- false;
+    rng.cached_normal
+  end
+  else begin
+    let u = (2. *. uniform rng) -. 1. in
+    let v = (2. *. uniform rng) -. 1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then normal rng
+    else begin
+      let scale = sqrt (-2. *. log s /. s) in
+      rng.cached_normal <- v *. scale;
+      rng.has_cached_normal <- true;
+      u *. scale
+    end
+  end
+
+let gaussian rng ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Rng.gaussian: requires sigma >= 0";
+  mu +. (sigma *. normal rng)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: requires rate > 0";
+  -.log (uniform_pos rng) /. rate
+
+let int_below rng bound =
+  if bound <= 0 then invalid_arg "Rng.int_below: requires bound > 0";
+  int_of_float (uniform rng *. float_of_int bound)
+
+let categorical rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then
+    invalid_arg "Rng.categorical: weights must have a positive sum";
+  let target = uniform rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else begin
+      let w = weights.(i) in
+      if w < 0. then invalid_arg "Rng.categorical: negative weight";
+      let acc = acc +. w in
+      if target < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    xoshiro256++ seeded through splitmix64; explicit state so simulations
+    are reproducible and independent streams are cheap. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh generator. The default seed is a fixed constant so every run of
+    the test/bench suites is reproducible. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing) the
+    argument; used to give each simulation replica its own stream. *)
+
+val uniform : t -> float
+(** Uniform on [0, 1) with 53-bit resolution. *)
+
+val uniform_pos : t -> float
+(** Uniform on (0, 1): never returns exactly 0, safe under [log]. *)
+
+val normal : t -> float
+(** Standard normal deviate (Marsaglia polar method). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal with given mean and standard deviation ([sigma >= 0]). *)
+
+val exponential : t -> rate:float -> float
+(** Exponential with the given rate. @raise Invalid_argument if
+    [rate <= 0]. *)
+
+val int_below : t -> int -> int
+(** Uniform integer in [0, bound); [bound > 0]. *)
+
+val categorical : t -> float array -> int
+(** [categorical rng weights] draws index [i] with probability proportional
+    to [weights.(i)]; weights must be non-negative with a positive sum. *)

@@ -1,0 +1,181 @@
+(* Hand-rolled special functions: no numeric ecosystem is available in this
+   environment, so the classical approximations are implemented directly. *)
+
+let lanczos_g = 7.0
+
+(* Lanczos coefficients for g = 7, n = 9 (Godfrey/Pugh). *)
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: requires x > 0";
+  if x < 0.5 then
+    (* Reflection formula keeps accuracy near 0. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2. *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t
+    +. log !acc
+  end
+
+let log_factorial_table =
+  let table = Array.make 171 0. in
+  let acc = ref 0. in
+  for n = 1 to 170 do
+    acc := !acc +. log (float_of_int n);
+    table.(n) <- !acc
+  done;
+  table
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: requires n >= 0";
+  if n <= 170 then log_factorial_table.(n)
+  else log_gamma (float_of_int n +. 1.)
+
+let factorial n =
+  if n < 0 then invalid_arg "Special.factorial: requires n >= 0";
+  if n > 170 then infinity
+  else begin
+    let acc = ref 1. in
+    for i = 2 to n do
+      acc := !acc *. float_of_int i
+    done;
+    !acc
+  end
+
+let binomial n k =
+  if k < 0 || k > n || n < 0 then 0.
+  else if n <= 170 then factorial n /. (factorial k *. factorial (n - k))
+  else exp (log_factorial n -. log_factorial k -. log_factorial (n - k))
+
+(* erfc via the continued-fraction-free rational approximation of
+   W. J. Cody's algorithm as popularized in Numerical Recipes (erfccheb has
+   ~1.2e-7; we instead use the higher-accuracy series/CF split below). *)
+
+(* Series expansion of erf, accurate for |x| <= 2. *)
+let erf_series x =
+  let x2 = x *. x in
+  let term = ref x and sum = ref x and n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr n;
+    let nf = float_of_int !n in
+    term := !term *. (-.x2) /. nf;
+    let contribution = !term /. ((2. *. nf) +. 1.) in
+    sum := !sum +. contribution;
+    if abs_float contribution <= 1e-17 *. abs_float !sum || !n > 200 then
+      continue := false
+  done;
+  2. /. sqrt Float.pi *. !sum
+
+(* Continued fraction for erfc, accurate for x >= 2 (Lentz's algorithm). *)
+let erfc_continued_fraction x =
+  let tiny = 1e-300 in
+  let b0 = x in
+  let f = ref (if b0 = 0. then tiny else b0) in
+  let c = ref !f and d = ref 0. in
+  (* erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + 1/2/(x + 1/(x + 3/2/(x + ...))))*)
+  let iter = ref 0 and continue = ref true in
+  while !continue do
+    incr iter;
+    let a = float_of_int !iter /. 2. in
+    let b = x in
+    d := b +. (a *. !d);
+    if !d = 0. then d := tiny;
+    c := b +. (a /. !c);
+    if !c = 0. then c := tiny;
+    d := 1. /. !d;
+    let delta = !c *. !d in
+    f := !f *. delta;
+    if abs_float (delta -. 1.) < 1e-16 || !iter > 300 then continue := false
+  done;
+  exp (-.(x *. x)) /. sqrt Float.pi /. !f
+
+let rec erfc x =
+  if x < 0. then 2. -. erfc_of_nonneg (-.x)
+  else erfc_of_nonneg x
+
+and erfc_of_nonneg x =
+  if x < 2. then 1. -. erf_series x else erfc_continued_fraction x
+
+let erf x = if abs_float x < 2. then erf_series x else 1. -. erfc x
+
+let sqrt2 = sqrt 2.
+
+let normal_pdf ~mu ~sigma x =
+  if sigma <= 0. then invalid_arg "Special.normal_pdf: requires sigma > 0";
+  let z = (x -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt (2. *. Float.pi))
+
+let normal_cdf ~mu ~sigma x =
+  if sigma <= 0. then invalid_arg "Special.normal_cdf: requires sigma > 0";
+  let z = (x -. mu) /. (sigma *. sqrt2) in
+  0.5 *. erfc (-.z)
+
+(* Acklam's rational approximation for the standard normal quantile,
+   refined with one Halley step against our high-accuracy CDF. *)
+let normal_quantile p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Special.normal_quantile: requires 0 < p < 1";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q
+      +. c.(5))
+      /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+    end
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+       *. r
+      +. a.(5))
+      *. q
+      /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r
+           +. b.(4))
+          *. r
+         +. 1.)
+    end
+    else begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q
+          +. c.(4))
+          *. q
+         +. c.(5))
+         /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.))
+    end
+  in
+  (* One Halley refinement step using the accurate cdf/pdf. *)
+  let e = normal_cdf ~mu:0. ~sigma:1. x -. p in
+  let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let log_poisson_pmf ~lambda k =
+  if lambda < 0. then invalid_arg "Special.log_poisson_pmf: lambda >= 0";
+  if k < 0 then invalid_arg "Special.log_poisson_pmf: k >= 0";
+  if lambda = 0. then (if k = 0 then 0. else neg_infinity)
+  else (float_of_int k *. log lambda) -. lambda -. log_factorial k

@@ -1,0 +1,40 @@
+(** Special mathematical functions used throughout the library.
+
+    All functions operate on IEEE-754 binary64 and are accurate to roughly
+    1e-13 relative error unless stated otherwise. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [log (Gamma x)] for [x > 0] (Lanczos approximation).
+    @raise Invalid_argument if [x <= 0]. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [log n!]; exact table for small [n], [log_gamma]
+    otherwise. @raise Invalid_argument if [n < 0]. *)
+
+val factorial : int -> float
+(** [factorial n] as a float; overflows to [infinity] for [n > 170]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] is the binomial coefficient as a float; [0.] outside the
+    triangle. *)
+
+val erf : float -> float
+(** Error function, accurate to ~1e-15 (Abramowitz–Stegun 7.1.26 refined via
+    erfc continued fraction for large arguments). *)
+
+val erfc : float -> float
+(** Complementary error function, non-underflowing for moderate arguments. *)
+
+val normal_pdf : mu:float -> sigma:float -> float -> float
+(** Density of N(mu, sigma^2) at a point. [sigma > 0]. *)
+
+val normal_cdf : mu:float -> sigma:float -> float -> float
+(** CDF of N(mu, sigma^2) at a point. [sigma > 0]. *)
+
+val normal_quantile : float -> float
+(** Inverse CDF of the standard normal (Acklam's algorithm, ~1e-9 absolute).
+    @raise Invalid_argument unless the argument lies in (0, 1). *)
+
+val log_poisson_pmf : lambda:float -> int -> float
+(** [log_poisson_pmf ~lambda k] is [log (e^-lambda lambda^k / k!)], computed
+    in log space; valid for very large [lambda]. [lambda >= 0], [k >= 0]. *)

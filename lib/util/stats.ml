@@ -1,0 +1,102 @@
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then
+    invalid_arg (Printf.sprintf "Stats.%s: empty sample" name)
+
+let mean xs =
+  check_nonempty "mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+(* Two-pass algorithm: accurate enough and simple. *)
+let variance xs =
+  check_nonempty "variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let summarize xs =
+  check_nonempty "summarize" xs;
+  let v = variance xs in
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    variance = v;
+    std_dev = sqrt v;
+    min = Array.fold_left Float.min infinity xs;
+    max = Array.fold_left Float.max neg_infinity xs;
+  }
+
+let powi x n =
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (acc *. base) (base *. base) (n asr 1)
+    else go acc (base *. base) (n asr 1)
+  in
+  if n < 0 then invalid_arg "Stats.powi: negative exponent" else go 1. x n
+
+let raw_moment n xs =
+  check_nonempty "raw_moment" xs;
+  let acc = ref 0. in
+  Array.iter (fun x -> acc := !acc +. powi x n) xs;
+  !acc /. float_of_int (Array.length xs)
+
+let central_moment n xs =
+  check_nonempty "central_moment" xs;
+  let m = mean xs in
+  let acc = ref 0. in
+  Array.iter (fun x -> acc := !acc +. powi (x -. m) n) xs;
+  !acc /. float_of_int (Array.length xs)
+
+let mean_confidence_interval ~confidence xs =
+  if not (confidence > 0. && confidence < 1.) then
+    invalid_arg "Stats.mean_confidence_interval: confidence in (0,1)";
+  let n = Array.length xs in
+  if n < 2 then
+    invalid_arg "Stats.mean_confidence_interval: needs >= 2 samples";
+  let m = mean xs in
+  let se = sqrt (variance xs /. float_of_int n) in
+  let z = Special.normal_quantile (1. -. ((1. -. confidence) /. 2.)) in
+  (m -. (z *. se), m +. (z *. se))
+
+let raw_moment_confidence_interval ~confidence order xs =
+  let powered = Array.map (fun x -> powi x order) xs in
+  mean_confidence_interval ~confidence powered
+
+let quantile p xs =
+  check_nonempty "quantile" xs;
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Stats.quantile: p must lie in [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let position = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor position) in
+  let hi = int_of_float (ceil position) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = position -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let empirical_cdf xs x =
+  check_nonempty "empirical_cdf" xs;
+  let count = ref 0 in
+  Array.iter (fun v -> if v <= x then incr count) xs;
+  float_of_int !count /. float_of_int (Array.length xs)

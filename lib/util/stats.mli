@@ -1,0 +1,37 @@
+(** Descriptive statistics over float samples, including the confidence
+    intervals the simulation baseline reports. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance *)
+  std_dev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** @raise Invalid_argument on the empty array. *)
+
+val mean : float array -> float
+val variance : float array -> float
+
+val raw_moment : int -> float array -> float
+(** [raw_moment n xs] is the sample estimate of [E[X^n]]. *)
+
+val central_moment : int -> float array -> float
+
+val mean_confidence_interval : confidence:float -> float array -> float * float
+(** Normal-approximation CI for the mean: [(lo, hi)].
+    [confidence] in (0, 1), e.g. [0.95]. Requires at least two samples. *)
+
+val raw_moment_confidence_interval :
+  confidence:float -> int -> float array -> float * float
+(** CI for [E[X^n]] treating [X^n] samples as i.i.d. observations. *)
+
+val quantile : float -> float array -> float
+(** Empirical quantile (linear interpolation); argument in [0, 1].
+    Does not modify its input. *)
+
+val empirical_cdf : float array -> float -> float
+(** [empirical_cdf xs x] is the fraction of samples [<= x]. *)

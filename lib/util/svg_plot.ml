@@ -1,0 +1,195 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+  style : [ `Line | `Dashed | `Points ];
+}
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#17becf"; "#7f7f7f" |]
+
+(* Pick "nice" tick spacing: 1, 2 or 5 times a power of ten. *)
+let nice_step range target_ticks =
+  if range <= 0. then 1.
+  else begin
+    let raw = range /. float_of_int target_ticks in
+    let magnitude = 10. ** floor (log10 raw) in
+    let residual = raw /. magnitude in
+    let factor =
+      if residual < 1.5 then 1. else if residual < 3.5 then 2.
+      else if residual < 7.5 then 5. else 10.
+    in
+    factor *. magnitude
+  end
+
+let data_range series =
+  let x_min = ref infinity and x_max = ref neg_infinity in
+  let y_min = ref infinity and y_max = ref neg_infinity in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          x_min := Float.min !x_min x;
+          x_max := Float.max !x_max x;
+          y_min := Float.min !y_min y;
+          y_max := Float.max !y_max y)
+        s.points)
+    series;
+  if !x_min > !x_max then
+    invalid_arg "Svg_plot.render: no data points";
+  (* Widen degenerate ranges, pad by 5%. *)
+  let widen lo hi =
+    if hi -. lo < 1e-12 then (lo -. 0.5 -. abs_float lo, hi +. 0.5 +. abs_float hi)
+    else begin
+      let pad = 0.05 *. (hi -. lo) in
+      (lo -. pad, hi +. pad)
+    end
+  in
+  let x_lo, x_hi = widen !x_min !x_max in
+  let y_lo, y_hi = widen !y_min !y_max in
+  (x_lo, x_hi, y_lo, y_hi)
+
+let format_tick v =
+  if abs_float v < 1e-12 then "0"
+  else if abs_float v >= 10000. || abs_float v < 0.01 then
+    Printf.sprintf "%.1e" v
+  else Printf.sprintf "%.4g" v
+
+let render ?(width = 640) ?(height = 420) ~title ~x_label ~y_label series =
+  let x_lo, x_hi, y_lo, y_hi = data_range series in
+  let margin_left = 70 and margin_right = 20 in
+  let margin_top = 40 and margin_bottom = 55 in
+  let plot_w = float_of_int (width - margin_left - margin_right) in
+  let plot_h = float_of_int (height - margin_top - margin_bottom) in
+  let sx x =
+    float_of_int margin_left +. ((x -. x_lo) /. (x_hi -. x_lo) *. plot_w)
+  in
+  let sy y =
+    float_of_int margin_top +. ((y_hi -. y) /. (y_hi -. y_lo) *. plot_h)
+  in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    width height width height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  out
+    "<text x=\"%d\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">%s</text>\n"
+    (width / 2) title;
+  (* Axes box. *)
+  out
+    "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"none\" \
+     stroke=\"black\" stroke-width=\"1\"/>\n"
+    margin_left margin_top plot_w plot_h;
+  (* Ticks and grid. *)
+  let x_step = nice_step (x_hi -. x_lo) 6 in
+  let x_start = Float.round (x_lo /. x_step) *. x_step in
+  let tick = ref x_start in
+  while !tick <= x_hi +. 1e-12 do
+    if !tick >= x_lo -. 1e-12 then begin
+      let px = sx !tick in
+      out
+        "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%.0f\" \
+         stroke=\"#dddddd\"/>\n"
+        px margin_top px
+        (float_of_int margin_top +. plot_h);
+      out
+        "<text x=\"%.1f\" y=\"%.0f\" font-size=\"11\" \
+         text-anchor=\"middle\">%s</text>\n"
+        px
+        (float_of_int margin_top +. plot_h +. 16.)
+        (format_tick !tick)
+    end;
+    tick := !tick +. x_step
+  done;
+  let y_step = nice_step (y_hi -. y_lo) 6 in
+  let y_start = Float.round (y_lo /. y_step) *. y_step in
+  let tick = ref y_start in
+  while !tick <= y_hi +. 1e-12 do
+    if !tick >= y_lo -. 1e-12 then begin
+      let py = sy !tick in
+      out
+        "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.0f\" y2=\"%.1f\" \
+         stroke=\"#dddddd\"/>\n"
+        margin_left py
+        (float_of_int margin_left +. plot_w)
+        py;
+      out
+        "<text x=\"%d\" y=\"%.1f\" font-size=\"11\" \
+         text-anchor=\"end\">%s</text>\n"
+        (margin_left - 6) (py +. 4.) (format_tick !tick)
+    end;
+    tick := !tick +. y_step
+  done;
+  (* Axis labels. *)
+  out
+    "<text x=\"%d\" y=\"%d\" font-size=\"13\" text-anchor=\"middle\">%s</text>\n"
+    (margin_left + int_of_float (plot_w /. 2.))
+    (height - 12) x_label;
+  out
+    "<text x=\"16\" y=\"%d\" font-size=\"13\" text-anchor=\"middle\" \
+     transform=\"rotate(-90 16 %d)\">%s</text>\n"
+    (margin_top + int_of_float (plot_h /. 2.))
+    (margin_top + int_of_float (plot_h /. 2.))
+    y_label;
+  (* Series. *)
+  List.iteri
+    (fun index s ->
+      let color = palette.(index mod Array.length palette) in
+      (match s.style with
+      | `Points ->
+          List.iter
+            (fun (x, y) ->
+              out
+                "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"2.5\" fill=\"%s\"/>\n"
+                (sx x) (sy y) color)
+            s.points
+      | (`Line | `Dashed) as style ->
+          let dash =
+            match style with `Dashed -> " stroke-dasharray=\"6 4\"" | _ -> ""
+          in
+          let coordinates =
+            String.concat " "
+              (List.map
+                 (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (sx x) (sy y))
+                 s.points)
+          in
+          out
+            "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+             stroke-width=\"1.8\"%s/>\n"
+            coordinates color dash);
+      (* Legend entry. *)
+      let ly = margin_top + 8 + (index * 18) in
+      out
+        "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+         stroke-width=\"2\"/>\n"
+        (width - margin_right - 120)
+        ly
+        (width - margin_right - 95)
+        ly color;
+      out
+        "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n"
+        (width - margin_right - 90)
+        (ly + 4) s.label)
+    series;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ~path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let csv ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (List.map (Printf.sprintf "%.10g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Self-contained SVG line/step plots, so the benchmark harness can emit
+    actual figure files for each reproduced figure (no external plotting
+    dependency exists in this environment).
+
+    Produces standalone SVG 1.1 with axes, tick labels, a legend and one
+    polyline per series. Good enough to eyeball against the paper's
+    figures; the numeric series also go to CSV (see {!csv}). *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+  style : [ `Line | `Dashed | `Points ];
+}
+
+val render :
+  ?width:int -> ?height:int -> title:string -> x_label:string ->
+  y_label:string -> series list -> string
+(** SVG document as a string. Ranges are computed from the data with 5%
+    padding; degenerate (constant) ranges are widened symmetrically.
+    @raise Invalid_argument if no series has at least one point. *)
+
+val write_file : path:string -> string -> unit
+(** Write a rendered document (creates/truncates the file). *)
+
+val csv : header:string list -> float list list -> string
+(** Comma-separated rendering of rows of floats with a header line. *)

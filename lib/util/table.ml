@@ -1,0 +1,44 @@
+let float_cell x =
+  if Float.is_integer x && abs_float x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let render ~header rows =
+  let all = header :: rows in
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make columns 0 in
+  let record row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter record all;
+  let buf = Buffer.create 256 in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let total =
+    Array.fold_left ( + ) 0 widths + (2 * (max 0 (columns - 1)))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let render_series ~title ~x_label ~columns data =
+  let header = x_label :: columns in
+  let rows =
+    List.map
+      (fun (x, ys) -> float_cell x :: List.map float_cell ys)
+      data
+  in
+  Printf.sprintf "== %s ==\n%s" title (render ~header rows)

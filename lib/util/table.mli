@@ -1,0 +1,15 @@
+(** Plain-text rendering of tables and data series for the benchmark
+    harness, mirroring the rows/series the paper's tables and figures
+    report. *)
+
+val render : header:string list -> string list list -> string
+(** Aligned ASCII table with a header row and a separator line. *)
+
+val render_series :
+  title:string -> x_label:string -> columns:string list ->
+  (float * float list) list -> string
+(** A figure reproduced as text: one row per x-value, one column per curve.
+    Floats are printed with 6 significant digits. *)
+
+val float_cell : float -> string
+(** Canonical float formatting used by both renderers. *)

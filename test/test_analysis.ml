@@ -1,0 +1,570 @@
+(* Tests for the second wave of analysis features: shared-sweep
+   randomization, quantile bounds, joint (final-state) moments and reward
+   covariance, inhomogeneous models, quadrature and SVG/CSV rendering. *)
+
+module Model = Mrm_core.Model
+module Randomization = Mrm_core.Randomization
+module Joint_moments = Mrm_core.Joint_moments
+module Moment_bounds = Mrm_core.Moment_bounds
+module Inhomogeneous = Mrm_core.Inhomogeneous
+module Generator = Mrm_ctmc.Generator
+module Transient = Mrm_ctmc.Transient
+module Dense = Mrm_linalg.Dense
+module Vec = Mrm_linalg.Vec
+module Quadrature = Mrm_util.Quadrature
+module Svg_plot = Mrm_util.Svg_plot
+module Special = Mrm_util.Special
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+let generator2 = Generator.of_triplets ~states:2 [ (0, 1, 2.); (1, 0, 3.) ]
+
+let model2 =
+  Model.make ~generator:generator2 ~rates:[| 2.0; -1.0 |]
+    ~variances:[| 0.5; 1.5 |] ~initial:[| 0.7; 0.3 |]
+
+(* ------------------------------------------------------------------ *)
+(* Shared-sweep randomization                                           *)
+
+let test_shared_sweep_matches_pointwise () =
+  let times = [| 0.0; 0.3; 0.9; 2.0 |] in
+  let shared = Randomization.moments_at_times model2 ~times ~order:3 in
+  Array.iteri
+    (fun k t ->
+      let independent = Randomization.moments model2 ~t ~order:3 in
+      for n = 0 to 3 do
+        for i = 0 to 1 do
+          check_close ~tol:1e-10
+            (Printf.sprintf "t=%g n=%d i=%d" t n i)
+            independent.Randomization.moments.(n).(i)
+            shared.(k).Randomization.moments.(n).(i)
+        done
+      done)
+    times
+
+let test_shared_sweep_diagnostics_per_time () =
+  let times = [| 0.2; 2.0 |] in
+  let shared = Randomization.moments_at_times model2 ~times ~order:2 in
+  Alcotest.(check bool) "later time, more iterations" true
+    (shared.(1).Randomization.diagnostics.iterations
+    > shared.(0).Randomization.diagnostics.iterations)
+
+let test_shared_sweep_degenerate_inputs () =
+  (* All-zero horizon falls back to pointwise closed forms. *)
+  let shared = Randomization.moments_at_times model2 ~times:[| 0. |] ~order:2 in
+  check_close "m0" 1. shared.(0).Randomization.moments.(0).(0);
+  check_close "m2" 0. shared.(0).Randomization.moments.(2).(1);
+  (* Empty time array is fine. *)
+  Alcotest.(check int) "empty times" 0
+    (Array.length (Randomization.moments_at_times model2 ~times:[||] ~order:1))
+
+(* ------------------------------------------------------------------ *)
+(* Quantile bounds                                                      *)
+
+let test_quantile_bounds_exponential () =
+  let moments = Array.init 12 (fun k -> Special.factorial k) in
+  let b = Moment_bounds.prepare moments in
+  List.iter
+    (fun p ->
+      let lo, hi = Moment_bounds.quantile_bounds b p in
+      let truth = -.log (1. -. p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "quantile %g bracketed" p)
+        true
+        (lo <= truth +. 1e-6 && truth <= hi +. 1e-6);
+      Alcotest.(check bool) "ordered" true (lo <= hi))
+    [ 0.1; 0.25; 0.5; 0.75; 0.9 ]
+
+let test_quantile_bounds_monotone_in_p () =
+  let moments = Array.init 10 (fun k -> 1. /. float_of_int (k + 1)) in
+  let b = Moment_bounds.prepare moments in
+  let lo1, _ = Moment_bounds.quantile_bounds b 0.2 in
+  let lo2, _ = Moment_bounds.quantile_bounds b 0.8 in
+  Alcotest.(check bool) "monotone" true (lo2 >= lo1)
+
+let test_quantile_bounds_invalid () =
+  let moments = Array.init 8 (fun k -> Special.factorial k) in
+  let b = Moment_bounds.prepare moments in
+  match Moment_bounds.quantile_bounds b 0. with
+  | _ -> Alcotest.fail "p = 0 rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Joint moments and covariance                                         *)
+
+let test_joint_row_sums_recover_v () =
+  let t = 0.9 in
+  let mats = Joint_moments.matrices model2 ~t ~order:3 in
+  let reference = Randomization.moments model2 ~t ~order:3 in
+  for n = 0 to 3 do
+    for i = 0 to 1 do
+      let row_sum = Dense.get mats.(n) i 0 +. Dense.get mats.(n) i 1 in
+      check_close ~tol:1e-9
+        (Printf.sprintf "row sum n=%d i=%d" n i)
+        reference.Randomization.moments.(n).(i)
+        row_sum
+    done
+  done
+
+let test_joint_order0_is_transient_matrix () =
+  let t = 0.7 in
+  let mats = Joint_moments.matrices model2 ~t ~order:0 in
+  let from0 = Transient.probabilities generator2 ~initial:[| 1.; 0. |] ~t in
+  let from1 = Transient.probabilities generator2 ~initial:[| 0.; 1. |] ~t in
+  check_close ~tol:1e-10 "p00" from0.(0) (Dense.get mats.(0) 0 0);
+  check_close ~tol:1e-10 "p01" from0.(1) (Dense.get mats.(0) 0 1);
+  check_close ~tol:1e-10 "p10" from1.(0) (Dense.get mats.(0) 1 0);
+  check_close ~tol:1e-10 "p11" from1.(1) (Dense.get mats.(0) 1 1)
+
+let test_joint_time_zero () =
+  let mats = Joint_moments.matrices model2 ~t:0. ~order:2 in
+  check_close "identity" 1. (Dense.get mats.(0) 0 0);
+  check_close "no reward" 0. (Dense.get mats.(1) 0 0);
+  check_close "off-diagonal" 0. (Dense.get mats.(0) 0 1)
+
+let test_joint_no_transitions () =
+  let g = Generator.of_triplets ~states:2 [] in
+  let m =
+    Model.make ~generator:g ~rates:[| 1.; 2. |] ~variances:[| 0.5; 0. |]
+      ~initial:[| 0.5; 0.5 |]
+  in
+  let mats = Joint_moments.matrices m ~t:2. ~order:2 in
+  (* Z never moves: off-diagonals 0, diagonals hold Brownian moments. *)
+  check_close "diag m1 state 0" 2. (Dense.get mats.(1) 0 0);
+  check_close "diag m1 state 1" 4. (Dense.get mats.(1) 1 1);
+  check_close "offdiag" 0. (Dense.get mats.(1) 0 1);
+  check_close "diag m2 state 0" (4. +. 1.) (Dense.get mats.(2) 0 0)
+
+let test_joint_decomposition_sums_to_moment () =
+  let t = 1.1 in
+  let per_state = Joint_moments.reward_with_final_state model2 ~t ~order:2 in
+  check_close ~tol:1e-9 "decomposition total"
+    (Randomization.moment model2 ~t ~order:2)
+    (Vec.sum per_state)
+
+let test_covariance_at_equal_times_is_variance () =
+  let t = 0.8 in
+  check_close ~tol:1e-10 "cov(t,t) = var"
+    (Randomization.variance model2 ~t)
+    (Joint_moments.covariance model2 ~t1:t ~t2:t)
+
+let test_covariance_symmetric_in_arguments () =
+  check_close ~tol:1e-10 "symmetry"
+    (Joint_moments.covariance model2 ~t1:0.5 ~t2:1.2)
+    (Joint_moments.covariance model2 ~t1:1.2 ~t2:0.5)
+
+let test_covariance_vs_brownian_closed_form () =
+  (* Uniform rewards: B is Brownian, so Cov(B(s), B(t)) = sigma^2 min(s,t). *)
+  let m =
+    Model.make ~generator:generator2 ~rates:[| 1.; 1. |]
+      ~variances:[| 0.8; 0.8 |] ~initial:[| 1.; 0. |]
+  in
+  check_close ~tol:1e-8 "Brownian covariance" (0.8 *. 0.5)
+    (Joint_moments.covariance m ~t1:0.5 ~t2:1.7)
+
+let test_correlation_range_and_decay () =
+  let c_near = Joint_moments.correlation model2 ~t1:1.0 ~t2:1.1 in
+  let c_far = Joint_moments.correlation model2 ~t1:1.0 ~t2:40.0 in
+  Alcotest.(check bool) "in (0,1]" true (c_near > 0. && c_near <= 1. +. 1e-9);
+  Alcotest.(check bool) "decays with lag" true (c_far < c_near)
+
+(* ------------------------------------------------------------------ *)
+(* Inhomogeneous models                                                 *)
+
+let test_inhomogeneous_matches_homogeneous () =
+  let wrapped = Inhomogeneous.of_homogeneous model2 in
+  let t = 0.9 in
+  let inhom = Inhomogeneous.moments ~tol:1e-11 wrapped ~t ~order:3 in
+  let reference = Randomization.moments model2 ~t ~order:3 in
+  for n = 0 to 3 do
+    for i = 0 to 1 do
+      check_close ~tol:1e-7
+        (Printf.sprintf "n=%d i=%d" n i)
+        reference.Randomization.moments.(n).(i)
+        inhom.(n).(i)
+    done
+  done
+
+let test_inhomogeneous_time_scaled_rates () =
+  (* Single state, rate r(t) = 2t, no variance: B(t) = t^2 exactly. *)
+  let g = Generator.of_triplets ~states:1 [] in
+  let m =
+    Inhomogeneous.make ~states:1
+      ~generator:(fun _ -> g)
+      ~rates:(fun u -> [| 2. *. u |])
+      ~variances:(fun _ -> [| 0. |])
+      ~initial:[| 1. |]
+  in
+  check_close ~tol:1e-8 "quadratic mean" 2.25 (Inhomogeneous.mean m ~t:1.5);
+  (* Second moment of a deterministic quantity is its square. *)
+  check_close ~tol:1e-7 "m2 = mean^2" (2.25 ** 2.)
+    (Inhomogeneous.moment m ~t:1.5 ~order:2)
+
+let test_inhomogeneous_time_scaled_variance () =
+  (* Single state, r = 0, sigma^2(u) = 3u: Var B(t) = int 3u du = 1.5 t^2. *)
+  let g = Generator.of_triplets ~states:1 [] in
+  let m =
+    Inhomogeneous.make ~states:1
+      ~generator:(fun _ -> g)
+      ~rates:(fun _ -> [| 0. |])
+      ~variances:(fun u -> [| 3. *. u |])
+      ~initial:[| 1. |]
+  in
+  check_close ~tol:1e-7 "accumulated variance" (1.5 *. 4.)
+    (Inhomogeneous.moment m ~t:2. ~order:2)
+
+let test_inhomogeneous_switching_generator () =
+  (* Generator switches from "fast to state 1" to "fast to state 0" at
+     t = 1; compare the mean against a two-segment homogeneous
+     computation via the Markov property at the switch point. *)
+  let g_a = Generator.of_triplets ~states:2 [ (0, 1, 5.); (1, 0, 0.1) ] in
+  let g_b = Generator.of_triplets ~states:2 [ (0, 1, 0.1); (1, 0, 5.) ] in
+  let rates = [| 1.; 0. |] in
+  let m =
+    Inhomogeneous.make ~states:2
+      ~generator:(fun u -> if u < 1. then g_a else g_b)
+      ~rates:(fun _ -> rates)
+      ~variances:(fun _ -> [| 0.; 0. |])
+      ~initial:[| 1.; 0. |]
+  in
+  let t = 2. in
+  let inhom = Inhomogeneous.mean ~tol:1e-12 ~breakpoints:[| 1. |] m ~t in
+  (* Segment 1: homogeneous g_a over [0,1]. *)
+  let m_a =
+    Model.first_order ~generator:g_a ~rates ~initial:[| 1.; 0. |]
+  in
+  let mean_1 = Randomization.mean m_a ~t:1. in
+  let p_at_1 = Transient.probabilities g_a ~initial:[| 1.; 0. |] ~t:1. in
+  (* Segment 2: homogeneous g_b over [1,2] from the reached distribution. *)
+  let m_b = Model.first_order ~generator:g_b ~rates ~initial:p_at_1 in
+  let mean_2 = Randomization.mean m_b ~t:1. in
+  check_close ~tol:1e-6 "two-segment composition" (mean_1 +. mean_2) inhom
+
+let test_inhomogeneous_validation () =
+  let g = Generator.of_triplets ~states:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  (match
+     Inhomogeneous.make ~states:2
+       ~generator:(fun _ -> g)
+       ~rates:(fun _ -> [| 1. |])
+       ~variances:(fun _ -> [| 0.; 0. |])
+       ~initial:[| 1.; 0. |]
+   with
+  | _ -> Alcotest.fail "rates dimension"
+  | exception Invalid_argument _ -> ());
+  match
+    Inhomogeneous.make ~states:2
+      ~generator:(fun _ -> g)
+      ~rates:(fun _ -> [| 1.; 1. |])
+      ~variances:(fun _ -> [| -1.; 0. |])
+      ~initial:[| 1.; 0. |]
+  with
+  | _ -> Alcotest.fail "negative variance"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Quadrature                                                           *)
+
+let test_quadrature_polynomial_exactness () =
+  let f x = (3. *. x *. x) -. (2. *. x) +. 1. in
+  (* Integral over [0, 2] = 8 - 4 + 2 = 6. *)
+  check_close ~tol:1e-12 "simpson cubic-exact" 6.
+    (Quadrature.simpson ~f ~a:0. ~b:2. ~n:4);
+  check_close ~tol:1e-12 "gauss-legendre" 6.
+    (Quadrature.gauss_legendre ~f ~a:0. ~b:2. ~n:1);
+  check_close ~tol:1e-3 "trapezoid approx" 6.
+    (Quadrature.trapezoid ~f ~a:0. ~b:2. ~n:100);
+  check_close ~tol:1e-3 "midpoint approx" 6.
+    (Quadrature.midpoint ~f ~a:0. ~b:2. ~n:100)
+
+let test_quadrature_gauss_high_degree () =
+  (* 5-point Gauss: exact for degree 9 per panel. *)
+  let f x = x ** 9. in
+  check_close ~tol:1e-11 "degree 9" 0.1
+    (Quadrature.gauss_legendre ~f ~a:0. ~b:1. ~n:1)
+
+let test_quadrature_transcendental () =
+  let f = sin in
+  let expected = 1. -. cos 1. in
+  check_close ~tol:1e-10 "simpson sin" expected
+    (Quadrature.simpson ~f ~a:0. ~b:1. ~n:100);
+  check_close ~tol:1e-12 "adaptive sin" expected
+    (Quadrature.adaptive_simpson ~f ~a:0. ~b:1. ~tol:1e-13 ())
+
+let test_quadrature_adaptive_peak () =
+  (* A narrow Gaussian: fixed rules need many points, adaptive locates
+     it. *)
+  let f x = exp (-.((x -. 0.7) ** 2.) /. 2e-2) in
+  let expected = sqrt (Float.pi *. 2e-2) in
+  check_close ~tol:1e-8 "adaptive peak" expected
+    (Quadrature.adaptive_simpson ~f ~a:0. ~b:10. ~tol:1e-12 ())
+
+let test_quadrature_midpoint_endpoint_safe () =
+  (* 1/sqrt(x) on (0, 1]: integrable singularity at 0. *)
+  let f x = 1. /. sqrt x in
+  let value = Quadrature.midpoint ~f ~a:0. ~b:1. ~n:100_000 in
+  check_close ~tol:2e-2 "singular endpoint" 2. value
+
+let test_quadrature_invalid () =
+  (match Quadrature.simpson ~f:sin ~a:0. ~b:1. ~n:0 with
+  | _ -> Alcotest.fail "n = 0"
+  | exception Invalid_argument _ -> ());
+  match Quadrature.trapezoid ~f:sin ~a:1. ~b:0. ~n:10 with
+  | _ -> Alcotest.fail "reversed interval"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SVG / CSV rendering                                                  *)
+
+let sample_series =
+  [
+    {
+      Svg_plot.label = "linear";
+      points = [ (0., 0.); (1., 1.); (2., 2.) ];
+      style = `Line;
+    };
+    {
+      Svg_plot.label = "flat";
+      points = [ (0., 1.); (2., 1.) ];
+      style = `Dashed;
+    };
+  ]
+
+let test_svg_well_formed () =
+  let svg =
+    Svg_plot.render ~title:"demo" ~x_label:"t" ~y_label:"y" sample_series
+  in
+  Alcotest.(check bool) "starts with <svg" true
+    (String.length svg > 4 && String.sub svg 0 4 = "<svg");
+  Alcotest.(check bool) "closes" true
+    (String.length svg >= 7
+    && String.sub svg (String.length svg - 7) 6 = "</svg>");
+  (* One polyline per line-style series. *)
+  let count needle =
+    let rec go from acc =
+      match String.index_from_opt svg from needle.[0] with
+      | None -> acc
+      | Some i ->
+          if
+            i + String.length needle <= String.length svg
+            && String.sub svg i (String.length needle) = needle
+          then go (i + 1) (acc + 1)
+          else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "polylines" 2 (count "<polyline");
+  Alcotest.(check bool) "legend labels present" true
+    (count "linear" >= 1 && count "flat" >= 1)
+
+let test_svg_point_style () =
+  let svg =
+    Svg_plot.render ~title:"pts" ~x_label:"x" ~y_label:"y"
+      [
+        {
+          Svg_plot.label = "dots";
+          points = [ (0., 0.); (1., 4.) ];
+          style = `Points;
+        };
+      ]
+  in
+  Alcotest.(check bool) "has circles" true
+    (String.length svg > 0
+    &&
+    let rec find i =
+      i + 7 <= String.length svg
+      && (String.sub svg i 7 = "<circle" || find (i + 1))
+    in
+    find 0)
+
+let test_svg_empty_rejected () =
+  match Svg_plot.render ~title:"" ~x_label:"" ~y_label:"" [] with
+  | _ -> Alcotest.fail "empty series"
+  | exception Invalid_argument _ -> ()
+
+let test_svg_degenerate_range () =
+  (* Single point: ranges must widen, not divide by zero. *)
+  let svg =
+    Svg_plot.render ~title:"one" ~x_label:"x" ~y_label:"y"
+      [ { Svg_plot.label = "p"; points = [ (1., 1.) ]; style = `Points } ]
+  in
+  Alcotest.(check bool) "rendered" true (String.length svg > 100)
+
+let test_csv_format () =
+  let out = Svg_plot.csv ~header:[ "a"; "b" ] [ [ 1.; 2.5 ]; [ 3.; 4. ] ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "a,b" (List.hd lines);
+  Alcotest.(check string) "row" "1,2.5" (List.nth lines 1)
+
+let test_svg_write_file () =
+  let path = Filename.temp_file "mrm2_test" ".svg" in
+  Svg_plot.write_file ~path "<svg></svg>";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "round trip" "<svg></svg>" line
+
+(* ------------------------------------------------------------------ *)
+(* Model_io                                                             *)
+
+module Model_io = Mrm_core.Model_io
+
+let sample_model_text =
+  "states 3\n\
+   # comment line\n\
+   transition 0 1 2.5\n\
+   transition 1 0 1.0\n\
+   transition 1 2 0.5\n\
+   transition 2 0 3.0\n\
+   reward 0 4.0 0.3\n\
+   reward 1 2.0 1.0\n\
+   reward 2 0.5 0.1\n\
+   initial 0 1.0\n\
+   impulse 0 1 0.4\n"
+
+let test_model_io_parse () =
+  let { Model_io.model; impulses } = Model_io.parse_string sample_model_text in
+  Alcotest.(check int) "states" 3 (Model.dim model);
+  check_close "rate" 4. (model : Model.t).Model.rates.(0);
+  check_close "variance" 1. (model : Model.t).Model.variances.(1);
+  check_close "initial" 1. (model : Model.t).Model.initial.(0);
+  Alcotest.(check int) "impulses" 1 (List.length impulses);
+  (* The parsed model is solvable. *)
+  Alcotest.(check bool) "usable" true (Randomization.mean model ~t:1. > 0.)
+
+let test_model_io_roundtrip () =
+  let { Model_io.model; impulses } = Model_io.parse_string sample_model_text in
+  let text = Model_io.to_string ~impulses model in
+  let reparsed = Model_io.parse_string text in
+  let m2 = reparsed.Model_io.model in
+  Alcotest.(check bool) "rates preserved" true
+    (Vec.approx_equal ~tol:0.
+       (model : Model.t).Model.rates
+       (m2 : Model.t).Model.rates);
+  Alcotest.(check bool) "variances preserved" true
+    (Vec.approx_equal ~tol:0.
+       (model : Model.t).Model.variances
+       (m2 : Model.t).Model.variances);
+  check_close ~tol:1e-14 "same mean"
+    (Randomization.mean model ~t:0.8)
+    (Randomization.mean m2 ~t:0.8);
+  Alcotest.(check int) "impulses preserved" 1
+    (List.length reparsed.Model_io.impulses)
+
+let test_model_io_file_roundtrip () =
+  let { Model_io.model; _ } = Model_io.parse_string sample_model_text in
+  let path = Filename.temp_file "mrm2_model" ".mrm" in
+  Model_io.save ~path model;
+  let loaded = Model_io.load path in
+  Sys.remove path;
+  Alcotest.(check int) "states" 3 (Model.dim loaded.Model_io.model)
+
+let test_model_io_errors () =
+  let expect_failure label text =
+    match Model_io.parse_string text with
+    | _ -> Alcotest.failf "%s: expected failure" label
+    | exception Failure _ -> ()
+  in
+  expect_failure "missing states" "transition 0 1 2.0\n";
+  expect_failure "bad number" "states 2\ntransition 0 1 abc\n";
+  expect_failure "unknown directive" "states 2\nfrobnicate 1\n";
+  expect_failure "state out of range" "states 2\ntransition 0 5 1.\n";
+  expect_failure "duplicate reward"
+    "states 2\ntransition 0 1 1.\ntransition 1 0 1.\nreward 0 1. 0.\nreward 0 2. 0.\ninitial 0 1.\n";
+  expect_failure "bad initial mass"
+    "states 2\ntransition 0 1 1.\ntransition 1 0 1.\ninitial 0 0.5\n";
+  expect_failure "negative variance"
+    "states 2\ntransition 0 1 1.\ntransition 1 0 1.\nreward 0 1. -1.\ninitial 0 1.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "shared_sweep",
+        [
+          Alcotest.test_case "matches pointwise" `Quick
+            test_shared_sweep_matches_pointwise;
+          Alcotest.test_case "per-time diagnostics" `Quick
+            test_shared_sweep_diagnostics_per_time;
+          Alcotest.test_case "degenerate inputs" `Quick
+            test_shared_sweep_degenerate_inputs;
+        ] );
+      ( "quantile_bounds",
+        [
+          Alcotest.test_case "exponential bracketed" `Quick
+            test_quantile_bounds_exponential;
+          Alcotest.test_case "monotone in p" `Quick
+            test_quantile_bounds_monotone_in_p;
+          Alcotest.test_case "invalid p" `Quick test_quantile_bounds_invalid;
+        ] );
+      ( "joint_moments",
+        [
+          Alcotest.test_case "row sums recover V" `Quick
+            test_joint_row_sums_recover_v;
+          Alcotest.test_case "order 0 = transient matrix" `Quick
+            test_joint_order0_is_transient_matrix;
+          Alcotest.test_case "t = 0" `Quick test_joint_time_zero;
+          Alcotest.test_case "no transitions" `Quick
+            test_joint_no_transitions;
+          Alcotest.test_case "decomposition sums" `Quick
+            test_joint_decomposition_sums_to_moment;
+          Alcotest.test_case "cov(t,t) = variance" `Quick
+            test_covariance_at_equal_times_is_variance;
+          Alcotest.test_case "covariance symmetric" `Quick
+            test_covariance_symmetric_in_arguments;
+          Alcotest.test_case "Brownian closed form" `Quick
+            test_covariance_vs_brownian_closed_form;
+          Alcotest.test_case "correlation decay" `Quick
+            test_correlation_range_and_decay;
+        ] );
+      ( "inhomogeneous",
+        [
+          Alcotest.test_case "homogeneous wrap" `Quick
+            test_inhomogeneous_matches_homogeneous;
+          Alcotest.test_case "time-scaled rates" `Quick
+            test_inhomogeneous_time_scaled_rates;
+          Alcotest.test_case "time-scaled variance" `Quick
+            test_inhomogeneous_time_scaled_variance;
+          Alcotest.test_case "switching generator" `Quick
+            test_inhomogeneous_switching_generator;
+          Alcotest.test_case "validation" `Quick
+            test_inhomogeneous_validation;
+        ] );
+      ( "quadrature",
+        [
+          Alcotest.test_case "polynomial exactness" `Quick
+            test_quadrature_polynomial_exactness;
+          Alcotest.test_case "Gauss degree 9" `Quick
+            test_quadrature_gauss_high_degree;
+          Alcotest.test_case "transcendental" `Quick
+            test_quadrature_transcendental;
+          Alcotest.test_case "adaptive narrow peak" `Quick
+            test_quadrature_adaptive_peak;
+          Alcotest.test_case "midpoint endpoint-safe" `Quick
+            test_quadrature_midpoint_endpoint_safe;
+          Alcotest.test_case "invalid input" `Quick test_quadrature_invalid;
+        ] );
+      ( "model_io",
+        [
+          Alcotest.test_case "parse" `Quick test_model_io_parse;
+          Alcotest.test_case "round trip" `Quick test_model_io_roundtrip;
+          Alcotest.test_case "file round trip" `Quick
+            test_model_io_file_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_model_io_errors;
+        ] );
+      ( "svg_csv",
+        [
+          Alcotest.test_case "well-formed svg" `Quick test_svg_well_formed;
+          Alcotest.test_case "point style" `Quick test_svg_point_style;
+          Alcotest.test_case "empty rejected" `Quick test_svg_empty_rejected;
+          Alcotest.test_case "degenerate range" `Quick
+            test_svg_degenerate_range;
+          Alcotest.test_case "csv format" `Quick test_csv_format;
+          Alcotest.test_case "file round trip" `Quick test_svg_write_file;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the Brownian reward-accumulation substrate. *)
+
+module Brownian = Mrm_brownian.Brownian
+module Stats = Mrm_util.Stats
+module Rng = Mrm_util.Rng
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+let params = { Brownian.drift = 1.5; variance = 0.8 }
+
+let test_validate () =
+  Brownian.validate params;
+  Alcotest.check_raises "negative variance"
+    (Invalid_argument "Brownian.validate: variance must be finite and >= 0")
+    (fun () -> Brownian.validate { Brownian.drift = 0.; variance = -1. });
+  Alcotest.check_raises "nan drift"
+    (Invalid_argument "Brownian.validate: drift must be finite") (fun () ->
+      Brownian.validate { Brownian.drift = Float.nan; variance = 1. })
+
+let test_density_is_normal () =
+  (* Matches the explicit formula below Definition 1 of the paper. *)
+  let t = 0.7 and y = 2.3 in
+  let expected =
+    1.
+    /. sqrt (2. *. Float.pi *. t *. params.variance)
+    *. exp
+         (-.((y -. (params.drift *. t)) ** 2.)
+          /. (2. *. t *. params.variance))
+  in
+  check_close "density formula" expected (Brownian.density params ~t y)
+
+let test_density_mass () =
+  (* Trapezoid integral over a wide window. *)
+  let t = 1.3 in
+  let n = 8000 and lo = -15. and hi = 20. in
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref 0. in
+  for k = 0 to n do
+    let w = if k = 0 || k = n then 0.5 else 1. in
+    acc :=
+      !acc +. (w *. Brownian.density params ~t (lo +. (float_of_int k *. h)))
+  done;
+  check_close ~tol:1e-9 "density mass" 1. (!acc *. h)
+
+let test_cdf () =
+  let t = 2. in
+  (* Median at the mean. *)
+  check_close "median" 0.5 (Brownian.cdf params ~t (params.drift *. t));
+  (* Degenerate variance: a step at r t. *)
+  let deterministic = { Brownian.drift = 2.; variance = 0. } in
+  check_close "step below" 0. (Brownian.cdf deterministic ~t 3.9);
+  check_close "step above" 1. (Brownian.cdf deterministic ~t 4.0)
+
+let test_laplace_transform () =
+  (* f*(t,v) = exp(-v r t + v^2/2 sigma^2 t) -- eq. below Definition 1. *)
+  let t = 0.9 and v = 1.7 in
+  check_close "transform"
+    (exp
+       ((-.v *. params.drift *. t) +. (v *. v /. 2. *. params.variance *. t)))
+    (Brownian.laplace_transform params ~t v);
+  (* v = 0 always gives 1 (total mass). *)
+  check_close "transform at 0" 1. (Brownian.laplace_transform params ~t 0.)
+
+let test_transform_taylor () =
+  (* Eq. (1) of the paper: f*(D, v) = 1 - (v r - v^2/2 s^2) D + o(D). *)
+  let v = 0.8 in
+  let delta = 1e-6 in
+  let linearized =
+    1. -. (((v *. params.drift) -. (v *. v /. 2. *. params.variance)) *. delta)
+  in
+  check_close ~tol:1e-9 "first-order Taylor" linearized
+    (Brownian.laplace_transform params ~t:delta v)
+
+let test_raw_moments_closed_form () =
+  let t = 1.7 in
+  let mu = params.drift *. t and var = params.variance *. t in
+  check_close "m0" 1. (Brownian.raw_moment params ~t 0);
+  check_close "m1" mu (Brownian.raw_moment params ~t 1);
+  check_close "m2" ((mu *. mu) +. var) (Brownian.raw_moment params ~t 2);
+  check_close "m3"
+    ((mu ** 3.) +. (3. *. mu *. var))
+    (Brownian.raw_moment params ~t 3);
+  check_close "m4"
+    ((mu ** 4.) +. (6. *. mu *. mu *. var) +. (3. *. var *. var))
+    (Brownian.raw_moment params ~t 4)
+
+let test_moment_matches_transform_derivative () =
+  (* m1 = -d/dv f*(t,v) at v=0, via central difference. *)
+  let t = 0.6 in
+  let h = 1e-6 in
+  let derivative =
+    (Brownian.laplace_transform params ~t h
+    -. Brownian.laplace_transform params ~t (-.h))
+    /. (2. *. h)
+  in
+  check_close ~tol:1e-8 "transform derivative"
+    (Brownian.raw_moment params ~t 1)
+    (-.derivative)
+
+let test_sample_increment_stats () =
+  let rng = Rng.create ~seed:101L () in
+  let dt = 0.25 in
+  let xs =
+    Array.init 100_000 (fun _ -> Brownian.sample_increment params rng ~dt)
+  in
+  check_close ~tol:0.01 "increment mean" (params.drift *. dt) (Stats.mean xs);
+  check_close ~tol:0.01 "increment var" (params.variance *. dt)
+    (Stats.variance xs)
+
+let test_sample_path_shape () =
+  let rng = Rng.create ~seed:7L () in
+  let path = Brownian.sample_path params rng ~t_max:2. ~steps:50 in
+  Alcotest.(check int) "length" 51 (List.length path);
+  (match path with
+  | (t0, x0) :: _ ->
+      check_close "starts at t=0" 0. t0;
+      check_close "starts at x=0" 0. x0
+  | [] -> Alcotest.fail "empty path");
+  let t_last, _ = List.nth path 50 in
+  check_close "ends at t_max" 2. t_last
+
+let test_sample_path_increments_add_up () =
+  (* Mean/variance of X(1) across many discretized paths match r and
+     sigma^2: increments are independent and stationary. *)
+  let rng = Rng.create ~seed:3L () in
+  let finals =
+    Array.init 20_000 (fun _ ->
+        let path = Brownian.sample_path params rng ~t_max:1. ~steps:8 in
+        snd (List.nth path 8))
+  in
+  check_close ~tol:0.03 "final variance" params.variance
+    (Stats.variance finals);
+  check_close ~tol:0.03 "final mean" params.drift (Stats.mean finals)
+
+let test_degenerate_variance_sampling () =
+  let rng = Rng.create () in
+  let deterministic = { Brownian.drift = 3.; variance = 0. } in
+  check_close "deterministic increment" 1.5
+    (Brownian.sample_increment deterministic rng ~dt:0.5)
+
+let () =
+  Alcotest.run "mrm_brownian"
+    [
+      ( "brownian",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "density formula" `Quick test_density_is_normal;
+          Alcotest.test_case "density mass" `Quick test_density_mass;
+          Alcotest.test_case "cdf" `Quick test_cdf;
+          Alcotest.test_case "laplace transform" `Quick test_laplace_transform;
+          Alcotest.test_case "transform Taylor (eq. 1)" `Quick
+            test_transform_taylor;
+          Alcotest.test_case "raw moments" `Quick test_raw_moments_closed_form;
+          Alcotest.test_case "moment = transform derivative" `Quick
+            test_moment_matches_transform_derivative;
+          Alcotest.test_case "increment statistics" `Slow
+            test_sample_increment_stats;
+          Alcotest.test_case "path shape" `Quick test_sample_path_shape;
+          Alcotest.test_case "increments add up" `Slow
+            test_sample_path_increments_add_up;
+          Alcotest.test_case "degenerate variance" `Quick
+            test_degenerate_variance_sampling;
+        ] );
+    ]

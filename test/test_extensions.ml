@@ -1,0 +1,496 @@
+(* Tests for the extension modules: impulse rewards, the Gil-Pelaez
+   transform-domain distribution, the dense matrix exponential and CTMC
+   absorption analysis. *)
+
+module Model = Mrm_core.Model
+module Randomization = Mrm_core.Randomization
+module Impulse = Mrm_core.Impulse
+module Transform_distribution = Mrm_core.Transform_distribution
+module Pde = Mrm_core.Pde
+module Generator = Mrm_ctmc.Generator
+module Absorption = Mrm_ctmc.Absorption
+module Dense = Mrm_linalg.Dense
+module Expm = Mrm_linalg.Expm
+module Vec = Mrm_linalg.Vec
+module Rng = Mrm_util.Rng
+module Stats = Mrm_util.Stats
+module Special = Mrm_util.Special
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Impulse rewards                                                      *)
+
+let symmetric_two_state lam =
+  Generator.of_triplets ~states:2 [ (0, 1, lam); (1, 0, lam) ]
+
+let test_impulse_poisson_oracle () =
+  (* Two states with equal rates: jumps form a Poisson(lam t) process.
+     Pure impulse rho on every transition: B(t) = rho N(t), so the raw
+     moments are rho^n times the Poisson (Touchard) moments. *)
+  let lam = 2.0 and rho = 0.7 and t = 1.3 in
+  let base =
+    Model.make ~generator:(symmetric_two_state lam) ~rates:[| 0.; 0. |]
+      ~variances:[| 0.; 0. |] ~initial:[| 1.; 0. |]
+  in
+  let model = Impulse.make base [ (0, 1, rho); (1, 0, rho) ] in
+  let r = Impulse.moments model ~t ~order:3 in
+  let lt = lam *. t in
+  let poisson_moments =
+    [| 1.; lt; lt +. (lt ** 2.); lt +. (3. *. (lt ** 2.)) +. (lt ** 3.) |]
+  in
+  for n = 0 to 3 do
+    check_close ~tol:1e-10
+      (Printf.sprintf "Poisson moment %d" n)
+      ((rho ** float_of_int n) *. poisson_moments.(n))
+      r.Randomization.moments.(n).(0)
+  done
+
+let mixed_impulse_model () =
+  let generator =
+    Generator.of_triplets ~states:3
+      [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 1.5); (1, 0, 0.5) ]
+  in
+  let base =
+    Model.make ~generator
+      ~rates:[| 2.0; -0.5; 1.0 |]
+      ~variances:[| 0.3; 1.0; 0.1 |]
+      ~initial:[| 1.; 0.; 0. |]
+  in
+  Impulse.make base [ (0, 1, 0.4); (1, 2, 1.2); (2, 0, 0.9) ]
+
+let test_impulse_matches_ode () =
+  let model = mixed_impulse_model () in
+  let t = 0.9 in
+  let rand = Impulse.moments model ~t ~order:3 in
+  let ode =
+    Impulse.moments_ode ~method_:Mrm_ode.Ode.Rk4 ~steps:3000 model ~t ~order:3
+  in
+  for n = 0 to 3 do
+    for i = 0 to 2 do
+      check_close ~tol:1e-7
+        (Printf.sprintf "n=%d i=%d" n i)
+        ode.(n).(i)
+        rand.Randomization.moments.(n).(i)
+    done
+  done
+
+let test_impulse_matches_simulation () =
+  let model = mixed_impulse_model () in
+  let t = 0.9 in
+  let rand = Impulse.moments model ~t ~order:2 in
+  let rng = Rng.create ~seed:55L () in
+  let xs = Impulse.sample model rng ~t ~replicas:100_000 in
+  let sample_mean = Stats.mean xs in
+  let se = sqrt (Stats.variance xs /. 100_000.) in
+  let truth = rand.Randomization.moments.(1).(0) in
+  if abs_float (sample_mean -. truth) > 5. *. se then
+    Alcotest.failf "simulated mean %g vs %g (se %g)" sample_mean truth se
+
+let test_impulse_mean_linearity () =
+  (* E B(t) = rate part + sum_ij rho_ij * E[number of i->j transitions];
+     with zero impulses the solver must agree with the pure-rate one. *)
+  let model = mixed_impulse_model () in
+  let base = (model : Impulse.t).Impulse.base in
+  let t = 1.1 in
+  let with_impulses = Impulse.mean model ~t in
+  let rate_only = Randomization.mean base ~t in
+  Alcotest.(check bool) "impulses add reward" true
+    (with_impulses > rate_only);
+  (* Zero-impulse wrapper degenerates exactly. *)
+  let trivial = Impulse.make base [] in
+  check_close ~tol:1e-12 "no impulses = base" rate_only
+    (Impulse.mean trivial ~t)
+
+let test_impulse_jump_count_via_unit_impulses () =
+  (* Unit impulses on every transition and zero rates count jumps: the
+     mean must equal int_0^t sum_i p_i(u) |q_ii| du. *)
+  let generator =
+    Generator.of_triplets ~states:3
+      [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 1.5); (1, 0, 0.5) ]
+  in
+  let n = 3 in
+  let base =
+    Model.make ~generator ~rates:(Array.make n 0.)
+      ~variances:(Array.make n 0.)
+      ~initial:[| 1.; 0.; 0. |]
+  in
+  let all_transitions = [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.); (1, 0, 1.) ] in
+  let model = Impulse.make base all_transitions in
+  let t = 1.4 in
+  let mean_jumps = Impulse.mean model ~t in
+  (* Oracle: expected jumps = integral of total exit rate. *)
+  let exit_model =
+    Model.make ~generator ~rates:(Generator.exit_rates generator)
+      ~variances:(Array.make n 0.)
+      ~initial:[| 1.; 0.; 0. |]
+  in
+  let expected =
+    Mrm_core.First_order.expected_reward_integral exit_model ~t ~steps:400
+  in
+  check_close ~tol:1e-7 "jump count" expected mean_jumps
+
+let test_impulse_validation () =
+  let base =
+    Model.make ~generator:(symmetric_two_state 1.) ~rates:[| 0.; 0. |]
+      ~variances:[| 0.; 0. |] ~initial:[| 1.; 0. |]
+  in
+  (match Impulse.make base [ (0, 0, 1.) ] with
+  | _ -> Alcotest.fail "diagonal impulse"
+  | exception Invalid_argument _ -> ());
+  (match Impulse.make base [ (0, 1, -1.) ] with
+  | _ -> Alcotest.fail "negative impulse"
+  | exception Invalid_argument _ -> ());
+  (match Impulse.make base [ (0, 1, 1.); (0, 1, 2.) ] with
+  | _ -> Alcotest.fail "duplicate impulse"
+  | exception Invalid_argument _ -> ());
+  (* Impulse on a non-transition. *)
+  let chain = Generator.of_triplets ~states:3 [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.) ] in
+  let base3 =
+    Model.make ~generator:chain ~rates:[| 0.; 0.; 0. |]
+      ~variances:[| 0.; 0.; 0. |] ~initial:[| 1.; 0.; 0. |]
+  in
+  match Impulse.make base3 [ (0, 2, 1.) ] with
+  | _ -> Alcotest.fail "impulse off support"
+  | exception Invalid_argument _ -> ()
+
+let test_impulse_error_bound_conservative () =
+  (* Loose-eps impulse run stays within its (generalized, conservative)
+     bound of a tight-eps run. *)
+  let model = mixed_impulse_model () in
+  let t = 0.8 and order = 2 in
+  let tight = Impulse.moments ~eps:1e-13 model ~t ~order in
+  let loose = Impulse.moments ~eps:1e-5 model ~t ~order in
+  let bound = exp loose.Randomization.diagnostics.log_error_bound in
+  Alcotest.(check bool) "bound below eps" true (bound <= 1e-5 +. 1e-15);
+  for i = 0 to 2 do
+    let diff =
+      abs_float
+        (tight.Randomization.moments.(order).(i)
+        -. loose.Randomization.moments.(order).(i))
+    in
+    if diff > (10. *. bound) +. 1e-12 then
+      Alcotest.failf "state %d: error %g > bound %g" i diff bound
+  done
+
+let test_impulse_variance () =
+  let model = mixed_impulse_model () in
+  Alcotest.(check bool) "variance positive" true
+    (Impulse.variance model ~t:1. > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Transform-domain distribution (Gil-Pelaez)                           *)
+
+let test_gilpelaez_single_state_normal () =
+  let g = Generator.of_triplets ~states:1 [] in
+  let m =
+    Model.make ~generator:g ~rates:[| 1.0 |] ~variances:[| 0.5 |]
+      ~initial:[| 1. |]
+  in
+  let t = 1.0 in
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-4
+        (Printf.sprintf "normal cdf at %g" x)
+        (Special.normal_cdf ~mu:1.0 ~sigma:(sqrt 0.5) x)
+        (Transform_distribution.cdf m ~t x))
+    [ 0.; 0.5; 1.; 2. ]
+
+let test_gilpelaez_characteristic_function_properties () =
+  let g =
+    Generator.of_triplets ~states:2 [ (0, 1, 2.); (1, 0, 3.) ]
+  in
+  let m =
+    Model.make ~generator:g ~rates:[| 2.; -1. |] ~variances:[| 0.5; 1.5 |]
+      ~initial:[| 0.7; 0.3 |]
+  in
+  let t = 0.8 in
+  (* phi(0) = 1. *)
+  let phi0 = Transform_distribution.characteristic_function m ~t ~omega:0. in
+  check_close "phi(0) re" 1. phi0.Complex.re;
+  check_close "phi(0) im" 0. phi0.Complex.im;
+  (* |phi| <= 1 everywhere. *)
+  List.iter
+    (fun omega ->
+      let phi = Transform_distribution.characteristic_function m ~t ~omega in
+      Alcotest.(check bool)
+        (Printf.sprintf "|phi(%g)| <= 1" omega)
+        true
+        (Complex.norm phi <= 1. +. 1e-9))
+    [ 0.3; 1.; 3.; 10. ];
+  (* Derivative at 0 gives the mean: phi'(0) = i m1. *)
+  let h = 1e-4 in
+  let phi_plus = Transform_distribution.characteristic_function m ~t ~omega:h in
+  let phi_minus =
+    Transform_distribution.characteristic_function m ~t ~omega:(-.h)
+  in
+  let derivative_im = (phi_plus.Complex.im -. phi_minus.Complex.im) /. (2. *. h) in
+  check_close ~tol:1e-6 "phi'(0) = i mean"
+    (Randomization.mean m ~t)
+    derivative_im
+
+let test_gilpelaez_matches_pde_and_simulation () =
+  let g =
+    Generator.of_triplets ~states:3
+      [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 1.5); (1, 0, 0.5) ]
+  in
+  let m =
+    Model.make ~generator:g ~rates:[| 4.0; 2.0; 0.5 |]
+      ~variances:[| 0.3; 1.0; 0.1 |]
+      ~initial:[| 1.; 0.; 0. |]
+  in
+  let t = 1.5 in
+  let points = [| 2.; 4.; 4.6; 6.; 7. |] in
+  let values, grid = Transform_distribution.cdf_grid m ~t points in
+  Alcotest.(check bool) "grid used enough frequencies" true
+    (grid.Transform_distribution.count > 20);
+  let rng = Rng.create ~seed:12L () in
+  let xs = Mrm_core.Simulate.sample m rng ~t ~replicas:100_000 in
+  Array.iteri
+    (fun k x ->
+      let empirical = Stats.empirical_cdf xs x in
+      check_close ~tol:0.01
+        (Printf.sprintf "vs simulation at %g" x)
+        empirical values.(k))
+    points;
+  (* Monotone over the evaluation points. *)
+  for k = 1 to Array.length values - 1 do
+    Alcotest.(check bool) "monotone" true (values.(k) >= values.(k - 1) -. 1e-6)
+  done
+
+let test_gilpelaez_invalid () =
+  let g = Generator.of_triplets ~states:1 [] in
+  let m =
+    Model.make ~generator:g ~rates:[| 1. |] ~variances:[| 1. |]
+      ~initial:[| 1. |]
+  in
+  match Transform_distribution.cdf m ~t:0. 0.5 with
+  | _ -> Alcotest.fail "t = 0 rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Matrix exponential                                                   *)
+
+let test_expm_zero_and_diagonal () =
+  let z = Dense.zeros ~rows:3 ~cols:3 in
+  Alcotest.(check bool) "e^0 = I" true
+    (Dense.approx_equal ~tol:1e-14 (Dense.identity 3) (Expm.expm z));
+  let d = Dense.diagonal [| 1.; -2.; 0.5 |] in
+  let e = Expm.expm d in
+  check_close ~tol:1e-13 "diag 0" (exp 1.) (Dense.get e 0 0);
+  check_close ~tol:1e-13 "diag 1" (exp (-2.)) (Dense.get e 1 1);
+  check_close ~tol:1e-13 "diag 2" (exp 0.5) (Dense.get e 2 2);
+  check_close "offdiag" 0. (Dense.get e 0 1)
+
+let test_expm_nilpotent () =
+  (* N = [[0,1],[0,0]]: e^N = I + N exactly. *)
+  let n = Dense.of_arrays [| [| 0.; 1. |]; [| 0.; 0. |] |] in
+  let e = Expm.expm n in
+  check_close "11" 1. (Dense.get e 0 0);
+  check_close "12" 1. (Dense.get e 0 1);
+  check_close "21" 0. (Dense.get e 1 0);
+  check_close "22" 1. (Dense.get e 1 1)
+
+let test_expm_rotation () =
+  (* A = [[0,-a],[a,0]]: e^A = rotation by a. *)
+  let a = 0.7 in
+  let m = Dense.of_arrays [| [| 0.; -.a |]; [| a; 0. |] |] in
+  let e = Expm.expm m in
+  check_close ~tol:1e-13 "cos" (cos a) (Dense.get e 0 0);
+  check_close ~tol:1e-13 "-sin" (-.sin a) (Dense.get e 0 1)
+
+let test_expm_large_norm_scaling () =
+  (* Scaling path: e^(A) for ||A|| >> theta13, checked against
+     (e^(A/k))^k consistency via a diagonal case. *)
+  let d = Dense.diagonal [| 30.; -40. |] in
+  let e = Expm.expm d in
+  check_close ~tol:1e-9 "large diag 0" (exp 30.) (Dense.get e 0 0);
+  check_close ~tol:1e-9 "large diag 1" (exp (-40.)) (Dense.get e 1 1)
+
+let test_expm_vs_uniformization () =
+  (* p(t) = pi e^(Qt) matches the uniformization transient solver. *)
+  let g =
+    Generator.of_triplets ~states:4
+      [ (0, 1, 1.); (1, 2, 2.); (2, 3, 1.5); (3, 0, 0.7); (2, 0, 0.3) ]
+  in
+  let t = 0.9 in
+  let qt =
+    Dense.init ~rows:4 ~cols:4 (fun i j ->
+        t *. Mrm_linalg.Sparse.get (Generator.matrix g) i j)
+  in
+  let e = Expm.expm qt in
+  let initial = [| 1.; 0.; 0.; 0. |] in
+  let via_expm = Dense.vm initial e in
+  let via_uniformization =
+    Mrm_ctmc.Transient.probabilities g ~initial ~t
+  in
+  Alcotest.(check bool) "expm = uniformization" true
+    (Vec.approx_equal ~tol:1e-10 via_expm via_uniformization)
+
+let test_expm_action () =
+  let d = Dense.diagonal [| 1.; 2. |] in
+  let v = Expm.expm_action d [| 1.; 1. |] in
+  check_close ~tol:1e-13 "action 0" (exp 1.) v.(0);
+  check_close ~tol:1e-13 "action 1" (exp 2.) v.(1)
+
+let test_expm_invalid () =
+  match Expm.expm (Dense.zeros ~rows:2 ~cols:3) with
+  | _ -> Alcotest.fail "non-square"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Absorption                                                           *)
+
+let test_absorption_two_state () =
+  (* 0 -> 1 at rate lam, 1 absorbing: expected time 1/lam. *)
+  let lam = 2.5 in
+  let g = Generator.of_triplets ~states:2 [ (0, 1, lam) ] in
+  let a = Absorption.analyze g ~targets:[ 1 ] in
+  check_close "p from 0" 1. a.Absorption.hit_probability.(0);
+  check_close ~tol:1e-12 "time from 0" (1. /. lam) a.Absorption.expected_time.(0);
+  check_close "time on target" 0. a.Absorption.expected_time.(1)
+
+let test_absorption_birth_death_mtta () =
+  (* Pure birth chain 0 -> 1 -> 2 with rates b0, b1: MTTA from 0 is
+     1/b0 + 1/b1. *)
+  let b0 = 1.5 and b1 = 0.5 in
+  let g = Generator.of_triplets ~states:3 [ (0, 1, b0); (1, 2, b1) ] in
+  let mtta =
+    Absorption.mean_time_to_absorption g ~initial:[| 1.; 0.; 0. |]
+      ~targets:[ 2 ]
+  in
+  check_close ~tol:1e-12 "MTTA" ((1. /. b0) +. (1. /. b1)) mtta
+
+let test_absorption_competing_risks () =
+  (* From 0: to 1 at rate a, to 2 at rate b; both absorbing. Hitting
+     probability of {1} is a/(a+b). *)
+  let a = 2. and b = 3. in
+  let g = Generator.of_triplets ~states:3 [ (0, 1, a); (0, 2, b) ] in
+  let result = Absorption.analyze g ~targets:[ 1 ] in
+  check_close ~tol:1e-12 "split probability" (a /. (a +. b))
+    result.Absorption.hit_probability.(0);
+  (* Absorption in 1 is not certain, so the conditional expected time is
+     reported as infinity by convention. *)
+  Alcotest.(check bool) "time infinite" true
+    (result.Absorption.expected_time.(0) = infinity)
+
+let test_absorption_cyclic_chain () =
+  (* Irreducible chain, any state reaches any target: finite times. *)
+  let g =
+    Generator.of_triplets ~states:3
+      [ (0, 1, 1.); (1, 2, 1.); (2, 0, 1.); (1, 0, 0.5) ]
+  in
+  let result = Absorption.analyze g ~targets:[ 2 ] in
+  Array.iteri
+    (fun i p ->
+      check_close (Printf.sprintf "prob %d" i) 1. p;
+      Alcotest.(check bool) "finite time" true
+        (Float.is_finite result.Absorption.expected_time.(i)))
+    result.Absorption.hit_probability
+
+let test_absorption_unreachable_component () =
+  (* Two disconnected components: from the far component the target has
+     probability 0 and infinite hitting time; the near component solves
+     normally. *)
+  let g =
+    Generator.of_triplets ~states:4
+      [ (0, 1, 1.); (1, 0, 1.); (2, 3, 1.); (3, 2, 1.) ]
+  in
+  let result = Absorption.analyze g ~targets:[ 0 ] in
+  check_close "reachable prob" 1. result.Absorption.hit_probability.(1);
+  check_close ~tol:1e-12 "reachable time" 1.
+    result.Absorption.expected_time.(1);
+  check_close "unreachable prob" 0. result.Absorption.hit_probability.(2);
+  Alcotest.(check bool) "unreachable time" true
+    (result.Absorption.expected_time.(3) = infinity)
+
+let test_absorption_validation () =
+  let g = Generator.of_triplets ~states:2 [ (0, 1, 1.) ] in
+  (match Absorption.analyze g ~targets:[] with
+  | _ -> Alcotest.fail "empty targets"
+  | exception Invalid_argument _ -> ());
+  match Absorption.analyze g ~targets:[ 5 ] with
+  | _ -> Alcotest.fail "range"
+  | exception Invalid_argument _ -> ()
+
+let test_absorption_multiprocessor_mttf () =
+  (* Mean time until the multiprocessor first drops below 1 working
+     processor, starting from full: finite and positive, decreasing when
+     the failure rate grows. *)
+  let module Mp = Mrm_models.Multiprocessor in
+  let mttf failure =
+    let p = { Mp.default with Mp.processors = 3; failure } in
+    let model = Mp.model p in
+    Absorption.mean_time_to_absorption
+      (model : Model.t).Model.generator
+      ~initial:(model : Model.t).Model.initial
+      ~targets:[ Mp.up_index p 0 ]
+  in
+  let slow = mttf 0.1 and fast = mttf 0.5 in
+  Alcotest.(check bool) "finite" true (Float.is_finite slow && slow > 0.);
+  Alcotest.(check bool) "monotone in failure rate" true (fast < slow)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "impulse",
+        [
+          Alcotest.test_case "Poisson jump oracle" `Quick
+            test_impulse_poisson_oracle;
+          Alcotest.test_case "matches extended ODE" `Quick
+            test_impulse_matches_ode;
+          Alcotest.test_case "matches simulation" `Slow
+            test_impulse_matches_simulation;
+          Alcotest.test_case "mean behaviour" `Quick
+            test_impulse_mean_linearity;
+          Alcotest.test_case "unit impulses count jumps" `Quick
+            test_impulse_jump_count_via_unit_impulses;
+          Alcotest.test_case "validation" `Quick test_impulse_validation;
+          Alcotest.test_case "error bound (generalized)" `Quick
+            test_impulse_error_bound_conservative;
+          Alcotest.test_case "variance" `Quick test_impulse_variance;
+        ] );
+      ( "transform_distribution",
+        [
+          Alcotest.test_case "single state = normal" `Quick
+            test_gilpelaez_single_state_normal;
+          Alcotest.test_case "characteristic function properties" `Quick
+            test_gilpelaez_characteristic_function_properties;
+          Alcotest.test_case "matches simulation" `Slow
+            test_gilpelaez_matches_pde_and_simulation;
+          Alcotest.test_case "invalid time" `Quick test_gilpelaez_invalid;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "zero and diagonal" `Quick
+            test_expm_zero_and_diagonal;
+          Alcotest.test_case "nilpotent" `Quick test_expm_nilpotent;
+          Alcotest.test_case "rotation" `Quick test_expm_rotation;
+          Alcotest.test_case "large norm (scaling path)" `Quick
+            test_expm_large_norm_scaling;
+          Alcotest.test_case "matches uniformization" `Quick
+            test_expm_vs_uniformization;
+          Alcotest.test_case "expm_action" `Quick test_expm_action;
+          Alcotest.test_case "invalid input" `Quick test_expm_invalid;
+        ] );
+      ( "absorption",
+        [
+          Alcotest.test_case "two-state" `Quick test_absorption_two_state;
+          Alcotest.test_case "pure-birth MTTA" `Quick
+            test_absorption_birth_death_mtta;
+          Alcotest.test_case "competing risks" `Quick
+            test_absorption_competing_risks;
+          Alcotest.test_case "cyclic chain" `Quick
+            test_absorption_cyclic_chain;
+          Alcotest.test_case "unreachable component" `Quick
+            test_absorption_unreachable_component;
+          Alcotest.test_case "validation" `Quick test_absorption_validation;
+          Alcotest.test_case "multiprocessor MTTF" `Quick
+            test_absorption_multiprocessor_mttf;
+        ] );
+    ]

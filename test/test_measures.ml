@@ -1,0 +1,426 @@
+(* Tests for the performability-measure modules: phase-type
+   distributions, occupation time / interval availability, completion
+   time (reward-clock duality), and the first-order fluid queue. *)
+
+module Model = Mrm_core.Model
+module Randomization = Mrm_core.Randomization
+module Occupation = Mrm_core.Occupation
+module Completion_time = Mrm_core.Completion_time
+module Moment_bounds = Mrm_core.Moment_bounds
+module Phase_type = Mrm_ctmc.Phase_type
+module Generator = Mrm_ctmc.Generator
+module Transient = Mrm_ctmc.Transient
+module Absorption = Mrm_ctmc.Absorption
+module First_order_fluid = Mrm_fluid.First_order_fluid
+module Fluid = Mrm_fluid.Fluid
+module Dense = Mrm_linalg.Dense
+module Vec = Mrm_linalg.Vec
+module Rng = Mrm_util.Rng
+module Stats = Mrm_util.Stats
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Phase-type                                                           *)
+
+let erlang3 rate =
+  let t_matrix =
+    Dense.of_arrays
+      [|
+        [| -.rate; rate; 0. |];
+        [| 0.; -.rate; rate |];
+        [| 0.; 0.; -.rate |];
+      |]
+  in
+  Phase_type.make ~alpha:[| 1.; 0.; 0. |] ~t_matrix
+
+let test_ph_exponential () =
+  let d =
+    Phase_type.make ~alpha:[| 1. |]
+      ~t_matrix:(Dense.of_arrays [| [| -2.5 |] |])
+  in
+  check_close "mean" 0.4 (Phase_type.mean d);
+  check_close ~tol:1e-12 "variance" 0.16 (Phase_type.variance d);
+  check_close ~tol:1e-12 "cdf" (1. -. exp (-2.5)) (Phase_type.cdf d 1.);
+  check_close ~tol:1e-12 "pdf" (2.5 *. exp (-2.5)) (Phase_type.pdf d 1.)
+
+let test_ph_erlang_closed_form () =
+  let rate = 2. in
+  let d = erlang3 rate in
+  check_close ~tol:1e-12 "mean" 1.5 (Phase_type.mean d);
+  check_close ~tol:1e-12 "variance" 0.75 (Phase_type.variance d);
+  (* Erlang-3 cdf at x: 1 - e^{-rx}(1 + rx + (rx)^2/2). *)
+  let x = 1.5 in
+  let rx = rate *. x in
+  check_close ~tol:1e-10 "cdf"
+    (1. -. (exp (-.rx) *. (1. +. rx +. (rx *. rx /. 2.))))
+    (Phase_type.cdf d x);
+  (* Moments: E X^n = n! / rate^n * C(n+2, 2)-ish — use the recursion
+     against the gamma moments E X^n = (n+2)!/2! / rate^n. *)
+  check_close ~tol:1e-10 "m3"
+    (Mrm_util.Special.factorial 5 /. 2. /. (rate ** 3.))
+    (Phase_type.raw_moment d 3)
+
+let test_ph_pdf_integrates_to_cdf () =
+  let d = erlang3 1.3 in
+  let x = 2.1 in
+  let integral =
+    Mrm_util.Quadrature.simpson ~f:(Phase_type.pdf d) ~a:0. ~b:x ~n:400
+  in
+  check_close ~tol:1e-8 "pdf integral" (Phase_type.cdf d x) integral
+
+let test_ph_sampling_moments () =
+  let d = erlang3 2. in
+  let rng = Rng.create ~seed:5L () in
+  let samples = Array.init 100_000 (fun _ -> Phase_type.sample d rng) in
+  check_close ~tol:0.01 "sample mean" 1.5 (Stats.mean samples);
+  check_close ~tol:0.02 "sample variance" 0.75 (Stats.variance samples)
+
+let test_ph_atom_at_zero () =
+  (* Deficient alpha: P(X = 0) = 0.3. *)
+  let d =
+    Phase_type.make ~alpha:[| 0.7 |]
+      ~t_matrix:(Dense.of_arrays [| [| -1. |] |])
+  in
+  check_close ~tol:1e-12 "cdf(0) = atom" 0.3 (Phase_type.cdf d 0.);
+  check_close ~tol:1e-12 "mean scales" 0.7 (Phase_type.mean d);
+  let rng = Rng.create ~seed:6L () in
+  let zeros = ref 0 in
+  for _ = 1 to 20_000 do
+    if Phase_type.sample d rng = 0. then incr zeros
+  done;
+  check_close ~tol:0.02 "sampled atom" 0.3 (float_of_int !zeros /. 20_000.)
+
+let test_ph_of_absorbing_chain () =
+  (* Hitting time of state 2 in 0 -> 1 -> 2: Erlang-like sum of two
+     exponentials; mean matches Absorption.analyze. *)
+  let g = Generator.of_triplets ~states:3 [ (0, 1, 1.5); (1, 2, 0.5) ] in
+  let initial = [| 1.; 0.; 0. |] in
+  let d = Phase_type.of_absorbing_chain g ~initial ~targets:[ 2 ] in
+  Alcotest.(check int) "phases" 2 (Phase_type.phases d);
+  check_close ~tol:1e-12 "mean = MTTA"
+    (Absorption.mean_time_to_absorption g ~initial ~targets:[ 2 ])
+    (Phase_type.mean d);
+  (* Hypoexponential variance: 1/a^2 + 1/b^2. *)
+  check_close ~tol:1e-12 "variance"
+    ((1. /. (1.5 ** 2.)) +. (1. /. (0.5 ** 2.)))
+    (Phase_type.variance d)
+
+let test_ph_validation () =
+  (match
+     Phase_type.make ~alpha:[| 1. |]
+       ~t_matrix:(Dense.of_arrays [| [| 1. |] |])
+   with
+  | _ -> Alcotest.fail "positive diagonal"
+  | exception Invalid_argument _ -> ());
+  (match
+     Phase_type.make ~alpha:[| 0.5; 0.7 |]
+       ~t_matrix:
+         (Dense.of_arrays [| [| -1.; 0. |]; [| 0.; -1. |] |])
+   with
+  | _ -> Alcotest.fail "alpha mass"
+  | exception Invalid_argument _ -> ());
+  (* Singular T: no absorption. *)
+  match
+    Phase_type.make ~alpha:[| 1.; 0. |]
+      ~t_matrix:(Dense.of_arrays [| [| -1.; 1. |]; [| 1.; -1. |] |])
+  with
+  | _ -> Alcotest.fail "no absorption"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Occupation / interval availability                                   *)
+
+let two_state = Generator.of_triplets ~states:2 [ (0, 1, 2.); (1, 0, 3.) ]
+
+let test_occupation_expected_time () =
+  (* E time in state 0 = int_0^t p_0(u) du with the closed form of the
+     2-state chain. *)
+  let t = 1.3 in
+  let a = 2. and b = 3. in
+  let expected =
+    (b /. (a +. b) *. t)
+    +. (a /. (a +. b) *. (1. -. exp (-.(a +. b) *. t)) /. (a +. b))
+  in
+  check_close ~tol:1e-9 "occupation mean" expected
+    (Occupation.expected_time_in two_state ~initial:[| 1.; 0. |]
+       ~states:[ 0 ] ~t)
+
+let test_occupation_complement () =
+  (* Time in S plus time in complement = t. *)
+  let t = 0.9 in
+  let in_0 =
+    Occupation.expected_time_in two_state ~initial:[| 1.; 0. |] ~states:[ 0 ]
+      ~t
+  in
+  let in_1 =
+    Occupation.expected_time_in two_state ~initial:[| 1.; 0. |] ~states:[ 1 ]
+      ~t
+  in
+  check_close ~tol:1e-10 "partition" t (in_0 +. in_1)
+
+let test_availability_moments_in_unit_range () =
+  let moments =
+    Occupation.interval_availability_moments two_state
+      ~initial:[| 1.; 0. |] ~states:[ 0 ] ~t:2. ~order:4
+  in
+  check_close "m0" 1. moments.(0);
+  for n = 1 to 4 do
+    Alcotest.(check bool)
+      (Printf.sprintf "moment %d in (0,1)" n)
+      true
+      (moments.(n) > 0. && moments.(n) <= 1.);
+    (* A(t) in [0,1] forces decreasing raw moments. *)
+    if n > 1 then
+      Alcotest.(check bool) "decreasing" true (moments.(n) <= moments.(n - 1))
+  done
+
+let test_availability_bounds_bracket_simulation () =
+  let t = 2. in
+  let initial = [| 1.; 0. |] in
+  let points = [| 0.4; 0.55; 0.7 |] in
+  let bounds =
+    Occupation.availability_bounds two_state ~initial ~states:[ 0 ] ~t points
+  in
+  let model = Occupation.occupation_model two_state ~initial ~states:[ 0 ] in
+  let rng = Rng.create ~seed:8L () in
+  let samples = Mrm_core.Simulate.sample model rng ~t ~replicas:50_000 in
+  Array.iteri
+    (fun k x ->
+      let empirical = Stats.empirical_cdf samples (x *. t) in
+      let b = bounds.(k) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bracket at %g" x)
+        true
+        (b.Moment_bounds.lower <= empirical +. 0.01
+        && empirical -. 0.01 <= b.Moment_bounds.upper))
+    points
+
+let test_occupation_validation () =
+  (match
+     Occupation.occupation_model two_state ~initial:[| 1.; 0. |]
+       ~states:[ 0; 0 ]
+   with
+  | _ -> Alcotest.fail "duplicate"
+  | exception Invalid_argument _ -> ());
+  match
+    Occupation.occupation_model two_state ~initial:[| 1.; 0. |] ~states:[ 7 ]
+  with
+  | _ -> Alcotest.fail "range"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Completion time                                                      *)
+
+let completion_model =
+  Model.first_order ~generator:two_state ~rates:[| 2.; 0.5 |]
+    ~initial:[| 1.; 0. |]
+
+let test_completion_deterministic_single_state () =
+  let g = Generator.of_triplets ~states:1 [] in
+  let m = Model.first_order ~generator:g ~rates:[| 2. |] ~initial:[| 1. |] in
+  let moments = Completion_time.moments m ~x:3. ~order:3 in
+  check_close "m1" 1.5 moments.(1);
+  check_close "m2" 2.25 moments.(2);
+  check_close "m3" 3.375 moments.(3)
+
+let test_completion_mean_vs_simulation () =
+  (* Simulate hitting times directly on the primal process. *)
+  let x = 1.5 in
+  let analytic = Completion_time.mean completion_model ~x in
+  let rng = Rng.create ~seed:15L () in
+  let replicas = 40_000 in
+  let exit_rates = Generator.exit_rates two_state in
+  let sample_hit () =
+    let rec go state clock reward =
+      let rate = completion_model.Model.rates.(state) in
+      let sojourn = Rng.exponential rng ~rate:exit_rates.(state) in
+      if reward +. (rate *. sojourn) >= x then
+        clock +. ((x -. reward) /. rate)
+      else
+        go (1 - state) (clock +. sojourn) (reward +. (rate *. sojourn))
+    in
+    go 0 0. 0.
+  in
+  let xs = Array.init replicas (fun _ -> sample_hit ()) in
+  let se = sqrt (Stats.variance xs /. float_of_int replicas) in
+  if abs_float (Stats.mean xs -. analytic) > 5. *. se then
+    Alcotest.failf "completion mean %g vs simulated %g" analytic
+      (Stats.mean xs)
+
+let test_completion_duality_identity () =
+  (* P(T_x <= t) = P(B(t) >= x). *)
+  let x = 1.5 and t = 1.2 in
+  let via_dual = Completion_time.cdf completion_model ~x ~t in
+  let rng = Rng.create ~seed:16L () in
+  let xs = Mrm_core.Simulate.sample completion_model rng ~t ~replicas:100_000 in
+  let direct =
+    Array.fold_left (fun acc v -> if v >= x then acc +. 1. else acc) 0. xs
+    /. 100_000.
+  in
+  check_close ~tol:0.01 "duality" direct via_dual
+
+let test_completion_requires_positive_rates () =
+  let bad =
+    Model.first_order ~generator:two_state ~rates:[| 2.; 0. |]
+      ~initial:[| 1.; 0. |]
+  in
+  (match Completion_time.dual_model bad with
+  | _ -> Alcotest.fail "zero rate"
+  | exception Invalid_argument _ -> ());
+  let second_order =
+    Model.make ~generator:two_state ~rates:[| 2.; 1. |]
+      ~variances:[| 1.; 0. |] ~initial:[| 1.; 0. |]
+  in
+  match Completion_time.dual_model second_order with
+  | _ -> Alcotest.fail "second order"
+  | exception Invalid_argument _ -> ()
+
+let test_completion_dual_structure () =
+  let dual = Completion_time.dual_model completion_model in
+  (* Dual rates are reciprocals. *)
+  check_close "dual rate 0" 0.5 (dual : Model.t).Model.rates.(0);
+  check_close "dual rate 1" 2. (dual : Model.t).Model.rates.(1);
+  (* Dual generator rows scaled by 1/r_i. *)
+  let q = Generator.matrix (dual : Model.t).Model.generator in
+  check_close "dual q01" 1. (Mrm_linalg.Sparse.get q 0 1);
+  check_close "dual q10" 6. (Mrm_linalg.Sparse.get q 1 0)
+
+(* ------------------------------------------------------------------ *)
+(* First-order fluid                                                    *)
+
+let ams_queue () =
+  (* Single ON-OFF source, unit capacity: OFF drift -1, ON drift +1. *)
+  let g = Generator.of_triplets ~states:2 [ (0, 1, 0.5); (1, 0, 1.0) ] in
+  First_order_fluid.make ~generator:g ~rates:[| -1.; 1. |]
+
+let test_fofluid_ams_closed_form () =
+  let s = First_order_fluid.stationary (ams_queue ()) in
+  (* Utilization rho = P(ON) * peak / capacity = 2/3; the classical
+     single-source results: P(X > 0) = rho, decay eta = alpha/(p-c) -
+     beta/c = 0.5, mean = rho/eta. *)
+  (* ~1e-9 accuracy: the eigenvector inverse iteration nudges the
+     eigenvalue off its exact location to keep the pencil solvable. *)
+  check_close ~tol:1e-7 "decay" 0.5 (First_order_fluid.decay_rate s);
+  check_close ~tol:1e-7 "P(X>0)" (2. /. 3.) (First_order_fluid.ccdf s 0.);
+  check_close ~tol:1e-7 "atom" (1. /. 3.) (First_order_fluid.atom_at_zero s);
+  check_close ~tol:1e-7 "mean" (4. /. 3.) (First_order_fluid.mean_level s);
+  check_close ~tol:1e-7 "exponential ccdf"
+    (2. /. 3. *. exp (-0.5))
+    (First_order_fluid.ccdf s 1.)
+
+let test_fofluid_up_state_boundary () =
+  let s = First_order_fluid.stationary (ams_queue ()) in
+  (* F_ON(0) = 0 (an up state cannot sit at an empty buffer). *)
+  check_close ~tol:1e-10 "F_on(0)" 0.
+    (First_order_fluid.joint_cdf s ~state:1 0.)
+
+let test_fofluid_sigma_limit_of_second_order () =
+  (* The second-order queue converges to the first-order one as
+     sigma^2 -> 0. *)
+  let g = Generator.of_triplets ~states:2 [ (0, 1, 0.5); (1, 0, 1.0) ] in
+  let first = First_order_fluid.stationary (ams_queue ()) in
+  let gap sigma2 =
+    let q =
+      Fluid.make ~generator:g ~rates:[| -1.; 1. |]
+        ~variances:[| sigma2; sigma2 |]
+    in
+    let s = Fluid.stationary q in
+    abs_float (Fluid.ccdf s 1. -. First_order_fluid.ccdf first 1.)
+  in
+  let coarse = gap 0.1 and fine = gap 0.001 in
+  Alcotest.(check bool) "converging" true (fine < coarse /. 10.);
+  Alcotest.(check bool) "close at 1e-3" true (fine < 1e-3)
+
+let test_fofluid_validation () =
+  let g = Generator.of_triplets ~states:2 [ (0, 1, 0.5); (1, 0, 1.0) ] in
+  (match First_order_fluid.make ~generator:g ~rates:[| 0.; 1. |] with
+  | _ -> Alcotest.fail "zero rate"
+  | exception Invalid_argument _ -> ());
+  match First_order_fluid.make ~generator:g ~rates:[| 1.; 1. |] with
+  | _ -> Alcotest.fail "unstable"
+  | exception Invalid_argument _ -> ()
+
+let test_fofluid_three_state () =
+  (* Two independent-ish sources folded into a 3-state chain; checks the
+     multi-up-state boundary bookkeeping. *)
+  let g =
+    Generator.of_triplets ~states:3
+      [ (0, 1, 1.); (1, 0, 2.); (1, 2, 0.5); (2, 1, 2.) ]
+  in
+  let q = First_order_fluid.make ~generator:g ~rates:[| -2.; 0.5; 3. |] in
+  let s = First_order_fluid.stationary q in
+  check_close ~tol:1e-8 "F(inf) mass" 1. (First_order_fluid.cdf s 500.);
+  (* Up-state boundaries vanish. *)
+  check_close ~tol:1e-9 "F_1(0)" 0. (First_order_fluid.joint_cdf s ~state:1 0.);
+  check_close ~tol:1e-9 "F_2(0)" 0. (First_order_fluid.joint_cdf s ~state:2 0.);
+  Alcotest.(check bool) "atom positive" true
+    (First_order_fluid.atom_at_zero s > 0.);
+  (* Mean consistent with the ccdf integral. *)
+  let integral =
+    Mrm_util.Quadrature.simpson
+      ~f:(First_order_fluid.ccdf s)
+      ~a:0. ~b:200. ~n:4000
+  in
+  check_close ~tol:1e-6 "mean = integral" integral
+    (First_order_fluid.mean_level s)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "measures"
+    [
+      ( "phase_type",
+        [
+          Alcotest.test_case "exponential" `Quick test_ph_exponential;
+          Alcotest.test_case "Erlang closed form" `Quick
+            test_ph_erlang_closed_form;
+          Alcotest.test_case "pdf integrates to cdf" `Quick
+            test_ph_pdf_integrates_to_cdf;
+          Alcotest.test_case "sampling moments" `Slow
+            test_ph_sampling_moments;
+          Alcotest.test_case "atom at zero" `Quick test_ph_atom_at_zero;
+          Alcotest.test_case "of absorbing chain" `Quick
+            test_ph_of_absorbing_chain;
+          Alcotest.test_case "validation" `Quick test_ph_validation;
+        ] );
+      ( "occupation",
+        [
+          Alcotest.test_case "expected time closed form" `Quick
+            test_occupation_expected_time;
+          Alcotest.test_case "complement partition" `Quick
+            test_occupation_complement;
+          Alcotest.test_case "availability moments" `Quick
+            test_availability_moments_in_unit_range;
+          Alcotest.test_case "availability bounds" `Slow
+            test_availability_bounds_bracket_simulation;
+          Alcotest.test_case "validation" `Quick test_occupation_validation;
+        ] );
+      ( "completion_time",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_completion_deterministic_single_state;
+          Alcotest.test_case "mean vs simulation" `Slow
+            test_completion_mean_vs_simulation;
+          Alcotest.test_case "duality identity" `Slow
+            test_completion_duality_identity;
+          Alcotest.test_case "positive rates required" `Quick
+            test_completion_requires_positive_rates;
+          Alcotest.test_case "dual structure" `Quick
+            test_completion_dual_structure;
+        ] );
+      ( "first_order_fluid",
+        [
+          Alcotest.test_case "AMS closed form" `Quick
+            test_fofluid_ams_closed_form;
+          Alcotest.test_case "up-state boundary" `Quick
+            test_fofluid_up_state_boundary;
+          Alcotest.test_case "sigma->0 limit" `Quick
+            test_fofluid_sigma_limit_of_second_order;
+          Alcotest.test_case "validation" `Quick test_fofluid_validation;
+          Alcotest.test_case "three-state" `Quick test_fofluid_three_state;
+        ] );
+    ]

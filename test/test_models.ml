@@ -1,0 +1,297 @@
+(* Tests for the model zoo: the paper's ON-OFF multiplexer (Section 7),
+   the machine-repair model and the fault-tolerant multiprocessor. *)
+
+module Onoff = Mrm_models.Onoff
+module Machine_repair = Mrm_models.Machine_repair
+module Multiprocessor = Mrm_models.Multiprocessor
+module Model = Mrm_core.Model
+module Randomization = Mrm_core.Randomization
+module Generator = Mrm_ctmc.Generator
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Onoff (Section 7)                                                    *)
+
+let test_onoff_table1_parameters () =
+  let p = Onoff.table1 ~sigma2:10. in
+  check_close "C" 32. p.Onoff.capacity;
+  Alcotest.(check int) "N" 32 p.Onoff.sources;
+  check_close "alpha" 4. p.Onoff.on_to_off;
+  check_close "beta" 3. p.Onoff.off_to_on;
+  check_close "r" 1. p.Onoff.peak_rate;
+  check_close "sigma2" 10. p.Onoff.rate_variance
+
+let test_onoff_generator_structure () =
+  (* Figure 2: birth rate (N-i) beta, death rate i alpha, tridiagonal. *)
+  let p = Onoff.table1 ~sigma2:1. in
+  let q = Generator.matrix (Onoff.generator p) in
+  Alcotest.(check int) "states" 33 (Sparse.rows q);
+  check_close "birth from 0" (32. *. 3.) (Sparse.get q 0 1);
+  check_close "death from 5" (5. *. 4.) (Sparse.get q 5 4);
+  check_close "no long-range jump" 0. (Sparse.get q 0 2);
+  (* Mean nnz per row ~ 3 (the paper's sparsity argument). *)
+  Alcotest.(check bool) "tridiagonal sparsity" true
+    (Sparse.mean_nnz_per_row q <= 3.)
+
+let test_onoff_uniformization_rate () =
+  (* q = N max(alpha, beta); the paper reports q = 800,000 for Table 2. *)
+  let p = Onoff.table1 ~sigma2:0. in
+  check_close "q closed form"
+    (Onoff.uniformization_rate p)
+    (Generator.uniformization_rate (Onoff.generator p));
+  check_close "table 2 rate" 800_000. (Onoff.uniformization_rate Onoff.table2)
+
+let test_onoff_rewards () =
+  (* r_i = C - i r, sigma_i^2 = i sigma^2 (Figure 2 annotations). *)
+  let m = Onoff.model (Onoff.table1 ~sigma2:10.) in
+  check_close "r_0" 32. (m : Model.t).Model.rates.(0);
+  check_close "r_10" 22. (m : Model.t).Model.rates.(10);
+  check_close "r_32" 0. (m : Model.t).Model.rates.(32);
+  check_close "s_0" 0. (m : Model.t).Model.variances.(0);
+  check_close "s_7" 70. (m : Model.t).Model.variances.(7)
+
+let test_onoff_initial_all_off () =
+  let m = Onoff.model (Onoff.table1 ~sigma2:0.) in
+  check_close "starts in state 0" 1. (m : Model.t).Model.initial.(0);
+  check_close "not elsewhere" 0. (m : Model.t).Model.initial.(5)
+
+let test_onoff_stationary_binomial () =
+  let p = Onoff.table1 ~sigma2:0. in
+  let pi = Onoff.stationary p in
+  check_close ~tol:1e-12 "mass" 1. (Vec.sum pi);
+  (* Mean actives = N beta/(alpha+beta) = 32 * 3/7. *)
+  let mean = ref 0. in
+  Array.iteri (fun i w -> mean := !mean +. (float_of_int i *. w)) pi;
+  check_close ~tol:1e-10 "mean actives" (32. *. 3. /. 7.) !mean;
+  (* Matches GTH on the generator. *)
+  let gth = Mrm_ctmc.Stationary.gth (Onoff.generator p) in
+  Alcotest.(check bool) "product form = GTH" true
+    (Vec.approx_equal ~tol:1e-9 pi gth)
+
+let test_onoff_mean_formula () =
+  (* With all sources OFF at 0, the expected number of ON sources is
+     N p (1 - e^{-(a+b)t}) with p = beta/(alpha+beta), so
+     E B(t) = C t - N r p (t - (1 - e^{-(a+b)t})/(a+b)). *)
+  let p = Onoff.table1 ~sigma2:1. in
+  let m = Onoff.model p in
+  let t = 0.9 in
+  let a = 4. and b = 3. in
+  let prob_on = b /. (a +. b) in
+  let expected =
+    (32. *. t)
+    -. (32. *. 1. *. prob_on *. (t -. ((1. -. exp (-.(a +. b) *. t)) /. (a +. b))))
+  in
+  check_close ~tol:1e-9 "mean closed form" expected
+    (Randomization.mean m ~t)
+
+let test_onoff_scaled_table2 () =
+  let p = Onoff.scaled_table2 ~sources:100 in
+  Alcotest.(check int) "sources" 100 p.Onoff.sources;
+  check_close "capacity follows" 100. p.Onoff.capacity;
+  check_close "variance kept" 10. p.Onoff.rate_variance
+
+let test_onoff_invalid () =
+  (match Onoff.model { (Onoff.table1 ~sigma2:1.) with Onoff.sources = 0 } with
+  | _ -> Alcotest.fail "sources 0"
+  | exception Invalid_argument _ -> ());
+  match
+    Onoff.model { (Onoff.table1 ~sigma2:1.) with Onoff.rate_variance = -1. }
+  with
+  | _ -> Alcotest.fail "negative variance"
+  | exception Invalid_argument _ -> ()
+
+let test_onoff_custom_initial () =
+  let p = { (Onoff.table1 ~sigma2:1.) with Onoff.sources = 2 } in
+  let pi = [| 0.5; 0.25; 0.25 |] in
+  let m = Onoff.model ~initial:pi p in
+  check_close "custom initial" 0.25 (m : Model.t).Model.initial.(2)
+
+(* ------------------------------------------------------------------ *)
+(* Machine repair                                                       *)
+
+let test_repair_generator () =
+  let p =
+    { Machine_repair.default with Machine_repair.machines = 4; repairmen = 2 }
+  in
+  let q = Generator.matrix (Machine_repair.generator p) in
+  (* Failures: (M - i) lambda; repairs: min(i, k) mu. *)
+  check_close "failure from 0"
+    (4. *. p.Machine_repair.failure)
+    (Sparse.get q 0 1);
+  check_close "repair capped"
+    (2. *. p.Machine_repair.repair)
+    (Sparse.get q 3 2);
+  check_close "single repairman rate"
+    (1. *. p.Machine_repair.repair)
+    (Sparse.get q 1 0)
+
+let test_repair_rewards_decrease () =
+  let m = Machine_repair.model Machine_repair.default in
+  let rates = (m : Model.t).Model.rates in
+  for i = 1 to Array.length rates - 1 do
+    Alcotest.(check bool) "throughput decreases" true
+      (rates.(i) < rates.(i - 1))
+  done;
+  check_close "all failed = 0" 0. rates.(Array.length rates - 1)
+
+let test_repair_stationary_is_distribution () =
+  let pi = Machine_repair.stationary Machine_repair.default in
+  check_close ~tol:1e-12 "mass" 1. (Vec.sum pi);
+  Array.iter (fun w -> Alcotest.(check bool) "nonneg" true (w >= 0.)) pi
+
+let test_repair_mean_bounded_by_capacity () =
+  let p = Machine_repair.default in
+  let m = Machine_repair.model p in
+  let t = 3. in
+  let mean = Randomization.mean m ~t in
+  let cap =
+    float_of_int p.Machine_repair.machines *. p.Machine_repair.throughput *. t
+  in
+  Alcotest.(check bool) "0 < mean < capacity" true (mean > 0. && mean < cap)
+
+(* ------------------------------------------------------------------ *)
+(* Multiprocessor                                                       *)
+
+let test_multi_state_layout () =
+  let p = { Multiprocessor.default with Multiprocessor.processors = 4 } in
+  Alcotest.(check int) "count" 9 (Multiprocessor.state_count p);
+  Alcotest.(check int) "up 0" 0 (Multiprocessor.up_index p 0);
+  Alcotest.(check int) "up 4" 4 (Multiprocessor.up_index p 4);
+  Alcotest.(check int) "down 1" 5 (Multiprocessor.down_index p 1);
+  Alcotest.(check int) "down 4" 8 (Multiprocessor.down_index p 4);
+  (match Multiprocessor.up_index p 5 with
+  | _ -> Alcotest.fail "up range"
+  | exception Invalid_argument _ -> ());
+  match Multiprocessor.down_index p 0 with
+  | _ -> Alcotest.fail "down range"
+  | exception Invalid_argument _ -> ()
+
+let test_multi_generator_transitions () =
+  let p = { Multiprocessor.default with Multiprocessor.processors = 3 } in
+  let q = Generator.matrix (Multiprocessor.generator p) in
+  let up = Multiprocessor.up_index p and down = Multiprocessor.down_index p in
+  let lambda = p.Multiprocessor.failure and c = p.Multiprocessor.coverage in
+  check_close "covered failure"
+    (3. *. lambda *. c)
+    (Sparse.get q (up 3) (up 2));
+  check_close "uncovered failure"
+    (3. *. lambda *. (1. -. c))
+    (Sparse.get q (up 3) (down 3));
+  check_close "reboot" p.Multiprocessor.reboot (Sparse.get q (down 3) (up 2));
+  check_close "repair" p.Multiprocessor.repair (Sparse.get q (up 0) (up 1));
+  (* Down states do not fail further. *)
+  check_close "down inert" 0. (Sparse.get q (down 3) (down 2))
+
+let test_multi_rewards () =
+  let p = { Multiprocessor.default with Multiprocessor.processors = 3 } in
+  let m = Multiprocessor.model p in
+  let rates = (m : Model.t).Model.rates in
+  check_close "up 3 rate" 3. rates.(Multiprocessor.up_index p 3);
+  check_close "down rate" 0. rates.(Multiprocessor.down_index p 2);
+  check_close "variance scales" 6.
+    (m : Model.t).Model.variances.(Multiprocessor.up_index p 3)
+
+let test_multi_not_birth_death () =
+  (* The multiprocessor chain has rows with more than 3 transitions'
+     worth of structure (up_i has failure, uncovered failure, repair). *)
+  let p = Multiprocessor.default in
+  let q = Generator.matrix (Multiprocessor.generator p) in
+  let row_entries = Array.make (Sparse.rows q) 0 in
+  Sparse.iter q (fun i _ _ -> row_entries.(i) <- row_entries.(i) + 1);
+  Alcotest.(check bool) "some row has 4+ entries" true
+    (Array.exists (fun n -> n >= 4) row_entries)
+
+let test_multi_perfect_coverage_never_down () =
+  let p =
+    { Multiprocessor.default with Multiprocessor.coverage = 1.; processors = 3 }
+  in
+  let m = Multiprocessor.model p in
+  let t = 2. in
+  (* With coverage 1 the down states are unreachable: transient mass on
+     them stays 0. *)
+  let probs =
+    Mrm_ctmc.Transient.probabilities (m : Model.t).Model.generator
+      ~initial:(m : Model.t).Model.initial ~t
+  in
+  for i = 1 to 3 do
+    check_close
+      (Printf.sprintf "down %d unreachable" i)
+      0.
+      probs.(Multiprocessor.down_index p i)
+  done
+
+let test_multi_coverage_improves_reward () =
+  let t = 5. in
+  let good =
+    Multiprocessor.model
+      { Multiprocessor.default with Multiprocessor.coverage = 0.99 }
+  in
+  let bad =
+    Multiprocessor.model
+      { Multiprocessor.default with Multiprocessor.coverage = 0.5 }
+  in
+  Alcotest.(check bool) "better coverage, more reward" true
+    (Randomization.mean good ~t > Randomization.mean bad ~t)
+
+let test_multi_invalid () =
+  match
+    Multiprocessor.model
+      { Multiprocessor.default with Multiprocessor.coverage = 1.5 }
+  with
+  | _ -> Alcotest.fail "coverage range"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mrm_models"
+    [
+      ( "onoff",
+        [
+          Alcotest.test_case "table 1 parameters" `Quick
+            test_onoff_table1_parameters;
+          Alcotest.test_case "generator structure (Fig 2)" `Quick
+            test_onoff_generator_structure;
+          Alcotest.test_case "uniformization rate" `Quick
+            test_onoff_uniformization_rate;
+          Alcotest.test_case "reward annotations" `Quick test_onoff_rewards;
+          Alcotest.test_case "all-OFF initial state" `Quick
+            test_onoff_initial_all_off;
+          Alcotest.test_case "stationary binomial" `Quick
+            test_onoff_stationary_binomial;
+          Alcotest.test_case "mean closed form" `Quick test_onoff_mean_formula;
+          Alcotest.test_case "scaled table 2" `Quick test_onoff_scaled_table2;
+          Alcotest.test_case "invalid parameters" `Quick test_onoff_invalid;
+          Alcotest.test_case "custom initial" `Quick test_onoff_custom_initial;
+        ] );
+      ( "machine_repair",
+        [
+          Alcotest.test_case "generator rates" `Quick test_repair_generator;
+          Alcotest.test_case "rewards decrease" `Quick
+            test_repair_rewards_decrease;
+          Alcotest.test_case "stationary distribution" `Quick
+            test_repair_stationary_is_distribution;
+          Alcotest.test_case "mean bounded by capacity" `Quick
+            test_repair_mean_bounded_by_capacity;
+        ] );
+      ( "multiprocessor",
+        [
+          Alcotest.test_case "state layout" `Quick test_multi_state_layout;
+          Alcotest.test_case "generator transitions" `Quick
+            test_multi_generator_transitions;
+          Alcotest.test_case "rewards" `Quick test_multi_rewards;
+          Alcotest.test_case "not birth-death" `Quick
+            test_multi_not_birth_death;
+          Alcotest.test_case "perfect coverage" `Quick
+            test_multi_perfect_coverage_never_down;
+          Alcotest.test_case "coverage improves reward" `Quick
+            test_multi_coverage_improves_reward;
+          Alcotest.test_case "invalid parameters" `Quick test_multi_invalid;
+        ] );
+    ]

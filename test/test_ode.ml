@@ -1,0 +1,162 @@
+(* Tests for the ODE steppers: exactness, convergence orders, adaptivity. *)
+
+module Ode = Mrm_ode.Ode
+module Vec = Mrm_linalg.Vec
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+(* dy/dt = lambda y, y(0) = 1, solution e^{lambda t}. *)
+let exponential_rhs lambda : Ode.rhs =
+ fun ~t:_ ~y -> Array.map (fun v -> lambda *. v) y
+
+(* dy/dt = (cos t, -sin t) for y = (sin t, cos t). *)
+let circular_rhs : Ode.rhs = fun ~t:_ ~y -> [| y.(1); -.y.(0) |]
+
+let solve method_ ~steps =
+  (Ode.integrate method_ (exponential_rhs (-1.)) ~t0:0. ~t1:1. ~steps [| 1. |]).(0)
+
+let test_euler_converges_first_order () =
+  let e1 = abs_float (solve Ode.Euler ~steps:100 -. exp (-1.)) in
+  let e2 = abs_float (solve Ode.Euler ~steps:200 -. exp (-1.)) in
+  let ratio = e1 /. e2 in
+  if ratio < 1.8 || ratio > 2.2 then
+    Alcotest.failf "Euler order ratio %.3f (expected ~2)" ratio
+
+let test_heun_converges_second_order () =
+  let e1 = abs_float (solve Ode.Heun ~steps:100 -. exp (-1.)) in
+  let e2 = abs_float (solve Ode.Heun ~steps:200 -. exp (-1.)) in
+  let ratio = e1 /. e2 in
+  if ratio < 3.6 || ratio > 4.4 then
+    Alcotest.failf "Heun order ratio %.3f (expected ~4)" ratio
+
+let test_rk4_converges_fourth_order () =
+  let e1 = abs_float (solve Ode.Rk4 ~steps:25 -. exp (-1.)) in
+  let e2 = abs_float (solve Ode.Rk4 ~steps:50 -. exp (-1.)) in
+  let ratio = e1 /. e2 in
+  if ratio < 13. || ratio > 19. then
+    Alcotest.failf "RK4 order ratio %.3f (expected ~16)" ratio
+
+let test_rk4_accuracy () =
+  check_close ~tol:1e-10 "rk4 exp" (exp (-1.)) (solve Ode.Rk4 ~steps:100)
+
+let test_oscillator () =
+  let y =
+    Ode.integrate Ode.Rk4 circular_rhs ~t0:0. ~t1:(2. *. Float.pi) ~steps:2000
+      [| 0.; 1. |]
+  in
+  check_close ~tol:1e-9 "sin(2pi)" 0. y.(0);
+  check_close ~tol:1e-9 "cos(2pi)" 1. y.(1)
+
+let test_trajectory () =
+  let trajectory =
+    Ode.trajectory Ode.Heun (exponential_rhs 1.) ~t0:0. ~t1:1. ~steps:10
+      [| 1. |]
+  in
+  Alcotest.(check int) "points" 11 (Array.length trajectory);
+  let t0, y0 = trajectory.(0) in
+  check_close "initial time" 0. t0;
+  check_close "initial value" 1. y0.(0);
+  let t_end, y_end = trajectory.(10) in
+  check_close "final time" 1. t_end;
+  (* Heun at 10 steps: O(h^2) error ~ 1e-2 relative. *)
+  check_close ~tol:5e-3 "final value" (exp 1.) y_end.(0)
+
+let test_time_dependent_rhs () =
+  (* dy/dt = 2t  =>  y(1) = y(0) + 1. *)
+  let rhs : Ode.rhs = fun ~t ~y:_ -> [| 2. *. t |] in
+  let y = Ode.integrate Ode.Heun rhs ~t0:0. ~t1:1. ~steps:50 [| 0.5 |] in
+  (* Heun is exact for linear-in-t integrands of degree <= 2. *)
+  check_close ~tol:1e-12 "quadratic exact" 1.5 y.(0)
+
+let test_rkf45_accuracy () =
+  let y =
+    Ode.rkf45 (exponential_rhs (-2.)) ~t0:0. ~t1:3. ~tol:1e-11 [| 1. |]
+  in
+  check_close ~tol:1e-8 "rkf45 exp" (exp (-6.)) y.(0)
+
+let test_rkf45_stiffish () =
+  (* Stiff-ish decay: the controller should still deliver the answer. *)
+  let y =
+    Ode.rkf45 (exponential_rhs (-200.)) ~t0:0. ~t1:1. ~tol:1e-9 [| 1. |]
+  in
+  check_close ~tol:1e-7 "stiff decay" 0. y.(0)
+
+let test_rkf45_zero_interval () =
+  let y = Ode.rkf45 circular_rhs ~t0:1. ~t1:1. ~tol:1e-9 [| 0.25; 0.5 |] in
+  check_close "y0" 0.25 y.(0);
+  check_close "y1" 0.5 y.(1)
+
+let test_invalid_arguments () =
+  (match
+     Ode.integrate Ode.Euler circular_rhs ~t0:0. ~t1:1. ~steps:0 [| 0.; 1. |]
+   with
+  | _ -> Alcotest.fail "expected steps rejection"
+  | exception Invalid_argument _ -> ());
+  (match
+     Ode.integrate Ode.Euler circular_rhs ~t0:1. ~t1:0. ~steps:5 [| 0.; 1. |]
+   with
+  | _ -> Alcotest.fail "expected interval rejection"
+  | exception Invalid_argument _ -> ());
+  match Ode.rkf45 circular_rhs ~t0:0. ~t1:1. ~tol:0. [| 0.; 1. |] with
+  | _ -> Alcotest.fail "expected tol rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_input_not_mutated () =
+  let y0 = [| 1.; 2. |] in
+  ignore (Ode.integrate Ode.Rk4 circular_rhs ~t0:0. ~t1:1. ~steps:10 y0);
+  check_close "y0 intact" 1. y0.(0);
+  ignore (Ode.rkf45 circular_rhs ~t0:0. ~t1:1. ~tol:1e-9 y0);
+  check_close "y0 intact after rkf45" 2. y0.(1)
+
+let test_linear_system_vs_uniformization () =
+  (* dp/dt = p Q for a CTMC: RK4 on the transposed system matches the
+     uniformization transient solver. *)
+  let g =
+    Mrm_ctmc.Generator.of_triplets ~states:3
+      [ (0, 1, 1.2); (1, 2, 0.8); (2, 0, 2.); (1, 0, 0.5) ]
+  in
+  let qt =
+    Mrm_linalg.Sparse.transpose (Mrm_ctmc.Generator.matrix g)
+  in
+  let rhs : Ode.rhs = fun ~t:_ ~y -> Mrm_linalg.Sparse.mv qt y in
+  let t = 0.9 in
+  let via_ode =
+    Ode.integrate Ode.Rk4 rhs ~t0:0. ~t1:t ~steps:400 [| 1.; 0.; 0. |]
+  in
+  let via_uniformization =
+    Mrm_ctmc.Transient.probabilities g ~initial:[| 1.; 0.; 0. |] ~t
+  in
+  Alcotest.(check bool) "ODE = uniformization" true
+    (Vec.approx_equal ~tol:1e-9 via_ode via_uniformization)
+
+let () =
+  Alcotest.run "mrm_ode"
+    [
+      ( "ode",
+        [
+          Alcotest.test_case "Euler first order" `Quick
+            test_euler_converges_first_order;
+          Alcotest.test_case "Heun second order" `Quick
+            test_heun_converges_second_order;
+          Alcotest.test_case "RK4 fourth order" `Quick
+            test_rk4_converges_fourth_order;
+          Alcotest.test_case "RK4 accuracy" `Quick test_rk4_accuracy;
+          Alcotest.test_case "oscillator" `Quick test_oscillator;
+          Alcotest.test_case "trajectory" `Quick test_trajectory;
+          Alcotest.test_case "time-dependent RHS" `Quick
+            test_time_dependent_rhs;
+          Alcotest.test_case "RKF45 accuracy" `Quick test_rkf45_accuracy;
+          Alcotest.test_case "RKF45 stiff-ish" `Quick test_rkf45_stiffish;
+          Alcotest.test_case "RKF45 zero interval" `Quick
+            test_rkf45_zero_interval;
+          Alcotest.test_case "invalid arguments" `Quick
+            test_invalid_arguments;
+          Alcotest.test_case "input not mutated" `Quick
+            test_input_not_mutated;
+          Alcotest.test_case "CTMC system vs uniformization" `Quick
+            test_linear_system_vs_uniformization;
+        ] );
+    ]

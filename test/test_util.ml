@@ -1,0 +1,397 @@
+(* Tests for mrm_util: special functions, log-space arithmetic, RNG,
+   statistics and table rendering. *)
+
+module Special = Mrm_util.Special
+module Logspace = Mrm_util.Logspace
+module Rng = Mrm_util.Rng
+module Stats = Mrm_util.Stats
+module Table = Mrm_util.Table
+
+let check_close ?(tol = 1e-12) name expected actual =
+  let scale = 1. +. Float.max (abs_float expected) (abs_float actual) in
+  if abs_float (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_log_gamma_integers () =
+  (* Gamma(n) = (n-1)! *)
+  check_close "lgamma 1" 0. (Special.log_gamma 1.);
+  check_close "lgamma 2" 0. (Special.log_gamma 2.);
+  check_close "lgamma 5" (log 24.) (Special.log_gamma 5.);
+  check_close "lgamma 11" (log 3628800.) (Special.log_gamma 11.)
+
+let test_log_gamma_half () =
+  (* Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2. *)
+  check_close "lgamma 0.5" (0.5 *. log Float.pi) (Special.log_gamma 0.5);
+  check_close "lgamma 1.5"
+    (log (sqrt Float.pi /. 2.))
+    (Special.log_gamma 1.5)
+
+let test_log_gamma_large () =
+  (* Stirling cross-check at x = 1000.5 (reference from the recurrence
+     Gamma(x+1) = x Gamma(x) applied down from a Lanczos value). *)
+  let x = 171.5 in
+  let direct = Special.log_gamma x in
+  let via_recurrence = Special.log_gamma (x -. 1.) +. log (x -. 1.) in
+  check_close ~tol:1e-13 "lgamma recurrence" via_recurrence direct
+
+let test_log_gamma_invalid () =
+  Alcotest.check_raises "lgamma 0" (Invalid_argument
+    "Special.log_gamma: requires x > 0") (fun () ->
+      ignore (Special.log_gamma 0.))
+
+let test_log_factorial () =
+  check_close "log 0!" 0. (Special.log_factorial 0);
+  check_close "log 5!" (log 120.) (Special.log_factorial 5);
+  check_close "log 170!" (Special.log_gamma 171.) (Special.log_factorial 170);
+  (* Above the table boundary the lgamma path takes over continuously. *)
+  check_close ~tol:1e-12 "log 171!"
+    (Special.log_factorial 170 +. log 171.)
+    (Special.log_factorial 171)
+
+let test_factorial () =
+  check_close "0!" 1. (Special.factorial 0);
+  check_close "10!" 3628800. (Special.factorial 10);
+  Alcotest.(check bool) "171! overflows" true (Special.factorial 171 = infinity)
+
+let test_binomial () =
+  check_close "C(5,2)" 10. (Special.binomial 5 2);
+  check_close "C(10,0)" 1. (Special.binomial 10 0);
+  check_close "C(10,10)" 1. (Special.binomial 10 10);
+  check_close "C(5,7) = 0" 0. (Special.binomial 5 7);
+  check_close "C(5,-1) = 0" 0. (Special.binomial 5 (-1));
+  (* Pascal's rule at a size beyond the factorial table. *)
+  let n = 200 and k = 77 in
+  check_close ~tol:1e-10 "Pascal 200"
+    (Special.binomial (n - 1) (k - 1) +. Special.binomial (n - 1) k)
+    (Special.binomial n k)
+
+let test_erf_reference_values () =
+  (* Abramowitz & Stegun table values. *)
+  check_close ~tol:1e-13 "erf 0" 0. (Special.erf 0.);
+  check_close ~tol:1e-12 "erf 0.5" 0.5204998778130465 (Special.erf 0.5);
+  check_close ~tol:1e-12 "erf 1" 0.8427007929497149 (Special.erf 1.);
+  check_close ~tol:1e-12 "erf 2" 0.9953222650189527 (Special.erf 2.);
+  check_close ~tol:1e-12 "erf -1" (-0.8427007929497149) (Special.erf (-1.))
+
+let test_erfc_tail () =
+  (* erfc stays accurate (relatively) deep into the tail. *)
+  let reference = 1.5374597944280349e-12 (* erfc(5) *) in
+  let got = Special.erfc 5. in
+  if abs_float (got -. reference) /. reference > 1e-10 then
+    Alcotest.failf "erfc 5: got %.17g" got;
+  check_close ~tol:1e-12 "erfc(-x) = 2 - erfc(x)"
+    (2. -. Special.erfc 1.5)
+    (Special.erfc (-1.5))
+
+let test_erf_erfc_complement () =
+  List.iter
+    (fun x ->
+      check_close ~tol:1e-13
+        (Printf.sprintf "erf+erfc at %g" x)
+        1.
+        (Special.erf x +. Special.erfc x))
+    [ 0.1; 0.9; 1.9; 2.1; 3.5; 7. ]
+
+let test_normal_cdf () =
+  check_close ~tol:1e-12 "Phi(0)" 0.5 (Special.normal_cdf ~mu:0. ~sigma:1. 0.);
+  check_close ~tol:1e-10 "Phi(1.96)" 0.9750021048517795
+    (Special.normal_cdf ~mu:0. ~sigma:1. 1.96);
+  (* Location-scale property. *)
+  check_close ~tol:1e-13 "cdf shift"
+    (Special.normal_cdf ~mu:0. ~sigma:1. 1.2)
+    (Special.normal_cdf ~mu:3. ~sigma:2. (3. +. 2.4))
+
+let test_normal_pdf () =
+  check_close ~tol:1e-13 "pdf peak"
+    (1. /. sqrt (2. *. Float.pi))
+    (Special.normal_pdf ~mu:0. ~sigma:1. 0.);
+  (* Integrates to ~1 (trapezoid on [-8, 8]). *)
+  let n = 4000 in
+  let h = 16. /. float_of_int n in
+  let acc = ref 0. in
+  for k = 0 to n do
+    let x = -8. +. (float_of_int k *. h) in
+    let w = if k = 0 || k = n then 0.5 else 1. in
+    acc := !acc +. (w *. Special.normal_pdf ~mu:0. ~sigma:1. x)
+  done;
+  check_close ~tol:1e-10 "pdf mass" 1. (!acc *. h)
+
+let test_normal_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Special.normal_quantile p in
+      check_close ~tol:1e-9
+        (Printf.sprintf "quantile roundtrip %g" p)
+        p
+        (Special.normal_cdf ~mu:0. ~sigma:1. x))
+    [ 1e-6; 0.01; 0.25; 0.5; 0.8413; 0.99; 1. -. 1e-6 ]
+
+let test_normal_quantile_invalid () =
+  List.iter
+    (fun p ->
+      match Special.normal_quantile p with
+      | _ -> Alcotest.failf "quantile %g should raise" p
+      | exception Invalid_argument _ -> ())
+    [ 0.; 1.; -0.5; 1.5 ]
+
+let test_log_poisson_pmf () =
+  (* Small lambda: direct formula. *)
+  check_close ~tol:1e-13 "pois(2;3)"
+    (log (exp (-2.) *. 8. /. 6.))
+    (Special.log_poisson_pmf ~lambda:2. 3);
+  (* Large lambda: the mode weight is ~ 1/sqrt(2 pi lambda). *)
+  let lambda = 1e6 in
+  let mode = Special.log_poisson_pmf ~lambda 1_000_000 in
+  let stirling = -0.5 *. log (2. *. Float.pi *. lambda) in
+  check_close ~tol:1e-6 "pois mode 1e6" stirling mode;
+  check_close "pois(0;0)" 0. (Special.log_poisson_pmf ~lambda:0. 0);
+  Alcotest.(check bool) "pois(0;1) = -inf" true
+    (Special.log_poisson_pmf ~lambda:0. 1 = neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+
+let test_log_add () =
+  check_close "log_add basic"
+    (log (3. +. 5.))
+    (Logspace.log_add (log 3.) (log 5.));
+  check_close "log_add zero" (log 7.) (Logspace.log_add neg_infinity (log 7.));
+  (* Huge magnitude difference: larger argument dominates. *)
+  check_close "log_add dominant" 1000. (Logspace.log_add 1000. (-1000.))
+
+let test_log_sub () =
+  check_close "log_sub basic"
+    (log (5. -. 3.))
+    (Logspace.log_sub (log 5.) (log 3.));
+  Alcotest.(check bool) "log_sub equal" true
+    (Logspace.log_sub (log 5.) (log 5.) = neg_infinity);
+  Alcotest.check_raises "log_sub order"
+    (Invalid_argument "Logspace.log_sub: requires la >= lb") (fun () ->
+      ignore (Logspace.log_sub (log 3.) (log 5.)))
+
+let test_log_sum_exp () =
+  Alcotest.(check bool) "lse empty" true
+    (Logspace.log_sum_exp [||] = neg_infinity);
+  check_close "lse 3 terms"
+    (log 6.)
+    (Logspace.log_sum_exp [| log 1.; log 2.; log 3. |]);
+  (* Stability: values around -2000 would underflow linearly. *)
+  check_close ~tol:1e-12 "lse deep"
+    (-2000. +. log 3.)
+    (Logspace.log_sum_exp [| -2000.; -2000.; -2000. |])
+
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7L () and b = Rng.create ~seed:7L () in
+  for _ = 1 to 100 do
+    check_close "stream equality" (Rng.uniform a) (Rng.uniform b)
+  done
+
+let test_rng_streams_differ () =
+  let a = Rng.create ~seed:7L () in
+  let b = Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.uniform a = Rng.uniform b then incr matches
+  done;
+  Alcotest.(check bool) "split stream diverges" true (!matches < 5)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform rng in
+    if not (u >= 0. && u < 1.) then Alcotest.failf "uniform out of range %g" u
+  done
+
+let test_rng_uniform_moments () =
+  let rng = Rng.create ~seed:3L () in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.uniform rng) in
+  check_close ~tol:5e-3 "uniform mean" 0.5 (Stats.mean xs);
+  check_close ~tol:5e-3 "uniform var" (1. /. 12.) (Stats.variance xs)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create ~seed:11L () in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Rng.normal rng) in
+  check_close ~tol:0.02 "normal mean" 0. (Stats.mean xs);
+  check_close ~tol:0.02 "normal var" 1. (Stats.variance xs);
+  check_close ~tol:0.05 "normal kurtosis" 3.
+    (Stats.central_moment 4 xs /. (Stats.variance xs ** 2.))
+
+let test_rng_exponential () =
+  let rng = Rng.create ~seed:13L () in
+  let rate = 2.5 in
+  let xs = Array.init 200_000 (fun _ -> Rng.exponential rng ~rate) in
+  check_close ~tol:0.01 "exp mean" (1. /. rate) (Stats.mean xs);
+  Alcotest.check_raises "exp bad rate"
+    (Invalid_argument "Rng.exponential: requires rate > 0") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.))
+
+let test_rng_categorical () =
+  let rng = Rng.create ~seed:17L () in
+  let weights = [| 1.; 0.; 3. |] in
+  let counts = Array.make 3 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.categorical rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight category never drawn" 0 counts.(1);
+  check_close ~tol:0.02 "category 2 frequency" 0.75
+    (float_of_int counts.(2) /. float_of_int n);
+  Alcotest.check_raises "categorical empty"
+    (Invalid_argument "Rng.categorical: weights must have a positive sum")
+    (fun () -> ignore (Rng.categorical rng [| 0.; 0. |]))
+
+let test_rng_gaussian_degenerate () =
+  let rng = Rng.create () in
+  check_close "sigma 0 gaussian" 4.2 (Rng.gaussian rng ~mu:4.2 ~sigma:0.)
+
+(* ------------------------------------------------------------------ *)
+
+let test_stats_summary () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let s = Stats.summarize xs in
+  check_close "mean" 2.5 s.Stats.mean;
+  check_close "var" (5. /. 3.) s.Stats.variance;
+  check_close "min" 1. s.Stats.min;
+  check_close "max" 4. s.Stats.max;
+  Alcotest.(check int) "count" 4 s.Stats.count
+
+let test_stats_moments () =
+  let xs = [| 1.; 2.; 3. |] in
+  check_close "raw 1" 2. (Stats.raw_moment 1 xs);
+  check_close "raw 2" (14. /. 3.) (Stats.raw_moment 2 xs);
+  check_close "central 2" (2. /. 3.) (Stats.central_moment 2 xs);
+  check_close "central 3" 0. (Stats.central_moment 3 xs)
+
+let test_stats_quantile () =
+  let xs = [| 5.; 1.; 3. |] in
+  check_close "q0" 1. (Stats.quantile 0. xs);
+  check_close "q50" 3. (Stats.quantile 0.5 xs);
+  check_close "q100" 5. (Stats.quantile 1. xs);
+  check_close "q25" 2. (Stats.quantile 0.25 xs);
+  (* Input not mutated. *)
+  Alcotest.(check (float 0.)) "input preserved" 5. xs.(0)
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean empty"
+    (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_stats_ci_coverage () =
+  (* CI for the mean of a known distribution covers the truth most of the
+     time (deterministic seed, so this is a regression test). *)
+  let rng = Rng.create ~seed:23L () in
+  let trials = 200 and n = 400 in
+  let covered = ref 0 in
+  for _ = 1 to trials do
+    let xs = Array.init n (fun _ -> Rng.normal rng) in
+    let lo, hi = Stats.mean_confidence_interval ~confidence:0.95 xs in
+    if lo <= 0. && 0. <= hi then incr covered
+  done;
+  if !covered < 180 then
+    Alcotest.failf "CI coverage too low: %d/200" !covered
+
+let test_stats_cdf () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_close "ecdf mid" 0.5 (Stats.empirical_cdf xs 2.);
+  check_close "ecdf below" 0. (Stats.empirical_cdf xs 0.);
+  check_close "ecdf above" 1. (Stats.empirical_cdf xs 9.)
+
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "33"; "4" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* Header first, separator second. *)
+  (match lines with
+  | header :: separator :: _ ->
+      Alcotest.(check bool) "has header" true
+        (String.length header >= 4 && header.[0] = 'a');
+      Alcotest.(check bool) "separator dashes" true
+        (String.for_all (fun c -> c = '-') separator)
+  | _ -> Alcotest.fail "unexpected shape")
+
+let test_table_series () =
+  let s =
+    Table.render_series ~title:"demo" ~x_label:"t" ~columns:[ "y" ]
+      [ (0., [ 1. ]); (0.5, [ 2.25 ]) ]
+  in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 8 && String.sub s 0 8 = "== demo ")
+
+let test_float_cell () =
+  Alcotest.(check string) "integer" "42" (Table.float_cell 42.);
+  Alcotest.(check string) "fraction" "3.14159" (Table.float_cell 3.14159)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mrm_util"
+    [
+      ( "special",
+        [
+          Alcotest.test_case "log_gamma integers" `Quick
+            test_log_gamma_integers;
+          Alcotest.test_case "log_gamma half-integers" `Quick
+            test_log_gamma_half;
+          Alcotest.test_case "log_gamma recurrence" `Quick
+            test_log_gamma_large;
+          Alcotest.test_case "log_gamma invalid" `Quick
+            test_log_gamma_invalid;
+          Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+          Alcotest.test_case "factorial" `Quick test_factorial;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "erf reference values" `Quick
+            test_erf_reference_values;
+          Alcotest.test_case "erfc tail accuracy" `Quick test_erfc_tail;
+          Alcotest.test_case "erf/erfc complement" `Quick
+            test_erf_erfc_complement;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "normal pdf" `Quick test_normal_pdf;
+          Alcotest.test_case "normal quantile roundtrip" `Quick
+            test_normal_quantile_roundtrip;
+          Alcotest.test_case "normal quantile domain" `Quick
+            test_normal_quantile_invalid;
+          Alcotest.test_case "log poisson pmf" `Quick test_log_poisson_pmf;
+        ] );
+      ( "logspace",
+        [
+          Alcotest.test_case "log_add" `Quick test_log_add;
+          Alcotest.test_case "log_sub" `Quick test_log_sub;
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_streams_differ;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform moments" `Slow test_rng_uniform_moments;
+          Alcotest.test_case "normal moments" `Slow test_rng_normal_moments;
+          Alcotest.test_case "exponential" `Slow test_rng_exponential;
+          Alcotest.test_case "categorical" `Slow test_rng_categorical;
+          Alcotest.test_case "gaussian sigma=0" `Quick
+            test_rng_gaussian_degenerate;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "moments" `Quick test_stats_moments;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "empty input" `Quick test_stats_empty;
+          Alcotest.test_case "CI coverage" `Slow test_stats_ci_coverage;
+          Alcotest.test_case "empirical cdf" `Quick test_stats_cdf;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "series" `Quick test_table_series;
+          Alcotest.test_case "float cell" `Quick test_float_cell;
+        ] );
+    ]
