@@ -6,6 +6,7 @@
      simulate  - Monte-Carlo estimates with confidence intervals
      path      - a discretized joint sample path (t, state, B(t))
      info      - model summary (states, rates, uniformization constants)
+     lint      - static verification of a model file (MRM0xx diagnostics)
 
    Built-in models: onoff (the paper's Section-7 multiplexer),
    repair (machine repairman), multi (fault-tolerant multiprocessor). *)
@@ -423,6 +424,125 @@ let fluid_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+type lint_format = Human | Sexp | Json
+
+let lint_format_conv =
+  let parse = function
+    | "human" -> Ok Human
+    | "sexp" -> Ok Sexp
+    | "json" -> Ok Json
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with Human -> "human" | Sexp -> "sexp" | Json -> "json")
+  in
+  Arg.conv (parse, print)
+
+let lint_cmd =
+  let module Check = Mrm_check.Check in
+  let module Diagnostics = Mrm_check.Diagnostics in
+  let module Model_io = Mrm_core.Model_io in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MODEL" ~doc:"Model file in the Model_io text format.")
+  in
+  let order =
+    Arg.(
+      value & opt int 3
+      & info [ "order" ] ~docv:"N"
+          ~doc:"Moment order the solve would use (conditioning checks).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt lint_format_conv Human
+      & info [ "format" ] ~docv:"F"
+          ~doc:"Report rendering: $(b,human), $(b,sexp) or $(b,json).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  let print_report format report =
+    match format with
+    | Human -> Format.printf "%a" Diagnostics.pp_report report
+    | Sexp -> print_endline (Diagnostics.report_to_sexp report)
+    | Json -> print_endline (Diagnostics.report_to_json report)
+  in
+  let exit_code strict report =
+    if Diagnostics.has_errors report then 1
+    else if strict && Diagnostics.count Diagnostics.Warning report > 0 then 1
+    else 0
+  in
+  let run path t order eps format strict =
+    let text =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Model_io.parse_raw text with
+    | Error e ->
+        let context =
+          List.concat
+            [
+              [ ("file", path) ];
+              (match e.Model_io.line with
+              | Some l -> [ ("line", string_of_int l) ]
+              | None -> []);
+              (match e.Model_io.field with
+              | Some f -> [ ("field", f) ]
+              | None -> []);
+            ]
+        in
+        let report =
+          [
+            Diagnostics.error ~code:"MRM090" ~context
+              (Model_io.error_message e);
+          ]
+        in
+        print_report format report;
+        1
+    | Ok raw ->
+        let n = raw.Model_io.declared_states in
+        let rates = Array.make n 0. and variances = Array.make n 0. in
+        List.iter
+          (fun (state, drift, variance) ->
+            rates.(state) <- drift;
+            variances.(state) <- variance)
+          raw.Model_io.raw_rewards;
+        let initial = Array.make n 0. in
+        List.iter
+          (fun (state, p) -> initial.(state) <- p)
+          raw.Model_io.raw_initial;
+        let data =
+          Check.of_triplets ~states:n
+            ~transitions:raw.Model_io.raw_transitions ~rates ~variances
+            ~initial
+        in
+        let config = { Check.t; order; eps; q = None; d = None } in
+        let report = Check.check ~config data in
+        print_report format report;
+        exit_code strict report
+  in
+  let term =
+    Term.(const run $ file $ t_arg $ order $ eps_arg $ format $ strict)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically verify a model file: generator validity, reward \
+          sanity, reachability, uniformization invariants and \
+          conditioning, without solving anything")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 
 let info_cmd =
@@ -445,6 +565,6 @@ let () =
   let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
       [ moments_cmd; bounds_cmd; distribution_cmd; simulate_cmd; path_cmd;
-        mtta_cmd; fluid_cmd; info_cmd ]
+        mtta_cmd; fluid_cmd; info_cmd; lint_cmd ]
   in
   exit (Cmd.eval' root)

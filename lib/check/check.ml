@@ -1,0 +1,512 @@
+module Sparse = Mrm_linalg.Sparse
+module Poisson = Mrm_ctmc.Poisson
+module Special = Mrm_util.Special
+module D = Diagnostics
+
+type data = {
+  states : int;
+  q_matrix : Sparse.t;
+  rates : float array;
+  variances : float array;
+  initial : float array;
+}
+
+let data ~q_matrix ~rates ~variances ~initial =
+  { states = Sparse.rows q_matrix; q_matrix; rates; variances; initial }
+
+let of_triplets ~states ~transitions ~rates ~variances ~initial =
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= states || j < 0 || j >= states then
+        invalid_arg
+          (Printf.sprintf "Check.of_triplets: transition (%d, %d) out of [0, %d)"
+             i j states))
+    transitions;
+  let exits = Array.make states 0. in
+  let off_diagonal = List.filter (fun (i, j, v) -> i <> j && v <> 0.) transitions in
+  List.iter (fun (i, _, v) -> exits.(i) <- exits.(i) +. v) off_diagonal;
+  let diagonal =
+    List.filter
+      (fun (_, _, v) -> v <> 0.)
+      (List.init states (fun i -> (i, i, -.exits.(i))))
+  in
+  let q_matrix =
+    Sparse.of_triplets ~rows:states ~cols:states (diagonal @ off_diagonal)
+  in
+  { states; q_matrix; rates; variances; initial }
+
+type config = {
+  t : float;
+  order : int;
+  eps : float;
+  q : float option;
+  d : float option;
+}
+
+let default_config = { t = 1.; order = 3; eps = 1e-9; q = None; d = None }
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers                                                       *)
+
+let fmt = Printf.sprintf
+let fg v = fmt "%g" v
+let fi v = string_of_int v
+
+(* Mirrors the solver's choices (Randomization): uniformization rate
+   q = max_i |q_ii|, drift shift making all rates non-negative, and the
+   minimal d keeping R' and S' substochastic. *)
+let chain_rate m =
+  let q = ref 0. in
+  Sparse.iter m (fun i j v -> if i = j then q := Float.max !q (abs_float v));
+  !q
+
+let shift_of rates = Float.min 0. (Array.fold_left Float.min infinity rates)
+
+let default_d ~q ~rates ~variances =
+  if q <= 0. then 0.
+  else begin
+    let shift = shift_of rates in
+    let max_shifted =
+      Array.fold_left (fun acc r -> Float.max acc (r -. shift)) 0. rates
+    in
+    let max_std =
+      sqrt (Array.fold_left Float.max 0. variances)
+    in
+    Float.max (max_shifted /. q) (max_std /. sqrt q)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Passes                                                               *)
+
+let check_dimensions { states; q_matrix; rates; variances; initial } =
+  let finding what got =
+    D.error ~code:"MRM005"
+      ~context:[ ("expected", fi states); ("got", fi got) ]
+      (fmt "%s has dimension %d, expected %d" what got states)
+  in
+  List.concat
+    [
+      (if Sparse.rows q_matrix <> states then
+         [ finding "generator row count" (Sparse.rows q_matrix) ]
+       else []);
+      (if Sparse.cols q_matrix <> Sparse.rows q_matrix then
+         [
+           D.error ~code:"MRM005"
+             ~context:
+               [
+                 ("rows", fi (Sparse.rows q_matrix));
+                 ("cols", fi (Sparse.cols q_matrix));
+               ]
+             (fmt "generator is %d x %d, not square" (Sparse.rows q_matrix)
+                (Sparse.cols q_matrix));
+         ]
+       else []);
+      (if Array.length rates <> states then
+         [ finding "rate vector" (Array.length rates) ]
+       else []);
+      (if Array.length variances <> states then
+         [ finding "variance vector" (Array.length variances) ]
+       else []);
+      (if Array.length initial <> states then
+         [ finding "initial vector" (Array.length initial) ]
+       else []);
+    ]
+
+let check_generator ?(tol = 1e-9) { q_matrix; _ } =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  Sparse.iter q_matrix (fun i j v ->
+      if not (Float.is_finite v) then
+        add
+          (D.error ~code:"MRM001"
+             ~context:[ ("row", fi i); ("col", fi j); ("value", fg v) ]
+             (fmt "non-finite generator entry %g at (%d, %d)" v i j))
+      else if i = j then begin
+        if v > 0. then
+          add
+            (D.error ~code:"MRM003"
+               ~context:[ ("state", fi i); ("value", fg v) ]
+               (fmt "positive diagonal entry %g at state %d" v i))
+      end
+      else if v < 0. then
+        add
+          (D.error ~code:"MRM002"
+             ~context:[ ("row", fi i); ("col", fi j); ("value", fg v) ]
+             (fmt "negative off-diagonal rate %g at (%d, %d)" v i j)));
+  let q = chain_rate q_matrix in
+  let tolerance = tol *. Float.max 1. q in
+  Array.iteri
+    (fun i s ->
+      if Float.is_finite s && abs_float s > tolerance then
+        add
+          (D.error ~code:"MRM004"
+             ~context:
+               [ ("row", fi i); ("sum", fg s); ("tolerance", fg tolerance) ]
+             (fmt "row %d sums to %g, not 0 (tolerance %g)" i s tolerance)))
+    (Sparse.row_sums q_matrix);
+  List.rev !acc
+
+let check_rewards { rates; variances; _ } =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  Array.iteri
+    (fun i r ->
+      if not (Float.is_finite r) then
+        add
+          (D.error ~code:"MRM010"
+             ~context:[ ("state", fi i); ("value", fg r) ]
+             (fmt "non-finite drift %g at state %d" r i)))
+    rates;
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) then
+        add
+          (D.error ~code:"MRM012"
+             ~context:[ ("state", fi i); ("value", fg v) ]
+             (fmt "non-finite variance %g at state %d" v i))
+      else if v < 0. then
+        add
+          (D.error ~code:"MRM011"
+             ~context:[ ("state", fi i); ("value", fg v) ]
+             (fmt "negative variance %g at state %d (sigma_i^2 >= 0 required)" v
+                i)))
+    variances;
+  List.rev !acc
+
+let check_initial { initial; _ } =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  Array.iteri
+    (fun i p ->
+      if (not (Float.is_finite p)) || p < 0. || p > 1. then
+        add
+          (D.error ~code:"MRM020"
+             ~context:[ ("state", fi i); ("value", fg p) ]
+             (fmt "initial probability %g at state %d outside [0, 1]" p i)))
+    initial;
+  let total = Array.fold_left ( +. ) 0. initial in
+  if Float.is_finite total && abs_float (total -. 1.) > 1e-9 then
+    add
+      (D.error ~code:"MRM021"
+         ~context:[ ("sum", fg total) ]
+         (fmt "initial probabilities sum to %g, not 1" total));
+  List.rev !acc
+
+let sample_states states =
+  let shown = List.filteri (fun i _ -> i < 5) states in
+  let listed = String.concat ", " (List.map string_of_int shown) in
+  if List.length states > 5 then listed ^ ", ..." else listed
+
+let check_structure { states; q_matrix; initial; _ } =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let support = ref [] in
+  for i = states - 1 downto 0 do
+    if i < Array.length initial && initial.(i) > 0. then support := i :: !support
+  done;
+  (if !support <> [] then begin
+     let seen = Scc.reachable q_matrix ~from:!support in
+     let unreachable = ref [] in
+     for i = states - 1 downto 0 do
+       if not seen.(i) then unreachable := i :: !unreachable
+     done;
+     match !unreachable with
+     | [] -> ()
+     | states ->
+         add
+           (D.warning ~code:"MRM030"
+              ~context:
+                [
+                  ("count", fi (List.length states));
+                  ("states", sample_states states);
+                ]
+              (fmt "%d state(s) unreachable from the initial support (%s)"
+                 (List.length states) (sample_states states)))
+   end);
+  (match Scc.absorbing_states q_matrix with
+  | [] -> ()
+  | states ->
+      add
+        (D.warning ~code:"MRM031"
+           ~context:
+             [
+               ("count", fi (List.length states));
+               ("states", sample_states states);
+             ]
+           (fmt
+              "%d absorbing state(s) (%s): accumulated-reward moments grow \
+               polynomially once absorbed"
+              (List.length states) (sample_states states))));
+  let components = Scc.of_sparse q_matrix in
+  if components.Scc.count > 1 then begin
+    let closed = Scc.closed_components q_matrix components in
+    add
+      (D.info ~code:"MRM032"
+         ~context:
+           [
+             ("classes", fi components.Scc.count);
+             ("closed", fi (List.length closed));
+           ]
+         (fmt
+            "chain is reducible: %d communicating classes (%d closed); no \
+             unique stationary distribution"
+            components.Scc.count (List.length closed)))
+  end;
+  List.rev !acc
+
+let check_uniformization ?(tol = 1e-9) ?(config = default_config)
+    ({ q_matrix; rates; variances; _ } as _data) =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let q_chain = chain_rate q_matrix in
+  let q = Option.value config.q ~default:q_chain in
+  if not (Float.is_finite q) then
+    add
+      (D.error ~code:"MRM044"
+         ~context:[ ("q", fg q) ]
+         (fmt "uniformization rate %g is not finite" q))
+  else if q = 0. then ()
+    (* Transition-free model: the solvers use the closed Brownian form;
+       there is nothing to uniformize. *)
+  else begin
+    if q < q_chain *. (1. -. tol) then
+      add
+        (D.error ~code:"MRM040"
+           ~context:[ ("q", fg q); ("max_exit_rate", fg q_chain) ]
+           (fmt
+              "uniformization rate %g below max exit rate %g: Q' = Q/q + I \
+               has negative diagonal entries"
+              q q_chain));
+    Array.iteri
+      (fun i s ->
+        let row_sum' = (s /. q) +. 1. in
+        if Float.is_finite row_sum' && row_sum' > 1. +. tol then
+          add
+            (D.error ~code:"MRM041"
+               ~context:[ ("row", fi i); ("sum", fg row_sum') ]
+               (fmt "uniformized row %d sums to %g > 1 (not substochastic)" i
+                  row_sum')))
+      (Sparse.row_sums q_matrix);
+    let d = Option.value config.d ~default:(default_d ~q ~rates ~variances) in
+    if not (Float.is_finite d) then
+      add
+        (D.error ~code:"MRM044"
+           ~context:[ ("d", fg d) ]
+           (fmt "reward scaling constant %g is not finite" d))
+    else if d > 0. then begin
+      let shift = shift_of rates in
+      Array.iteri
+        (fun i r ->
+          let r' = (r -. shift) /. (q *. d) in
+          if not (Float.is_finite r') then
+            add
+              (D.error ~code:"MRM044"
+                 ~context:[ ("state", fi i); ("value", fg r') ]
+                 (fmt "scaled drift at state %d is not finite" i))
+          else if r' > 1. +. tol then
+            add
+              (D.error ~code:"MRM042"
+                 ~context:[ ("state", fi i); ("value", fg r'); ("d", fg d) ]
+                 (fmt
+                    "R' not substochastic: r_%d' = %g > 1 for d = %g \
+                     (Lemma 2 bound invalid)"
+                    i r' d)))
+        rates;
+      Array.iteri
+        (fun i v ->
+          let s' = v /. (q *. d *. d) in
+          if not (Float.is_finite s') then
+            add
+              (D.error ~code:"MRM044"
+                 ~context:[ ("state", fi i); ("value", fg s') ]
+                 (fmt "scaled variance at state %d is not finite" i))
+          else if s' > 1. +. tol then
+            add
+              (D.error ~code:"MRM043"
+                 ~context:[ ("state", fi i); ("value", fg s'); ("d", fg d) ]
+                 (fmt
+                    "S' not substochastic: s_%d' = %g > 1 for d = %g \
+                     (Lemma 2 bound invalid)"
+                    i s' d)))
+        variances
+    end
+  end;
+  List.rev !acc
+
+(* Theorem-4 truncation point for the requested precision; mirrors
+   Randomization.truncation_point. Above [lambda_direct_warning] we skip
+   the quantile search and warn from [G ~ lambda] directly. *)
+let g_warning_threshold = 2_000_000
+let lambda_direct_warning = 5e7
+
+let estimate_truncation ~d ~lambda ~order ~eps =
+  if order = 0 then Poisson.tail_quantile ~lambda ~log_eps:(log eps)
+  else begin
+    let log_prefactor =
+      log 2.
+      +. (float_of_int order *. log d)
+      +. Special.log_factorial order
+      +. (float_of_int order *. log lambda)
+    in
+    let log_eps = log eps -. log_prefactor in
+    let m = Poisson.tail_quantile ~lambda ~log_eps in
+    max 1 (m + order - 1)
+  end
+
+let check_conditioning ?(config = default_config)
+    ({ q_matrix; rates; variances; _ } as _data) =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  if (not (Float.is_finite config.t)) || config.t < 0. then
+    add
+      (D.error ~code:"MRM060"
+         ~context:[ ("t", fg config.t) ]
+         (fmt "accumulation horizon t = %g must be finite and >= 0" config.t));
+  if config.order < 0 then
+    add
+      (D.error ~code:"MRM060"
+         ~context:[ ("order", fi config.order) ]
+         (fmt "moment order %d must be >= 0" config.order));
+  if (not (Float.is_finite config.eps)) || config.eps <= 0. then
+    add
+      (D.error ~code:"MRM060"
+         ~context:[ ("eps", fg config.eps) ]
+         (fmt "precision eps = %g must be finite and > 0" config.eps))
+  else if config.eps < 1e-15 then
+    add
+      (D.warning ~code:"MRM061"
+         ~context:[ ("eps", fg config.eps) ]
+         (fmt
+            "eps = %g is below attainable double precision; the truncation \
+             bound will cost iterations without gaining accuracy"
+            config.eps));
+  let shift = shift_of rates in
+  if shift < 0. then
+    add
+      (D.info ~code:"MRM052"
+         ~context:[ ("shift", fg shift) ]
+         (fmt
+            "negative drifts present: the solver shifts all rates by %g \
+             (results are mapped back exactly)"
+            (-.shift)));
+  (* Scale spread of the reward structure: the moments mix r_i and
+     sigma_i contributions, so >~8 orders of magnitude between the
+     smallest and largest non-zero scale loses digits. *)
+  let scales = ref [] in
+  Array.iter
+    (fun r ->
+      let m = abs_float (r -. shift) in
+      if m > 0. && Float.is_finite m then scales := m :: !scales)
+    rates;
+  Array.iter
+    (fun v ->
+      if v > 0. && Float.is_finite v then scales := sqrt v :: !scales)
+    variances;
+  (match !scales with
+  | [] -> ()
+  | first :: rest ->
+      let lo = List.fold_left Float.min first rest in
+      let hi = List.fold_left Float.max first rest in
+      if hi /. lo > 1e8 then
+        add
+          (D.warning ~code:"MRM051"
+             ~context:[ ("min_scale", fg lo); ("max_scale", fg hi) ]
+             (fmt
+                "reward scales span %.1f orders of magnitude (%g .. %g); \
+                 expect precision loss in high-order moments"
+                (log10 (hi /. lo)) lo hi)));
+  (* Truncation-point explosion (the G = O(qt) cost of Theorem 4). *)
+  let q = Option.value config.q ~default:(chain_rate q_matrix) in
+  let valid_time = Float.is_finite config.t && config.t >= 0. in
+  let valid_eps = Float.is_finite config.eps && config.eps > 0. in
+  if q > 0. && valid_time && valid_eps && config.order >= 0 then begin
+    let lambda = q *. config.t in
+    if lambda > lambda_direct_warning then
+      add
+        (D.warning ~code:"MRM050"
+           ~context:[ ("qt", fg lambda) ]
+           (fmt
+              "q t = %g: the Theorem-4 truncation point is of the same \
+               order; the solve needs ~%g sparse matrix-vector products per \
+               moment order"
+              lambda lambda))
+    else begin
+      let d =
+        Option.value config.d ~default:(default_d ~q ~rates ~variances)
+      in
+      if lambda > 0. && d > 0. && Float.is_finite d then begin
+        let g =
+          estimate_truncation ~d ~lambda ~order:config.order ~eps:config.eps
+        in
+        if g > g_warning_threshold then
+          add
+            (D.warning ~code:"MRM050"
+               ~context:[ ("g", fi g); ("qt", fg lambda) ]
+               (fmt
+                  "truncation point G = %d for q t = %g: the solve needs %d \
+                   sparse matrix-vector products per moment order"
+                  g lambda g))
+      end
+    end
+  end;
+  List.rev !acc
+
+let check ?tol ?config data =
+  let dims = check_dimensions data in
+  let findings =
+    if dims <> [] then dims @ check_generator ?tol data
+    else
+      List.concat
+        [
+          check_generator ?tol data;
+          check_rewards data;
+          check_initial data;
+          check_structure data;
+          check_uniformization ?tol ?config data;
+          check_conditioning ?config data;
+        ]
+  in
+  D.by_severity findings
+
+exception Failed of D.t list
+
+let () =
+  Printexc.register_printer (function
+    | Failed report ->
+        Some
+          (fmt "Mrm_check.Check.Failed: %d error(s) [%s]"
+             (List.length (D.errors report))
+             (String.concat ", " (D.codes (D.errors report))))
+    | _ -> None)
+
+let validate_exn ?tol ?config data =
+  let report = check ?tol ?config data in
+  if D.has_errors report then raise (Failed report)
+
+let code_table =
+  [
+    ("MRM001", D.Error, "non-finite entry in the generator matrix");
+    ("MRM002", D.Error, "negative off-diagonal rate in the generator");
+    ("MRM003", D.Error, "positive diagonal entry in the generator");
+    ("MRM004", D.Error, "generator row sum not (numerically) zero");
+    ("MRM005", D.Error, "dimension mismatch between model components");
+    ("MRM010", D.Error, "non-finite reward drift");
+    ("MRM011", D.Error, "negative reward variance");
+    ("MRM012", D.Error, "non-finite reward variance");
+    ("MRM020", D.Error, "initial probability outside [0, 1] or non-finite");
+    ("MRM021", D.Error, "initial probabilities do not sum to 1");
+    ("MRM030", D.Warning, "states unreachable from the initial support");
+    ("MRM031", D.Warning, "absorbing states present");
+    ("MRM032", D.Info, "reducible chain (multiple communicating classes)");
+    ("MRM040", D.Error, "uniformization rate below the max exit rate");
+    ("MRM041", D.Error, "uniformized generator Q' not substochastic");
+    ("MRM042", D.Error, "scaled drift matrix R' not substochastic");
+    ("MRM043", D.Error, "scaled variance matrix S' not substochastic");
+    ("MRM044", D.Error, "non-finite uniformized quantity");
+    ("MRM050", D.Warning, "Poisson truncation point impractically large");
+    ("MRM051", D.Warning, "reward scales span many orders of magnitude");
+    ("MRM052", D.Info, "drift shift applied to handle negative rates");
+    ("MRM060", D.Error, "invalid solver configuration (t, order or eps)");
+    ("MRM061", D.Warning, "eps below attainable double precision");
+    ("MRM090", D.Error, "model file parse error (emitted by mrm2 lint)");
+  ]

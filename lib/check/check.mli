@@ -1,0 +1,131 @@
+(** Static verification of second-order MRM inputs — every invariant the
+    solvers assume, checked {e without} solving anything.
+
+    The paper's randomization solver (Theorems 3/4) multiplies
+    non-negative substochastic matrices by non-negative vectors; its
+    a-priori error bound (eq. 11) is only valid when the inputs actually
+    are a generator ([q_ij >= 0] off the diagonal, zero row sums), a
+    reward structure ([sigma_i^2 >= 0], finite drifts) and a probability
+    vector, and when the uniformized [Q' = Q/q + I], [R' = R/(q d)],
+    [S' = S/(q d^2)] are substochastic for the chosen [q] and [d].
+    Reachability matters too: states unreachable from the initial
+    support waste work, and absorbing states change moment behaviour
+    (arXiv:2105.00330 analyses exactly that regime).
+
+    Checks operate on {!data} — raw, {e unvalidated} model components —
+    so they can lint inputs that the validating constructors
+    ({!Mrm_ctmc.Generator.of_sparse}, [Model.make]) would reject
+    outright, and report {e all} findings with state indices instead of
+    failing on the first.
+
+    Diagnostics carry stable codes; {!code_table} is the registry. *)
+
+type data = {
+  states : int;
+  q_matrix : Mrm_linalg.Sparse.t;  (** full generator, diagonal included *)
+  rates : float array;  (** drift [r_i] per state *)
+  variances : float array;  (** [sigma_i^2] per state *)
+  initial : float array;  (** initial probability vector *)
+}
+
+val data :
+  q_matrix:Mrm_linalg.Sparse.t ->
+  rates:float array ->
+  variances:float array ->
+  initial:float array ->
+  data
+(** Convenience constructor; [states] is taken from the matrix row
+    count. Performs no validation — that is the checks' job. *)
+
+val of_triplets :
+  states:int ->
+  transitions:(int * int * float) list ->
+  rates:float array ->
+  variances:float array ->
+  initial:float array ->
+  data
+(** Build [data] from off-diagonal rate triplets, filling the diagonal
+    with negated row sums (the [Model_io] convention). Unlike
+    {!Mrm_ctmc.Generator.of_triplets} this {e keeps} negative and
+    out-of-range-clamped entries so the checks can report them;
+    out-of-range indices raise [Invalid_argument] (they cannot be
+    represented in a sparse matrix at all). *)
+
+type config = {
+  t : float;  (** accumulation horizon *)
+  order : int;  (** highest moment order *)
+  eps : float;  (** randomization truncation-error bound *)
+  q : float option;  (** uniformization-rate override; default [max_i |q_ii|] *)
+  d : float option;
+      (** reward-scaling override; default the minimal [d] making [R'] and
+          [S'] substochastic (the solver's choice) *)
+}
+
+val default_config : config
+(** [t = 1., order = 3, eps = 1e-9], no overrides. *)
+
+(* ------------------------------------------------------------------ *)
+(* Individual passes. Each returns an independent diagnostic list;      *)
+(* [check] composes them.                                               *)
+
+val check_dimensions : data -> Diagnostics.t list
+(** [MRM005] when the matrix is not square or the array lengths disagree
+    with [states]. When this fails, the index-based passes below are not
+    safe to run — {!check} handles the sequencing. *)
+
+val check_generator : ?tol:float -> data -> Diagnostics.t list
+(** Generator validity: finiteness ([MRM001]), non-negative
+    off-diagonals ([MRM002]), non-positive diagonal ([MRM003]), row sums
+    zero within [tol * max (1, q)] ([MRM004], default [tol = 1e-9]).
+    Every diagnostic names the offending state index and value. *)
+
+val check_rewards : data -> Diagnostics.t list
+(** Finite drifts ([MRM010]), non-negative ([MRM011]) and finite
+    ([MRM012]) variances. *)
+
+val check_initial : data -> Diagnostics.t list
+(** Entries in [0, 1] and finite ([MRM020]); total mass 1 within 1e-9
+    ([MRM021]). *)
+
+val check_structure : data -> Diagnostics.t list
+(** Reachability and communication structure (Tarjan SCC on positive
+    off-diagonal entries): unreachable states ([MRM030], warning),
+    absorbing states ([MRM031], warning — moment behaviour changes when
+    the chain can get stuck), reducible chains ([MRM032], info, with the
+    communicating-class count). *)
+
+val check_uniformization : ?tol:float -> ?config:config -> data ->
+  Diagnostics.t list
+(** Substochasticity of the uniformized matrices for the chosen (or
+    default) [q] and [d]: [q] at least the max exit rate ([MRM040]),
+    row sums of [Q'] at most 1 ([MRM041]), [r_i'/(q d) <= 1] ([MRM042]),
+    [sigma_i^2/(q d^2) <= 1] ([MRM043]), and a finiteness scan of the
+    scaled quantities ([MRM044]). Skipped for transition-free models
+    ([q = 0] — the solvers use a closed form there). *)
+
+val check_conditioning : ?config:config -> data -> Diagnostics.t list
+(** Solver-configuration sanity: invalid [t]/[order]/[eps] ([MRM060],
+    error), a Theorem-4 truncation point so large the solve is
+    impractical ([MRM050], warning, threshold ~2e6 iterations),
+    reward scales spanning more than 8 orders of magnitude ([MRM051],
+    warning), a negative-drift shift being applied ([MRM052], info),
+    and [eps] below attainable double precision ([MRM061], warning). *)
+
+val check : ?tol:float -> ?config:config -> data -> Diagnostics.t list
+(** All passes, in severity order. If {!check_dimensions} fails, only
+    dimension and matrix-local generator findings are returned. *)
+
+(* ------------------------------------------------------------------ *)
+
+exception Failed of Diagnostics.t list
+(** Raised by {!validate_exn}; the payload is the full report. The
+    registered exception printer lists the failed error codes. *)
+
+val validate_exn : ?tol:float -> ?config:config -> data -> unit
+(** Run {!check}; raise {!Failed} if any [Error]-severity diagnostic is
+    present (warnings and notes do not raise). *)
+
+val code_table : (string * Diagnostics.severity * string) list
+(** The registry of stable diagnostic codes: (code, worst-case severity,
+    one-line description). [MRM090] (model-file parse error) is emitted
+    by the [mrm2 lint] front end rather than by {!check}. *)

@@ -1,0 +1,171 @@
+type severity = Error | Warning | Info
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  context : (string * string) list;
+}
+
+let make severity ~code ?(context = []) message =
+  { severity; code; message; context }
+
+let error ~code ?context message = make Error ~code ?context message
+let warning ~code ?context message = make Warning ~code ?context message
+let info ~code ?context message = make Info ~code ?context message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count s ds = List.length (List.filter (fun d -> d.severity = s) ds)
+
+let by_severity ds =
+  List.stable_sort (fun a b -> compare_severity a.severity b.severity) ds
+
+let codes ds =
+  List.fold_left
+    (fun acc d -> if List.mem d.code acc then acc else d.code :: acc)
+    [] ds
+  |> List.rev
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s: %s" (severity_label d.severity) d.code d.message;
+  if d.context <> [] then begin
+    Format.fprintf ppf " [";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf ppf " ";
+        Format.fprintf ppf "%s=%s" k v)
+      d.context;
+    Format.fprintf ppf "]"
+  end
+
+let pp_report ppf ds =
+  match ds with
+  | [] -> Format.fprintf ppf "no findings@."
+  | _ ->
+      List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (by_severity ds);
+      Format.fprintf ppf "%d errors, %d warnings, %d notes@." (count Error ds)
+        (count Warning ds) (count Info ds)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable renderings                                          *)
+
+let sexp_atom s =
+  let needs_quoting =
+    s = ""
+    || String.exists
+         (fun c ->
+           match c with
+           | ' ' | '\t' | '\n' | '(' | ')' | '"' | ';' -> true
+           | _ -> false)
+         s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_sexp d =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "(diagnostic (severity ";
+  Buffer.add_string buf (severity_label d.severity);
+  Buffer.add_string buf ") (code ";
+  Buffer.add_string buf (sexp_atom d.code);
+  Buffer.add_string buf ") (message ";
+  Buffer.add_string buf (sexp_atom d.message);
+  Buffer.add_string buf ")";
+  if d.context <> [] then begin
+    Buffer.add_string buf " (context";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf " (";
+        Buffer.add_string buf (sexp_atom k);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (sexp_atom v);
+        Buffer.add_char buf ')')
+      d.context;
+    Buffer.add_char buf ')'
+  end;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"severity\":";
+  Buffer.add_string buf (json_string (severity_label d.severity));
+  Buffer.add_string buf ",\"code\":";
+  Buffer.add_string buf (json_string d.code);
+  Buffer.add_string buf ",\"message\":";
+  Buffer.add_string buf (json_string d.message);
+  if d.context <> [] then begin
+    Buffer.add_string buf ",\"context\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (json_string k);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (json_string v))
+      d.context;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let report_to_sexp ds =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "(report";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf "\n ";
+      Buffer.add_string buf (to_sexp d))
+    (by_severity ds);
+  Buffer.add_string buf ")";
+  Buffer.contents buf
+
+let report_to_json ds =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (to_json d))
+    (by_severity ds);
+  Buffer.add_char buf ']';
+  Buffer.contents buf

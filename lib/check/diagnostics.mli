@@ -1,0 +1,65 @@
+(** Structured diagnostics for the static model-verification layer.
+
+    Every finding of {!Check} (and of the [mrm2 lint] front end) is a
+    value of type {!t}: a severity, a stable machine-readable code
+    ([MRM0xx] — see {!Check.code_table} for the registry), a
+    human-readable message, and optional key/value context (state
+    indices, offending values) so tools never have to parse the prose.
+
+    Renderings: a terse human line ({!pp}), an S-expression
+    ({!to_sexp}), and JSON ({!to_json}); whole-report variants
+    aggregate a list. No external dependencies — both machine formats
+    are emitted by hand so the library stays pure OCaml. *)
+
+type severity = Error | Warning | Info
+
+val severity_label : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val compare_severity : severity -> severity -> int
+(** Orders [Error > Warning > Info] (most severe first when used with
+    [List.sort]). *)
+
+type t = {
+  severity : severity;
+  code : string;  (** stable code, e.g. ["MRM004"] *)
+  message : string;  (** human-readable, one line *)
+  context : (string * string) list;
+      (** machine-readable details, e.g. [("state", "3"); ("value", "-0.5")] *)
+}
+
+val make : severity -> code:string -> ?context:(string * string) list ->
+  string -> t
+
+val error : code:string -> ?context:(string * string) list -> string -> t
+val warning : code:string -> ?context:(string * string) list -> string -> t
+val info : code:string -> ?context:(string * string) list -> string -> t
+
+val errors : t list -> t list
+(** The [Error]-severity subset, in order. *)
+
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val by_severity : t list -> t list
+(** Stable sort, most severe first. *)
+
+val codes : t list -> string list
+(** Distinct codes present, in first-appearance order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [error MRM004: row 2 sums to 0.5 (not 0) [row=2 sum=0.5]]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** One diagnostic per line, most severe first, followed by a summary
+    line ([N errors, M warnings, K notes]). Prints [no findings] on the
+    empty list. *)
+
+val to_sexp : t -> string
+(** [(diagnostic (severity error) (code MRM004) (message "...") (context (row 2) (sum 0.5)))] *)
+
+val to_json : t -> string
+(** [{"severity":"error","code":"MRM004","message":"...","context":{"row":"2","sum":"0.5"}}] *)
+
+val report_to_sexp : t list -> string
+val report_to_json : t list -> string

@@ -1,0 +1,120 @@
+module Sparse = Mrm_linalg.Sparse
+
+type components = { count : int; component : int array }
+
+(* Iterative Tarjan with an explicit call stack of (vertex, next-child)
+   frames; the recursive formulation overflows the OCaml stack around
+   ~10^5 vertices for chain-shaped graphs, which is exactly the shape of
+   the paper's birth-death examples. *)
+let of_successors n succ =
+  let adjacency = Array.init n (fun v -> Array.of_list (succ v)) in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let tarjan_stack = ref [] in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    tarjan_stack := v :: !tarjan_stack;
+    on_stack.(v) <- true
+  in
+  let call = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      visit root;
+      Stack.push (root, ref 0) call;
+      while not (Stack.is_empty call) do
+        let v, child = Stack.top call in
+        if !child < Array.length adjacency.(v) then begin
+          let w = adjacency.(v).(!child) in
+          incr child;
+          if index.(w) < 0 then begin
+            visit w;
+            Stack.push (w, ref 0) call
+          end
+          else if on_stack.(w) then
+            lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop call);
+          if lowlink.(v) = index.(v) then begin
+            let closing = ref true in
+            while !closing do
+              match !tarjan_stack with
+              | w :: rest ->
+                  tarjan_stack := rest;
+                  on_stack.(w) <- false;
+                  component.(w) <- !count;
+                  if w = v then closing := false
+              | [] -> assert false
+            done;
+            incr count
+          end;
+          match Stack.top_opt call with
+          | Some (parent, _) ->
+              lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | None -> ()
+        end
+      done
+    end
+  done;
+  { count = !count; component }
+
+let successor_lists m =
+  let n = Sparse.rows m in
+  if Sparse.cols m <> n then invalid_arg "Scc: matrix must be square";
+  let succ = Array.make n [] in
+  Sparse.iter m (fun i j v -> if i <> j && v > 0. then succ.(i) <- j :: succ.(i));
+  Array.map List.rev succ
+
+let of_sparse m =
+  let succ = successor_lists m in
+  of_successors (Array.length succ) (fun v -> succ.(v))
+
+let reachable m ~from =
+  let succ = successor_lists m in
+  let n = Array.length succ in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Scc.reachable: vertex out of range";
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v queue
+      end)
+    from;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      succ.(v)
+  done;
+  seen
+
+let absorbing_states m =
+  let succ = successor_lists m in
+  let acc = ref [] in
+  for v = Array.length succ - 1 downto 0 do
+    if succ.(v) = [] then acc := v :: !acc
+  done;
+  !acc
+
+let closed_components m { count; component } =
+  let open_ = Array.make count false in
+  Sparse.iter m (fun i j v ->
+      if i <> j && v > 0. && component.(i) <> component.(j) then
+        open_.(component.(i)) <- true);
+  let acc = ref [] in
+  for c = count - 1 downto 0 do
+    if not open_.(c) then acc := c :: !acc
+  done;
+  !acc

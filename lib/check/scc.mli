@@ -1,0 +1,43 @@
+(** Communication structure of the transition graph.
+
+    Tarjan's strongly-connected-components algorithm, implemented
+    iteratively so it handles the paper's Table-2 regime
+    ([N = 200,001] states) without blowing the OCaml call stack, plus
+    the two reachability questions the model checker asks: which states
+    are reachable from the initial support, and which states (or whole
+    communicating classes) are absorbing.
+
+    The graph is read off a sparse generator matrix: there is an edge
+    [i -> j] whenever [i <> j] and [q_ij > 0]. *)
+
+type components = {
+  count : int;  (** number of strongly connected components *)
+  component : int array;
+      (** [component.(v)] is the component id of vertex [v]; ids are
+          assigned in reverse topological order of the condensation
+          (an edge between components always goes from a higher id to a
+          lower id). *)
+}
+
+val of_successors : int -> (int -> int list) -> components
+(** [of_successors n succ] for the graph on vertices [0 .. n-1] with
+    edge lists [succ v]. *)
+
+val of_sparse : Mrm_linalg.Sparse.t -> components
+(** Components of the directed graph induced by positive off-diagonal
+    entries. @raise Invalid_argument if the matrix is not square. *)
+
+val reachable : Mrm_linalg.Sparse.t -> from:int list -> bool array
+(** Vertices reachable (in zero or more steps) from any vertex of
+    [from], by breadth-first search over positive off-diagonal
+    entries. *)
+
+val absorbing_states : Mrm_linalg.Sparse.t -> int list
+(** States with no positive off-diagonal entry in their row (no way
+    out), ascending. *)
+
+val closed_components : Mrm_linalg.Sparse.t -> components -> int list
+(** Component ids with no edge leaving the component — the recurrent
+    (closed communicating) classes of the chain, ascending. A CTMC has
+    a unique stationary distribution iff exactly one of these exists
+    and is reachable. *)

@@ -59,6 +59,11 @@ let brownian_of_state m i =
     invalid_arg "Model.brownian_of_state: state out of range";
   { Mrm_brownian.Brownian.drift = m.rates.(i); variance = m.variances.(i) }
 
+let check_data m =
+  Mrm_check.Check.data
+    ~q_matrix:(Generator.matrix m.generator)
+    ~rates:m.rates ~variances:m.variances ~initial:m.initial
+
 let pp ppf m =
   Format.fprintf ppf
     "@[<v>second-order MRM: %d states, r in [%g, %g], sigma^2 in [0, %g]%s@]"

@@ -44,5 +44,9 @@ val max_std_dev : t -> float
 
 val brownian_of_state : t -> int -> Mrm_brownian.Brownian.params
 
+val check_data : t -> Mrm_check.Check.data
+(** The model's raw components in the static checker's input form, for
+    {!Mrm_check.Check.check} / the solvers' [?validate] flag. *)
+
 val pp : Format.formatter -> t -> unit
 (** Short human-readable summary (dimensions, rate ranges). *)

@@ -27,8 +27,47 @@ type parsed = {
   impulses : (int * int * float) list;  (** empty if none declared *)
 }
 
+type error = {
+  line : int option;  (** 1-based source line, when attributable *)
+  field : string option;
+      (** the directive or construction phase that failed, e.g.
+          ["transition"], ["states"], ["model"] *)
+  message : string;
+}
+(** Structured parse/build failure, so front ends (notably [mrm2 lint])
+    can render findings with positions instead of scraping exception
+    text. *)
+
+val error_message : error -> string
+(** ["line 3, transition: bad number \"abc\""]. *)
+
+type raw = {
+  declared_states : int;
+  raw_transitions : (int * int * float) list;  (** in file order *)
+  raw_rewards : (int * float * float) list;  (** (state, drift, variance) *)
+  raw_initial : (int * float) list;
+  raw_impulses : (int * int * float) list;
+}
+(** Syntactic content of a model file, before any semantic validation:
+    negative rates, negative variances and non-normalized initial
+    distributions are all representable. [mrm2 lint] analyzes this form
+    so it can report {e all} violations with state indices, rather than
+    stopping at the first exception from the validating constructors. *)
+
+val parse_raw : string -> (raw, error) result
+(** Syntax and state-index-range checking only. *)
+
+val parse_string_result : string -> (parsed, error) result
+(** Full pipeline: {!parse_raw}, then generator and model construction
+    (validation failures are reported with [field = "transition"] or
+    ["model"] and no line). *)
+
+val load_result : string -> (parsed, error) result
+(** @raise Sys_error on I/O failure. *)
+
 val parse_string : string -> parsed
-(** @raise Failure with a line-numbered message on malformed input. *)
+(** @raise Failure with ["Model_io: " ^ error_message e] on malformed
+    input. *)
 
 val load : string -> parsed
 (** Read and parse a file. @raise Sys_error on I/O failure, [Failure] on

@@ -13,12 +13,16 @@ val default_steps : Model.t -> t:float -> int
     steppers on a model with uniformization rate [q]. *)
 
 val moments :
-  ?method_:Mrm_ode.Ode.method_ -> ?steps:int -> Model.t -> t:float ->
-  order:int -> float array array
+  ?validate:bool -> ?method_:Mrm_ode.Ode.method_ -> ?steps:int -> Model.t ->
+  t:float -> order:int -> float array array
 (** [moments m ~t ~order] with the same layout as
     {!Randomization.moments}: result [.(n).(i) = V_i^(n)(t)].
     Default method is [Heun] (the paper's trapezoid comparator) with
-    {!default_steps}. *)
+    {!default_steps}.
+
+    [validate] (default [false]) runs {!Mrm_check.Check} on the model
+    and configuration first and raises {!Mrm_check.Check.Failed} on any
+    error-severity finding (see {!Randomization.moments}). *)
 
 val moment :
   ?method_:Mrm_ode.Ode.method_ -> ?steps:int -> Model.t -> t:float ->
@@ -26,5 +30,7 @@ val moment :
 (** Unconditional moment [pi . V^(order)(t)]. *)
 
 val moments_adaptive :
-  ?tol:float -> Model.t -> t:float -> order:int -> float array array
-(** Same system integrated with adaptive RKF45 (default [tol = 1e-10]). *)
+  ?validate:bool -> ?tol:float -> Model.t -> t:float -> order:int ->
+  float array array
+(** Same system integrated with adaptive RKF45 (default [tol = 1e-10]).
+    [validate] as in {!moments}. *)

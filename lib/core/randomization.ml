@@ -26,11 +26,31 @@ let moments_no_transitions model ~t ~order =
             ~t k))
 
 (* Map moments of the shifted process B~ back to B = B~ + shift * t via the
-   binomial expansion of (B~ + c)^n with c = shift * t. *)
-let unshift_moments ~shift ~t shifted =
-  if shift = 0. then shifted
+   binomial expansion of (B~ + c)^n with c = shift * t.
+
+   The coefficient C(n, j) c^j is computed in log space: for high orders
+   (n beyond ~25 with a large |c|) the two factors overflow individually
+   even when their product — let alone the final sum — is representable.
+   c <= 0 always (shift < 0, t >= 0), so the sign alternates with j. *)
+let unshift_coefficient ~log_abs_c ~negative n j =
+  if j = 0 then 1.
   else begin
-    let c = shift *. t in
+    let log_magnitude =
+      Special.log_factorial n
+      -. Special.log_factorial j
+      -. Special.log_factorial (n - j)
+      +. (float_of_int j *. log_abs_c)
+    in
+    let magnitude = exp log_magnitude in
+    if negative && j land 1 = 1 then -.magnitude else magnitude
+  end
+
+let unshift_moments ~shift ~t shifted =
+  let c = shift *. t in
+  if c = 0. then shifted
+  else begin
+    let log_abs_c = log (abs_float c) in
+    let negative = c < 0. in
     let order = Array.length shifted - 1 in
     let n_states = Array.length shifted.(0) in
     Array.init (order + 1) (fun n ->
@@ -39,8 +59,7 @@ let unshift_moments ~shift ~t shifted =
             for j = 0 to n do
               acc :=
                 !acc
-                +. Special.binomial n j
-                   *. (c ** float_of_int j)
+                +. unshift_coefficient ~log_abs_c ~negative n j
                    *. shifted.(n - j).(i)
             done;
             !acc))
@@ -70,7 +89,16 @@ let truncation_point ~d ~lambda ~order ~eps =
     max 1 (m + order - 1)
   end
 
-let moments ?(eps = 1e-9) model ~t ~order =
+(* Pre-solve static verification (the ?validate flag): all of Check's
+   passes with this solve's configuration; raises Check.Failed listing
+   the violated MRM codes. *)
+let validate_model model ~t ~order ~eps =
+  Mrm_check.Check.validate_exn
+    ~config:{ Mrm_check.Check.t; order; eps; q = None; d = None }
+    (Model.check_data model)
+
+let moments ?(validate = false) ?(eps = 1e-9) model ~t ~order =
+  if validate then validate_model model ~t ~order ~eps;
   if t < 0. then invalid_arg "Randomization.moments: requires t >= 0";
   if order < 0 then invalid_arg "Randomization.moments: requires order >= 0";
   if not (eps > 0.) then invalid_arg "Randomization.moments: requires eps > 0";
@@ -173,7 +201,11 @@ let moments ?(eps = 1e-9) model ~t ~order =
     end
   end
 
-let moments_at_times ?(eps = 1e-9) model ~times ~order =
+let moments_at_times ?(validate = false) ?(eps = 1e-9) model ~times ~order =
+  if validate then begin
+    let horizon = Array.fold_left Float.max 0. times in
+    validate_model model ~t:horizon ~order ~eps
+  end;
   if order < 0 then invalid_arg "Randomization.moments_at_times: order >= 0";
   if not (eps > 0.) then
     invalid_arg "Randomization.moments_at_times: requires eps > 0";

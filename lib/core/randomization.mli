@@ -28,8 +28,17 @@ type result = {
   diagnostics : diagnostics;
 }
 
-val moments : ?eps:float -> Model.t -> t:float -> order:int -> result
+val moments :
+  ?validate:bool -> ?eps:float -> Model.t -> t:float -> order:int -> result
 (** All per-state raw moments of [B(t)] up to [order].
+
+    [validate] (default [false]) runs the full static-analysis pass of
+    {!Mrm_check.Check} on the model and this solve's configuration
+    before touching the solver, raising {!Mrm_check.Check.Failed} (whose
+    printer lists the violated [MRM] codes) on any error-severity
+    finding. Models built through {!Model.make} are structurally valid
+    by construction; the flag additionally guards against post-hoc array
+    mutation and flags conditioning hazards of the configuration itself.
 
     [eps] (default 1e-9, the paper's setting for the large example) bounds
     the truncation error of each element of the highest-order shifted
@@ -56,7 +65,8 @@ val moment_series :
     restarted), matching how the paper evaluates Figure 8. *)
 
 val moments_at_times :
-  ?eps:float -> Model.t -> times:float array -> order:int -> result array
+  ?validate:bool -> ?eps:float -> Model.t -> times:float array -> order:int ->
+  result array
 (** Same results as calling {!moments} per time point, but in a single
     randomization sweep: the [U^(n)(k)] recursion does not depend on [t]
     (only the Poisson weights do), so one pass to

@@ -38,9 +38,14 @@ let of_triplets ~states triplets =
     List.filter
       (fun (i, j, v) ->
         if i < 0 || i >= states || j < 0 || j >= states then
-          invalid_arg "Generator.of_triplets: state out of range";
+          invalid_arg
+            (Printf.sprintf
+               "Generator.of_triplets: transition (%d, %d) out of [0, %d)" i j
+               states);
         if i <> j && v < 0. then
-          invalid_arg "Generator.of_triplets: negative rate";
+          invalid_arg
+            (Printf.sprintf
+               "Generator.of_triplets: negative rate %g at (%d, %d)" v i j);
         i <> j && v <> 0.)
       triplets
   in
@@ -59,12 +64,18 @@ let birth_death ~states ~birth ~death =
   for i = states - 1 downto 0 do
     if i < states - 1 then begin
       let b = birth i in
-      if b < 0. then invalid_arg "Generator.birth_death: negative birth rate";
+      if b < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Generator.birth_death: negative birth rate %g at state %d" b i);
       if b > 0. then triplets := (i, i + 1, b) :: !triplets
     end;
     if i > 0 then begin
       let d = death i in
-      if d < 0. then invalid_arg "Generator.birth_death: negative death rate";
+      if d < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Generator.birth_death: negative death rate %g at state %d" d i);
       if d > 0. then triplets := (i, i - 1, d) :: !triplets
     end
   done;

@@ -177,6 +177,7 @@ let cdf s x =
 
 let ccdf s x = 1. -. cdf s x
 let atom_at_zero s = s.atom
+let mean_drift s = s.drift
 
 let mean_level s =
   let acc = ref Complex.zero in

@@ -38,5 +38,9 @@ val atom_at_zero : stationary -> float
 (** [P(X = 0)] — the buffer-empty probability (positive for a stable
     first-order queue; zero in the second-order one). *)
 
+val mean_drift : stationary -> float
+(** [sum_i pi_i r_i] (negative for a stable queue); mirrors
+    {!Fluid.mean_drift}. *)
+
 val mean_level : stationary -> float
 val decay_rate : stationary -> float

@@ -119,6 +119,37 @@ let test_generator_validation () =
   | _ -> Alcotest.fail "expected square rejection"
   | exception Invalid_argument _ -> ()
 
+(* Failure messages must name the offending index and value, so the
+   static-analysis layer (and humans) can act on them directly. *)
+let test_generator_diagnostic_messages () =
+  Alcotest.check_raises "negative off-diagonal names (i, j) and value"
+    (Invalid_argument
+       "Generator.of_sparse: negative off-diagonal -0.5 at (0,1)") (fun () ->
+      ignore
+        (Generator.of_sparse
+           (Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 1, -0.5) ])));
+  Alcotest.check_raises "row sum names row and value"
+    (Invalid_argument "Generator.of_sparse: row 1 sums to 2 (not 0)")
+    (fun () ->
+      ignore
+        (Generator.of_sparse
+           (Sparse.of_triplets ~rows:2 ~cols:2 [ (1, 0, 2.) ])));
+  Alcotest.check_raises "of_triplets negative rate names (i, j) and value"
+    (Invalid_argument "Generator.of_triplets: negative rate -3 at (1, 0)")
+    (fun () ->
+      ignore (Generator.of_triplets ~states:2 [ (0, 1, 1.); (1, 0, -3.) ]));
+  Alcotest.check_raises "of_triplets out-of-range names the pair"
+    (Invalid_argument
+       "Generator.of_triplets: transition (0, 5) out of [0, 2)") (fun () ->
+      ignore (Generator.of_triplets ~states:2 [ (0, 5, 1.) ]));
+  Alcotest.check_raises "birth_death negative rate names the state"
+    (Invalid_argument
+       "Generator.birth_death: negative death rate -1 at state 2") (fun () ->
+      ignore
+        (Generator.birth_death ~states:3
+           ~birth:(fun _ -> 1.)
+           ~death:(fun i -> if i = 2 then -1. else 1.)))
+
 let test_generator_of_triplets_diagonal () =
   let q = Generator.matrix two_state in
   check_close "diag 0" (-2.) (Sparse.get q 0 0);
@@ -287,6 +318,8 @@ let () =
       ( "generator",
         [
           Alcotest.test_case "validation" `Quick test_generator_validation;
+          Alcotest.test_case "diagnostic messages" `Quick
+            test_generator_diagnostic_messages;
           Alcotest.test_case "diagonal from triplets" `Quick
             test_generator_of_triplets_diagonal;
           Alcotest.test_case "supplied diagonal ignored" `Quick
