@@ -42,6 +42,27 @@ let wall_clock f =
 (* Reproduced figures are also written as SVG + CSV under figures/. *)
 let figures_dir = "figures"
 
+(* Machine-readable perf records, one BENCH_<experiment>.json next to
+   the figure outputs: wall-clock, iteration counts, model size and the
+   domain count used, so perf regressions diff as JSON instead of
+   scraping stdout. *)
+let emit_bench ~name fields =
+  if not (Sys.file_exists figures_dir) then Unix.mkdir figures_dir 0o755;
+  let path = Filename.concat figures_dir ("BENCH_" ^ name ^ ".json") in
+  let json =
+    Mrm_util.Json.(to_string (Obj (("experiment", Str name) :: fields)))
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "[written: %s]\n" path
+
+let num x = Mrm_util.Json.Num x
+let num_list xs = Mrm_util.Json.List (List.map num xs)
+
 let emit_figure ~name ~title ~x_label ~y_label series csv_header csv_rows =
   if not (Sys.file_exists figures_dir) then Unix.mkdir figures_dir 0o755;
   let svg =
@@ -326,6 +347,18 @@ let agree () =
     "wall clock: randomization %.4fs | ODE %.4fs | simulation (%d replicas) \
      %.4fs\n"
     rand_time ode_time replicas sim_time;
+  emit_bench ~name:"agree"
+    [
+      ("states", num (float_of_int (Model.dim m)));
+      ("order", num (float_of_int order));
+      ("t", num t);
+      ("iterations", num (float_of_int rand.Randomization.diagnostics.iterations));
+      ("replicas", num (float_of_int replicas));
+      ("jobs", num 1.);
+      ("randomization_seconds", num rand_time);
+      ("ode_seconds", num ode_time);
+      ("simulation_seconds", num sim_time);
+    ];
   print_endline
     "(expected shape: all three agree; randomization is the fastest)\n"
 
@@ -348,15 +381,27 @@ let fig8 () =
   Printf.printf "states = %d, q = %g (paper: q = 800,000 at full scale)\n"
     (Model.dim model) q;
   let times = [| 0.01; 0.02; 0.03; 0.04; 0.05 |] in
-  let measured =
+  let sweep ?pool () =
     Array.map
       (fun t ->
         let result, elapsed =
           wall_clock (fun () ->
-              Randomization.moments ~eps:1e-9 model ~t ~order:3)
+              Randomization.moments ~eps:1e-9 ?pool model ~t ~order:3)
         in
         (t, result, elapsed))
       times
+  in
+  let measured = sweep () in
+  (* Parallel leg: same sweep on a domain pool (MRM2_JOBS or every
+     core), reported against the sequential one. On a single-core box
+     the speedup hovers around 1; the engine tests assert the values
+     match regardless. *)
+  let jobs = Mrm_engine.Pool.default_jobs () in
+  let parallel =
+    if jobs <= 1 then None
+    else
+      Some
+        (Mrm_engine.Pool.with_pool ~jobs (fun pool -> sweep ~pool ()))
   in
   let rows =
     Array.to_list
@@ -405,6 +450,65 @@ let fig8 () =
             ])
           measured));
   let states = Model.dim model in
+  let seq_seconds =
+    Array.to_list (Array.map (fun (_, _, s) -> s) measured)
+  in
+  let seq_total = List.fold_left ( +. ) 0. seq_seconds in
+  let parallel_fields =
+    match parallel with
+    | None ->
+        Printf.printf
+          "parallel leg skipped (jobs = 1; set MRM2_JOBS >= 2 to compare)\n";
+        []
+    | Some par_measured ->
+        let par_seconds =
+          Array.to_list (Array.map (fun (_, _, s) -> s) par_measured)
+        in
+        let par_total = List.fold_left ( +. ) 0. par_seconds in
+        let max_rel_diff = ref 0. in
+        Array.iteri
+          (fun k (_, seq_result, _) ->
+            let _, par_result, _ = par_measured.(k) in
+            for n = 0 to 3 do
+              let a = unconditional model seq_result.Randomization.moments n in
+              let b = unconditional model par_result.Randomization.moments n in
+              max_rel_diff :=
+                Float.max !max_rel_diff
+                  (abs_float (a -. b) /. (1. +. abs_float b))
+            done)
+          measured;
+        Printf.printf
+          "parallel leg (jobs = %d): %.2fs vs %.2fs sequential (speedup \
+           %.2fx); max relative difference %.2e\n"
+          jobs par_total seq_total
+          (seq_total /. Float.max par_total 1e-9)
+          !max_rel_diff;
+        [
+          ("parallel_seconds", num_list par_seconds);
+          ("parallel_total_seconds", num par_total);
+          ("speedup", num (seq_total /. Float.max par_total 1e-9));
+          ("max_rel_diff", num !max_rel_diff);
+        ]
+  in
+  emit_bench ~name:"fig8"
+    ([
+       ("states", num (float_of_int states));
+       ("order", num 3.);
+       ("eps", num 1e-9);
+       ("q", num q);
+       ("jobs", num (float_of_int jobs));
+       ("times", num_list (Array.to_list times));
+       ( "iterations",
+         num_list
+           (Array.to_list
+              (Array.map
+                 (fun (_, r, _) ->
+                   float_of_int r.Randomization.diagnostics.iterations)
+                 measured)) );
+       ("sequential_seconds", num_list seq_seconds);
+       ("sequential_total_seconds", num seq_total);
+     ]
+    @ parallel_fields);
   Printf.printf
     "per-iteration flops ~ (3 + 1 + 1) x %d x 4 (three moments), as in the \
      paper's complexity count.\n"

@@ -2,6 +2,8 @@
 
    Subcommands:
      moments   - raw moments of the accumulated reward at time t
+     batch     - many moment jobs at once (JSONL in/out, deduplicated,
+                 parallel across a domain pool)
      bounds    - moment-based bounds on P(B(t) <= x)
      simulate  - Monte-Carlo estimates with confidence intervals
      path      - a discretized joint sample path (t, state, B(t))
@@ -98,6 +100,29 @@ let seed_arg =
     value & opt int64 1L
     & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for simulation commands.")
 
+(* Solver parallelism. [mrm2 moments] stays sequential unless asked
+   ([MRM2_JOBS] or --jobs); [mrm2 batch] defaults to every core. *)
+let jobs_doc =
+  "Worker domains for the parallel engine ($(b,1) = sequential). \
+   Defaults to the $(b,MRM2_JOBS) environment variable when set."
+
+let jobs_arg ~default =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"J" ~doc:jobs_doc ~env:(Cmd.Env.info "MRM2_JOBS"))
+  |> Term.app (Term.const (fun jobs -> Option.value jobs ~default:(default ())))
+
+let sequential_default () =
+  Option.value (Mrm_engine.Pool.env_jobs ()) ~default:1
+
+(* Run [f] with [Some pool] when more than one domain was requested —
+   the solvers treat [None] and a 1-job pool identically, but [None]
+   skips pool setup entirely. *)
+let with_optional_pool ~jobs f =
+  if jobs <= 1 then f None
+  else Mrm_engine.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 (* ------------------------------------------------------------------ *)
 (* moments                                                             *)
 
@@ -131,7 +156,7 @@ let moments_cmd =
             "Solver: $(b,randomization) (paper Section 6), $(b,ode) (eq. 6, \
              Heun) or $(b,gaver) (transform domain).")
   in
-  let run file kind sigma2 size t order eps method_ =
+  let run file kind sigma2 size t order eps method_ jobs =
     let model = build_model ?file kind ~sigma2 ~size in
     (* Model files may declare impulse rewards; route those through the
        impulse-extended solver (randomization method only). *)
@@ -153,7 +178,10 @@ let moments_cmd =
           (fun n v -> Printf.printf "E[B^%d] = %.12g\n" n (unconditional v))
           r.moments
     | Mrandom ->
-        let r = Mrm_core.Randomization.moments ~eps model ~t ~order in
+        let r =
+          with_optional_pool ~jobs (fun pool ->
+              Mrm_core.Randomization.moments ~eps ?pool model ~t ~order)
+        in
         Printf.printf
           "# randomization: q = %g, d = %g, G = %d, log10 error bound = %.2f\n"
           r.diagnostics.q r.diagnostics.d r.diagnostics.iterations
@@ -176,7 +204,7 @@ let moments_cmd =
   let term =
     Term.(
       const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg $ order
-      $ eps_arg $ method_)
+      $ eps_arg $ method_ $ jobs_arg ~default:sequential_default)
   in
   Cmd.v
     (Cmd.info "moments" ~doc:"Moments of the accumulated reward at time t")
@@ -480,7 +508,7 @@ let lint_cmd =
     else if strict && Diagnostics.count Diagnostics.Warning report > 0 then 1
     else 0
   in
-  let run path t order eps format strict =
+  let run path t order eps format strict jobs =
     let text =
       let ic = open_in path in
       Fun.protect
@@ -526,13 +554,15 @@ let lint_cmd =
             ~transitions:raw.Model_io.raw_transitions ~rates ~variances
             ~initial
         in
-        let config = { Check.t; order; eps; q = None; d = None } in
+        let config = { Check.t; order; eps; q = None; d = None; jobs } in
         let report = Check.check ~config data in
         print_report format report;
         exit_code strict report
   in
   let term =
-    Term.(const run $ file $ t_arg $ order $ eps_arg $ format $ strict)
+    Term.(
+      const run $ file $ t_arg $ order $ eps_arg $ format $ strict
+      $ jobs_arg ~default:sequential_default)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -540,6 +570,119 @@ let lint_cmd =
          "Statically verify a model file: generator validity, reward \
           sanity, reachability, uniformization invariants and \
           conditioning, without solving anything")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+
+let batch_cmd =
+  let module Batch = Mrm_batch.Batch in
+  let module Json = Mrm_util.Json in
+  let file_or_stdin =
+    let parse s =
+      if s = "-" || Sys.file_exists s then Ok s
+      else Error (`Msg (Printf.sprintf "no '%s' file or directory" s))
+    in
+    Arg.conv ~docv:"JOBS" (parse, Format.pp_print_string)
+  in
+  let input =
+    Arg.(
+      value
+      & pos 0 (some file_or_stdin) None
+      & info [] ~docv:"JOBS"
+          ~doc:
+            "JSONL job file, one spec per line ($(b,-) or no argument: read \
+             standard input). See $(b,mrm2 batch --help) for the spec \
+             fields.")
+  in
+  let run input eps jobs =
+    let lines =
+      let read_all ic =
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop []
+      in
+      match input with
+      | None | Some "-" -> read_all stdin
+      | Some path ->
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+    in
+    let specs =
+      List.filteri (fun _ line -> String.trim line <> "") lines
+      |> List.mapi (fun k line ->
+             let default_id = Printf.sprintf "job-%d" (k + 1) in
+             match Json.parse (String.trim line) with
+             | Error e -> Error (Printf.sprintf "%s: %s" default_id e)
+             | Ok json -> (
+                 match Batch.job_of_json ~default_id ~default_eps:eps json with
+                 | Error e -> Error (Printf.sprintf "%s: %s" default_id e)
+                 | Ok job -> Ok job))
+    in
+    let bad =
+      List.filter_map (function Error e -> Some e | Ok _ -> None) specs
+    in
+    match bad with
+    | _ :: _ ->
+        List.iter (Printf.eprintf "mrm2 batch: %s\n") bad;
+        1
+    | [] ->
+        let jobs_array =
+          Array.of_list
+            (List.filter_map
+               (function Ok j -> Some j | Error _ -> None)
+               specs)
+        in
+        let t0 = Unix.gettimeofday () in
+        let outcomes =
+          with_optional_pool ~jobs (fun pool ->
+              Batch.run ?pool jobs_array)
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Array.iter
+          (fun o -> print_endline (Json.to_string (Batch.outcome_to_json o)))
+          outcomes;
+        let unique =
+          Array.length
+            (Array.of_seq
+               (Seq.filter
+                  (fun (o : Batch.outcome) -> o.duplicate_of = None)
+                  (Array.to_seq outcomes)))
+        in
+        let failed =
+          Array.fold_left
+            (fun n (o : Batch.outcome) ->
+              if Result.is_error o.result then n + 1 else n)
+            0 outcomes
+        in
+        Printf.eprintf
+          "# batch: %d jobs (%d unique, %d reused), jobs = %d, %.3fs \
+           wall-clock%s\n"
+          (Array.length outcomes) unique
+          (Array.length outcomes - unique)
+          jobs elapsed
+          (if failed = 0 then ""
+           else Printf.sprintf ", %d FAILED" failed);
+        if failed = 0 then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ input $ eps_arg
+      $ jobs_arg ~default:Mrm_engine.Pool.default_jobs)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Solve a batch of moment jobs (JSONL in, JSONL out). Each input \
+          line is an object with a model source ($(b,file), or $(b,model) \
+          with $(b,sigma2)/$(b,size)), $(b,times) or $(b,t), and optional \
+          $(b,id), $(b,order), $(b,eps), $(b,method). Structurally \
+          identical jobs are solved once; duplicates reference the \
+          representative in $(b,duplicate_of). Runs on every core by \
+          default (override with $(b,--jobs) / $(b,MRM2_JOBS)).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -564,7 +707,7 @@ let info_cmd =
 let () =
   let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
-      [ moments_cmd; bounds_cmd; distribution_cmd; simulate_cmd; path_cmd;
-        mtta_cmd; fluid_cmd; info_cmd; lint_cmd ]
+      [ moments_cmd; batch_cmd; bounds_cmd; distribution_cmd; simulate_cmd;
+        path_cmd; mtta_cmd; fluid_cmd; info_cmd; lint_cmd ]
   in
   exit (Cmd.eval' root)

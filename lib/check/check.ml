@@ -41,9 +41,11 @@ type config = {
   eps : float;
   q : float option;
   d : float option;
+  jobs : int;
 }
 
-let default_config = { t = 1.; order = 3; eps = 1e-9; q = None; d = None }
+let default_config =
+  { t = 1.; order = 3; eps = 1e-9; q = None; d = None; jobs = 1 }
 
 (* ------------------------------------------------------------------ *)
 (* Shared helpers                                                       *)
@@ -353,10 +355,24 @@ let estimate_truncation ~d ~lambda ~order ~eps =
     max 1 (m + order - 1)
   end
 
+(* The paper's large example has 200,001 states; anything within a
+   couple of orders of that only saturates one core for no reason when
+   the row-parallel engine is left off. *)
+let paper_scale_states = 10_000
+
 let check_conditioning ?(config = default_config)
-    ({ q_matrix; rates; variances; _ } as _data) =
+    ({ states; q_matrix; rates; variances; _ } as _data) =
   let acc = ref [] in
   let add d = acc := d :: !acc in
+  if states >= paper_scale_states && config.jobs <= 1 then
+    add
+      (D.info ~code:"MRM053"
+         ~context:[ ("states", fi states); ("jobs", fi config.jobs) ]
+         (fmt
+            "paper-scale model (%d states, threshold %d) about to be solved \
+             with jobs = 1; the G = O(qt) mat-vec sweep is row-parallel — \
+             set --jobs or MRM2_JOBS to use the domain pool"
+            states paper_scale_states));
   if (not (Float.is_finite config.t)) || config.t < 0. then
     add
       (D.error ~code:"MRM060"
@@ -506,6 +522,7 @@ let code_table =
     ("MRM050", D.Warning, "Poisson truncation point impractically large");
     ("MRM051", D.Warning, "reward scales span many orders of magnitude");
     ("MRM052", D.Info, "drift shift applied to handle negative rates");
+    ("MRM053", D.Info, "paper-scale model solved sequentially (jobs = 1)");
     ("MRM060", D.Error, "invalid solver configuration (t, order or eps)");
     ("MRM061", D.Warning, "eps below attainable double precision");
     ("MRM090", D.Error, "model file parse error (emitted by mrm2 lint)");

@@ -59,10 +59,14 @@ type config = {
   d : float option;
       (** reward-scaling override; default the minimal [d] making [R'] and
           [S'] substochastic (the solver's choice) *)
+  jobs : int;
+      (** domain count the solve would run on ([--jobs] / [MRM2_JOBS];
+          1 = sequential) — only used to flag paper-scale models left on
+          a single core ([MRM053]) *)
 }
 
 val default_config : config
-(** [t = 1., order = 3, eps = 1e-9], no overrides. *)
+(** [t = 1., order = 3, eps = 1e-9, jobs = 1], no overrides. *)
 
 (* ------------------------------------------------------------------ *)
 (* Individual passes. Each returns an independent diagnostic list;      *)
@@ -109,7 +113,10 @@ val check_conditioning : ?config:config -> data -> Diagnostics.t list
     impractical ([MRM050], warning, threshold ~2e6 iterations),
     reward scales spanning more than 8 orders of magnitude ([MRM051],
     warning), a negative-drift shift being applied ([MRM052], info),
-    and [eps] below attainable double precision ([MRM061], warning). *)
+    a paper-scale model (>= 10^4 states) about to be solved with
+    [jobs = 1] when the row-parallel engine could be used ([MRM053],
+    info, points at [--jobs]/[MRM2_JOBS]), and [eps] below attainable
+    double precision ([MRM061], warning). *)
 
 val check : ?tol:float -> ?config:config -> data -> Diagnostics.t list
 (** All passes, in severity order. If {!check_dimensions} fails, only

@@ -3,6 +3,9 @@ module Poisson = Mrm_ctmc.Poisson
 module Sparse = Mrm_linalg.Sparse
 module Vec = Mrm_linalg.Vec
 module Special = Mrm_util.Special
+module Pool = Mrm_engine.Pool
+module Partition = Mrm_engine.Partition
+module Kernel = Mrm_engine.Kernel
 
 type diagnostics = {
   q : float;
@@ -92,13 +95,94 @@ let truncation_point ~d ~lambda ~order ~eps =
 (* Pre-solve static verification (the ?validate flag): all of Check's
    passes with this solve's configuration; raises Check.Failed listing
    the violated MRM codes. *)
-let validate_model model ~t ~order ~eps =
+let validate_model model ~t ~order ~eps ~jobs =
   Mrm_check.Check.validate_exn
-    ~config:{ Mrm_check.Check.t; order; eps; q = None; d = None }
+    ~config:{ Mrm_check.Check.t; order; eps; q = None; d = None; jobs }
     (Model.check_data model)
 
-let moments ?(validate = false) ?(eps = 1e-9) model ~t ~order =
-  if validate then validate_model model ~t ~order ~eps;
+(* ------------------------------------------------------------------ *)
+(* Parallel execution context: a domain pool plus a row partition of
+   the uniformized generator, balanced by nnz (see Mrm_engine). [None]
+   — no pool given, or a 1-job pool — takes the original sequential
+   loops untouched. *)
+
+type par = { pool : Pool.t; partition : Partition.t }
+
+let par_context pool q' =
+  match pool with
+  | Some pool when Pool.jobs pool > 1 ->
+      Some { pool; partition = Partition.of_pool_for ~jobs:(Pool.jobs pool) q' }
+  | _ -> None
+
+let pool_jobs = function None -> 1 | Some pool -> Pool.jobs pool
+
+(* One uniformization step U^(j)(k) -> U^(j)(k+1) for every order j,
+   highest first (so lower orders still hold step-k values when read):
+   scratch := Q' U^(j) + R' U^(j-1) + (1/2) S' U^(j-2), then
+   U^(j) := scratch. The parallel body fuses the mat-vec row slice
+   with the reward-vector terms into a single region per order; the
+   copy needs its own region because the mat-vec reads U^(j) at
+   columns outside the local row range. *)
+let advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states =
+  for j = order downto 1 do
+    let uj1 = u.(j - 1) in
+    (match par with
+    | None -> begin
+        Sparse.mv_into q' u.(j) scratch;
+        for i = 0 to n_states - 1 do
+          scratch.(i) <- scratch.(i) +. (r'.(i) *. uj1.(i))
+        done;
+        if j >= 2 then begin
+          let uj2 = u.(j - 2) in
+          for i = 0 to n_states - 1 do
+            scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. uj2.(i))
+          done
+        end
+      end
+    | Some { pool; partition } -> begin
+        let uj = u.(j) in
+        let uj2 = if j >= 2 then Some u.(j - 2) else None in
+        Kernel.for_ranges pool partition (fun lo hi ->
+            Sparse.mv_into_range q' uj scratch ~lo ~hi;
+            for i = lo to hi - 1 do
+              scratch.(i) <- scratch.(i) +. (r'.(i) *. uj1.(i))
+            done;
+            match uj2 with
+            | None -> ()
+            | Some uj2 ->
+                for i = lo to hi - 1 do
+                  scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. uj2.(i))
+                done)
+      end);
+    match par with
+    | None -> Array.blit scratch 0 u.(j) 0 n_states
+    | Some { pool; partition } -> Kernel.copy_into pool partition scratch u.(j)
+  done
+
+(* acc.(j) += w * u.(j) for j = 1..order and every (w, acc) term —
+   one fused region for all accumulator blocks touched this step (the
+   multi-time sweep feeds several). Callers drop zero-weight terms. *)
+let accumulate ~par ~u ~order terms =
+  match par with
+  | None ->
+      List.iter
+        (fun (w, acc) ->
+          for j = 1 to order do
+            Vec.axpy ~alpha:w ~x:u.(j) ~y:acc.(j)
+          done)
+        terms
+  | Some { pool; partition } ->
+      Kernel.for_ranges pool partition (fun lo hi ->
+          List.iter
+            (fun (w, acc) ->
+              for j = 1 to order do
+                Vec.axpy_range ~alpha:w ~x:u.(j) ~y:acc.(j) ~lo ~hi
+              done)
+            terms)
+
+let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
+  if validate then
+    validate_model model ~t ~order ~eps ~jobs:(pool_jobs pool);
   if t < 0. then invalid_arg "Randomization.moments: requires t >= 0";
   if order < 0 then invalid_arg "Randomization.moments: requires order >= 0";
   if not (eps > 0.) then invalid_arg "Randomization.moments: requires eps > 0";
@@ -155,26 +239,11 @@ let moments ?(validate = false) ?(eps = 1e-9) model ~t ~order =
       u.(0) <- Vec.ones n_states;
       let acc = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
       let scratch = Vec.zeros n_states in
+      let par = par_context pool q' in
       for k = 0 to g do
         let w = Poisson.pmf ~lambda k in
-        if w > 0. then
-          for j = 1 to order do
-            Vec.axpy ~alpha:w ~x:u.(j) ~y:acc.(j)
-          done;
-        if k < g then
-          (* In-place update U^(j)(k) -> U^(j)(k+1), highest order first so
-             lower orders still hold step-k values when read. *)
-          for j = order downto 1 do
-            Sparse.mv_into q' u.(j) scratch;
-            for i = 0 to n_states - 1 do
-              scratch.(i) <- scratch.(i) +. (r'.(i) *. u.(j - 1).(i))
-            done;
-            if j >= 2 then
-              for i = 0 to n_states - 1 do
-                scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. u.(j - 2).(i))
-              done;
-            Array.blit scratch 0 u.(j) 0 n_states
-          done
+        if w > 0. then accumulate ~par ~u ~order [ (w, acc) ];
+        if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
       done;
       (* V^(n) = n! d^n * acc_n; V^(0) = h exactly. *)
       let shifted_moments =
@@ -201,10 +270,11 @@ let moments ?(validate = false) ?(eps = 1e-9) model ~t ~order =
     end
   end
 
-let moments_at_times ?(validate = false) ?(eps = 1e-9) model ~times ~order =
+let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
+    ~order =
   if validate then begin
     let horizon = Array.fold_left Float.max 0. times in
-    validate_model model ~t:horizon ~order ~eps
+    validate_model model ~t:horizon ~order ~eps ~jobs:(pool_jobs pool)
   end;
   if order < 0 then invalid_arg "Randomization.moments_at_times: order >= 0";
   if not (eps > 0.) then
@@ -229,7 +299,7 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) model ~times ~order =
   then
     (* Degenerate cases: the pointwise solver handles each closed-form
        path; no shared sweep is needed. *)
-    Array.map (fun t -> moments ~eps model ~t ~order) times
+    Array.map (fun t -> moments ~eps ?pool model ~t ~order) times
   else begin
     (* Truncation: one sweep to the largest per-time G. *)
     let g_of_t = Array.map (fun t ->
@@ -250,33 +320,23 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) model ~times ~order =
         times
     in
     let scratch = Vec.zeros n_states in
+    let par = par_context pool q' in
     for k = 0 to g do
+      let terms = ref [] in
       Array.iteri
         (fun time_index t ->
           if needs_sweep t && k <= g_of_t.(time_index) then begin
             let w = Poisson.pmf ~lambda:(q *. t) k in
             if w > 0. then
-              for j = 1 to order do
-                Vec.axpy ~alpha:w ~x:u.(j) ~y:accumulators.(time_index).(j)
-              done
+              terms := (w, accumulators.(time_index)) :: !terms
           end)
         times;
-      if k < g then
-        for j = order downto 1 do
-          Sparse.mv_into q' u.(j) scratch;
-          for i = 0 to n_states - 1 do
-            scratch.(i) <- scratch.(i) +. (r'.(i) *. u.(j - 1).(i))
-          done;
-          if j >= 2 then
-            for i = 0 to n_states - 1 do
-              scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. u.(j - 2).(i))
-            done;
-          Array.blit scratch 0 u.(j) 0 n_states
-        done
+      if !terms <> [] then accumulate ~par ~u ~order !terms;
+      if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
     done;
     Array.mapi
       (fun time_index t ->
-        if not (needs_sweep t) then moments ~eps model ~t ~order
+        if not (needs_sweep t) then moments ~eps ?pool model ~t ~order
         else begin
           let lambda = q *. t in
           let shifted_moments =
@@ -308,15 +368,15 @@ let moment ?eps model ~t ~order =
   let { moments = m; _ } = moments ?eps model ~t ~order in
   Vec.dot model.Model.initial m.(order)
 
-let moment_series ?eps model ~times ~order =
-  Array.map
-    (fun t ->
-      let { moments = m; _ } = moments ?eps model ~t ~order in
-      let unconditional =
-        Array.init (order + 1) (fun n -> Vec.dot model.Model.initial m.(n))
-      in
-      (t, unconditional))
-    times
+let moment_series ?(validate = false) ?eps ?pool model ~times ~order =
+  (* One multi-time sweep instead of restarting the recursion per time
+     point — G(t_max) matrix products total rather than sum_i G(t_i). *)
+  let results = moments_at_times ~validate ?eps ?pool model ~times ~order in
+  Array.mapi
+    (fun k { moments = m; _ } ->
+      ( times.(k),
+        Array.init (order + 1) (fun n -> Vec.dot model.Model.initial m.(n)) ))
+    results
 
 let mean ?eps model ~t = moment ?eps model ~t ~order:1
 

@@ -29,7 +29,8 @@ type result = {
 }
 
 val moments :
-  ?validate:bool -> ?eps:float -> Model.t -> t:float -> order:int -> result
+  ?validate:bool -> ?eps:float -> ?pool:Mrm_engine.Pool.t -> Model.t ->
+  t:float -> order:int -> result
 (** All per-state raw moments of [B(t)] up to [order].
 
     [validate] (default [false]) runs the full static-analysis pass of
@@ -43,6 +44,15 @@ val moments :
     [eps] (default 1e-9, the paper's setting for the large example) bounds
     the truncation error of each element of the highest-order shifted
     moment vector.
+
+    [pool] runs the per-step recursion
+    [U^(n)(k+1) = R' U^(n-1)(k) + (1/2) S' U^(n-2)(k) + Q' U^(n)(k)]
+    row-partitioned across the pool's domains (partition balanced by the
+    nnz of the uniformized generator, see {!Mrm_engine.Partition}).
+    Bit-for-bit identical to the sequential result — ranges write
+    disjoint row slices and each row's dot product keeps its summation
+    order. Omitted (or with a 1-job pool) the original sequential loops
+    run untouched.
 
     Note on [d]: the paper prescribes [d = max_i {r_i, sigma_i} / q], but
     that choice leaves [S' = S/(q d^2)] super-stochastic whenever [q > 1],
@@ -58,15 +68,17 @@ val moment : ?eps:float -> Model.t -> t:float -> order:int -> float
 (** [pi . V^(order)(t)] — the unconditional raw moment. *)
 
 val moment_series :
-  ?eps:float -> Model.t -> times:float array -> order:int ->
-  (float * float array) array
+  ?validate:bool -> ?eps:float -> ?pool:Mrm_engine.Pool.t -> Model.t ->
+  times:float array -> order:int -> (float * float array) array
 (** For each [t] in [times]: [(t, [| m_0; ...; m_order |])] unconditional
-    raw moments. Each time point is solved independently (randomization is
-    restarted), matching how the paper evaluates Figure 8. *)
+    raw moments — a thin projection of {!moments_at_times}, so the whole
+    ramp is computed in one shared randomization sweep ([max_j G(t_j)]
+    iterations, not [sum_j G(t_j)]). [validate] and [pool] as in
+    {!moments}. *)
 
 val moments_at_times :
-  ?validate:bool -> ?eps:float -> Model.t -> times:float array -> order:int ->
-  result array
+  ?validate:bool -> ?eps:float -> ?pool:Mrm_engine.Pool.t -> Model.t ->
+  times:float array -> order:int -> result array
 (** Same results as calling {!moments} per time point, but in a single
     randomization sweep: the [U^(n)(k)] recursion does not depend on [t]
     (only the Poisson weights do), so one pass to

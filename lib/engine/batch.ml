@@ -1,0 +1,292 @@
+module Json = Mrm_util.Json
+module Pool = Mrm_engine.Pool
+module Vec = Mrm_linalg.Vec
+module Sparse = Mrm_linalg.Sparse
+module Generator = Mrm_ctmc.Generator
+module Model = Mrm_core.Model
+module Model_io = Mrm_core.Model_io
+
+type meth = Randomization | Ode | Gaver
+
+type job = {
+  id : string;
+  model : Model.t;
+  times : float array;
+  order : int;
+  eps : float;
+  meth : meth;
+}
+
+type point = { time : float; values : float array; iterations : int option }
+
+type outcome = {
+  id : string;
+  digest : string;
+  duplicate_of : string option;
+  elapsed : float;
+  result : (point array, string) result;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Structural digest: the full model content plus solve parameters.
+   Floats are keyed by their bit pattern — dedup means "the solver
+   would compute the exact same thing", nothing fuzzier. *)
+
+let add_float buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
+let add_int buf k = Buffer.add_int64_le buf (Int64.of_int k)
+
+let add_floats buf a =
+  add_int buf (Array.length a);
+  Array.iter (add_float buf) a
+
+let digest job =
+  let buf = Buffer.create 1024 in
+  let m = job.model.Model.generator |> Generator.matrix in
+  add_int buf (Sparse.rows m);
+  Sparse.iter m (fun i j v ->
+      add_int buf i;
+      add_int buf j;
+      add_float buf v);
+  add_floats buf job.model.Model.rates;
+  add_floats buf job.model.Model.variances;
+  add_floats buf job.model.Model.initial;
+  add_floats buf job.times;
+  add_int buf job.order;
+  add_float buf job.eps;
+  add_int buf (match job.meth with Randomization -> 0 | Ode -> 1 | Gaver -> 2);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Solving                                                              *)
+
+let unconditional model ~order vectors =
+  let pi = model.Model.initial in
+  Array.init (order + 1) (fun n -> Vec.dot pi vectors.(n))
+
+let solve ?pool job =
+  match job.meth with
+  | Randomization ->
+      let results =
+        Mrm_core.Randomization.moments_at_times ?pool ~eps:job.eps job.model
+          ~times:job.times ~order:job.order
+      in
+      Array.mapi
+        (fun k (r : Mrm_core.Randomization.result) ->
+          {
+            time = job.times.(k);
+            values = unconditional job.model ~order:job.order r.moments;
+            iterations = Some r.diagnostics.iterations;
+          })
+        results
+  | Ode ->
+      Array.map
+        (fun time ->
+          let m =
+            Mrm_core.Moments_ode.moments job.model ~t:time ~order:job.order
+          in
+          {
+            time;
+            values = unconditional job.model ~order:job.order m;
+            iterations = None;
+          })
+        job.times
+  | Gaver ->
+      Array.map
+        (fun time ->
+          let m =
+            Mrm_core.Transform_moments.moments job.model ~t:time
+              ~order:job.order
+          in
+          {
+            time;
+            values = unconditional job.model ~order:job.order m;
+            iterations = None;
+          })
+        job.times
+
+let timed_solve ?pool job =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match solve ?pool job with
+    | points -> Ok points
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  (result, Unix.gettimeofday () -. t0)
+
+let run ?pool jobs =
+  let n = Array.length jobs in
+  let digests = Array.map digest jobs in
+  (* representative.(i) is the first job with job i's digest. *)
+  let first_of_digest = Hashtbl.create (2 * n) in
+  let representative =
+    Array.mapi
+      (fun i key ->
+        match Hashtbl.find_opt first_of_digest key with
+        | Some j -> j
+        | None ->
+            Hashtbl.add first_of_digest key i;
+            i)
+      digests
+  in
+  let unique =
+    Array.of_seq
+      (Seq.filter
+         (fun i -> representative.(i) = i)
+         (Seq.init n (fun i -> i)))
+  in
+  (* Outer level: unique jobs across the pool. Each solve also receives
+     the pool; re-entrant use degrades to sequential, so exactly one
+     level wins (inner when there is a single unique job — map_array of
+     one task runs in the caller without claiming the pool). *)
+  let solved =
+    match pool with
+    | Some pool -> Pool.map_array pool (fun i -> timed_solve ~pool jobs.(i)) unique
+    | None -> Array.map (fun i -> timed_solve jobs.(i)) unique
+  in
+  let slot = Array.make n (-1) in
+  Array.iteri (fun pos i -> slot.(i) <- pos) unique;
+  Array.mapi
+    (fun i (job : job) ->
+      let rep = representative.(i) in
+      let result, elapsed = solved.(slot.(rep)) in
+      {
+        id = job.id;
+        digest = digests.(i);
+        duplicate_of = (if rep = i then None else Some jobs.(rep).id);
+        elapsed = (if rep = i then elapsed else 0.);
+        result;
+      })
+    jobs
+
+(* ------------------------------------------------------------------ *)
+(* JSONL wire format                                                    *)
+
+let ( let* ) r f = Result.bind r f
+
+let field_or json key ~default decode =
+  match Json.member key json with
+  | None -> Ok default
+  | Some v -> (
+      match decode v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S: invalid value" key))
+
+let meth_of_string = function
+  | "randomization" | "rand" -> Some Randomization
+  | "ode" -> Some Ode
+  | "gaver" -> Some Gaver
+  | _ -> None
+
+let builtin_model json name =
+  let* sigma2 = field_or json "sigma2" ~default:1.0 Json.to_float in
+  let* size = field_or json "size" ~default:32 Json.to_int in
+  match name with
+  | "onoff" ->
+      Ok
+        (Mrm_models.Onoff.model
+           {
+             (Mrm_models.Onoff.table1 ~sigma2) with
+             sources = size;
+             capacity = float_of_int size;
+           })
+  | "repair" ->
+      Ok
+        Mrm_models.Machine_repair.(
+          model { default with machines = size })
+  | "multi" ->
+      Ok
+        Mrm_models.Multiprocessor.(
+          model { default with processors = size })
+  | other -> Error (Printf.sprintf "unknown built-in model %S" other)
+
+let model_of_spec json =
+  match (Json.member "file" json, Json.member "model" json) with
+  | Some _, Some _ -> Error "give either \"file\" or \"model\", not both"
+  | None, None -> Error "missing model source (\"file\" or \"model\")"
+  | Some f, None -> (
+      match Json.to_str f with
+      | None -> Error "field \"file\": expected a string"
+      | Some path -> (
+          match Model_io.load path with
+          | { Model_io.model; impulses = [] } -> Ok model
+          | { Model_io.impulses = _ :: _; _ } ->
+              Error
+                (Printf.sprintf
+                   "%s declares impulse rewards, unsupported in batch \
+                    (use mrm2 moments)"
+                   path)
+          | exception exn -> Error (Printexc.to_string exn)))
+  | None, Some m -> (
+      match Json.to_str m with
+      | None -> Error "field \"model\": expected a built-in name"
+      | Some name -> builtin_model json name)
+
+let times_of_spec json =
+  match (Json.member "times" json, Json.member "t" json) with
+  | Some _, Some _ -> Error "give either \"times\" or \"t\", not both"
+  | None, None -> Error "missing time points (\"times\" or \"t\")"
+  | None, Some t -> (
+      match Json.to_float t with
+      | Some t -> Ok [| t |]
+      | None -> Error "field \"t\": expected a number")
+  | Some l, None -> (
+      match Json.to_list l with
+      | None -> Error "field \"times\": expected an array"
+      | Some items -> (
+          let floats = List.filter_map Json.to_float items in
+          match (floats, List.length floats = List.length items) with
+          | [], _ -> Error "field \"times\": empty"
+          | _, false -> Error "field \"times\": expected numbers"
+          | floats, true -> Ok (Array.of_list floats)))
+
+let job_of_json ~default_id ?(default_eps = 1e-9) json =
+  match json with
+  | Json.Obj _ ->
+      let* id = field_or json "id" ~default:default_id Json.to_str in
+      let* model = model_of_spec json in
+      let* times = times_of_spec json in
+      let* order = field_or json "order" ~default:3 Json.to_int in
+      let* eps = field_or json "eps" ~default:default_eps Json.to_float in
+      let* meth =
+        field_or json "method" ~default:Randomization (fun v ->
+            Option.bind (Json.to_str v) meth_of_string)
+      in
+      if order < 0 then Error "field \"order\": must be >= 0"
+      else if not (eps > 0.) then Error "field \"eps\": must be > 0"
+      else if Array.exists (fun t -> t < 0.) times then
+        Error "field \"times\": must be >= 0"
+      else Ok { id; model; times; order; eps; meth }
+  | _ -> Error "job spec must be a JSON object"
+
+let outcome_to_json o =
+  let open Json in
+  let common =
+    [
+      ("id", Str o.id);
+      ("digest", Str o.digest);
+      ( "duplicate_of",
+        match o.duplicate_of with None -> Null | Some id -> Str id );
+      ("elapsed", Num o.elapsed);
+    ]
+  in
+  match o.result with
+  | Error message ->
+      Obj (common @ [ ("status", Str "error"); ("error", Str message) ])
+  | Ok points ->
+      let point p =
+        Obj
+          ([
+             ("t", Num p.time);
+             ("moments", List (Array.to_list (Array.map (fun v -> Num v) p.values)));
+           ]
+          @
+          match p.iterations with
+          | None -> []
+          | Some g -> [ ("iterations", Num (float_of_int g)) ])
+      in
+      Obj
+        (common
+        @ [
+            ("status", Str "ok");
+            ("points", List (Array.to_list (Array.map point points)));
+          ])

@@ -1,0 +1,58 @@
+module Sparse = Mrm_linalg.Sparse
+
+type t = { ranges : (int * int) array; rows : int }
+
+let ranges p = p.ranges
+let parts p = Array.length p.ranges
+let rows p = p.rows
+
+let uniform ~parts ~rows =
+  if parts < 1 then invalid_arg "Partition.uniform: parts must be >= 1";
+  if rows < 0 then invalid_arg "Partition.uniform: negative rows";
+  let boundary k = k * rows / parts in
+  {
+    ranges = Array.init parts (fun k -> (boundary k, boundary (k + 1)));
+    rows;
+  }
+
+let by_nnz ~parts matrix =
+  if parts < 1 then invalid_arg "Partition.by_nnz: parts must be >= 1";
+  let rows = Sparse.rows matrix in
+  let total = Sparse.nnz matrix in
+  if total = 0 then uniform ~parts ~rows
+  else begin
+    let offsets = Sparse.row_offsets matrix in
+    (* boundary k = first row whose cumulative nnz reaches k*total/parts;
+       offsets is non-decreasing, so a binary search per boundary. *)
+    let boundary k =
+      if k = 0 then 0
+      else if k = parts then rows
+      else begin
+        let target = k * total / parts in
+        let lo = ref 0 and hi = ref rows in
+        (* invariant: offsets.(!lo) < target... searching smallest r with
+           offsets.(r) >= target. *)
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if offsets.(mid) >= target then hi := mid else lo := mid + 1
+        done;
+        !lo
+      end
+    in
+    let bounds = Array.init (parts + 1) boundary in
+    (* Monotonicity holds because the targets are increasing, but two
+       boundaries can coincide on a dense row; the resulting empty
+       ranges are legal and skipped by the kernels. *)
+    { ranges = Array.init parts (fun k -> (bounds.(k), bounds.(k + 1))); rows }
+  end
+
+let of_pool_for ~jobs matrix =
+  let rows = Sparse.rows matrix in
+  let parts = max 1 (min (max 1 rows) (4 * jobs)) in
+  by_nnz ~parts matrix
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>partition %d rows in %d part(s):" p.rows
+    (Array.length p.ranges);
+  Array.iter (fun (lo, hi) -> Format.fprintf ppf " [%d,%d)" lo hi) p.ranges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Precomputed row partitions for the sharded kernels.
+
+    A partition splits [0 .. rows-1] into contiguous ranges, one unit
+    of work each. For sparse mat-vec the ranges are balanced by
+    nonzero count — on the paper's birth–death generators rows are
+    near-uniform, but nothing in the engine assumes that — so every
+    domain streams a comparable number of multiply-adds per region.
+    Built once per solve and reused for all [G = O(qt)] iterations. *)
+
+type t
+
+val ranges : t -> (int * int) array
+(** The [[lo, hi)] ranges, in row order; they tile [0 .. rows-1]
+    exactly. Ranges may be empty when [parts > rows]. *)
+
+val parts : t -> int
+val rows : t -> int
+
+val uniform : parts:int -> rows:int -> t
+(** Equal-width ranges; for elementwise/reduction kernels with no
+    matrix in sight. @raise Invalid_argument when [parts < 1] or
+    [rows < 0]. *)
+
+val by_nnz : parts:int -> Mrm_linalg.Sparse.t -> t
+(** Ranges holding approximately equal nonzero counts, computed from
+    the CSR row offsets: part [k] starts at the first row whose
+    cumulative nnz reaches [k/parts] of the total. Empty and dense
+    rows are both handled; for an empty matrix this degrades to
+    {!uniform}. @raise Invalid_argument when [parts < 1]. *)
+
+val of_pool_for : jobs:int -> Mrm_linalg.Sparse.t -> t
+(** The partition the solvers use: {!by_nnz} with [4 * jobs] parts
+    (capped at the row count) — enough slack for the dynamic scheduler
+    to absorb load imbalance without measurable dispatch overhead. *)
+
+val pp : Format.formatter -> t -> unit

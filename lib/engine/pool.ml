@@ -1,0 +1,55 @@
+type t = Pool_backend.t
+
+let parallelism_available = Pool_backend.parallelism_available
+
+let env_jobs () =
+  match Sys.getenv_opt "MRM2_JOBS" with
+  | None -> None
+  | Some raw -> begin
+      match int_of_string_opt (String.trim raw) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None
+    end
+
+let default_jobs () =
+  match env_jobs () with
+  | Some j -> j
+  | None -> Pool_backend.recommended_jobs ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  Pool_backend.create ~jobs
+
+let jobs = Pool_backend.jobs
+let shutdown = Pool_backend.shutdown
+let run = Pool_backend.run
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let parallel_for pool ?chunk ~n f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some c -> invalid_arg (Printf.sprintf "Pool.parallel_for: chunk %d" c)
+      | None -> max 1 (n / (8 * jobs pool))
+    in
+    let n_chunks = (n + chunk - 1) / chunk in
+    run pool n_chunks (fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        for i = lo to hi - 1 do
+          f i
+        done)
+  end
+
+let map_array pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run pool n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

@@ -1,0 +1,60 @@
+(** Fixed-size domain pool with a chunked parallel-for scheduler — the
+    execution layer every parallel kernel and the batch front-end run
+    on.
+
+    On OCaml 5 a pool owns [jobs - 1] worker domains plus the calling
+    domain; work is handed out dynamically (an atomic index counter),
+    so uneven tasks self-balance. On OCaml 4.14 the same API executes
+    in the caller (see {!Pool_backend}); code written against this
+    module never needs a version guard.
+
+    Sizing: [create ()] uses [MRM2_JOBS] when set, otherwise
+    [Domain.recommended_domain_count ()]. A pool with [jobs = 1] never
+    spawns domains and adds zero overhead — sequential behaviour is the
+    safe default everywhere a pool is optional. *)
+
+type t
+
+val parallelism_available : bool
+(** False when the backend cannot run domains in parallel (OCaml
+    4.14); pools still work, sequentially. *)
+
+val env_jobs : unit -> int option
+(** The [MRM2_JOBS] override: [Some j] when the variable holds an
+    integer >= 1, [None] otherwise (unset or malformed). *)
+
+val default_jobs : unit -> int
+(** [MRM2_JOBS] when set, else [Domain.recommended_domain_count ()]
+    (1 on the sequential backend). *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. Do not call concurrently with
+    {!run} on the same pool. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, [shutdown] (also on exception). *)
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run pool n body] executes the tasks [body 0 .. body (n-1)] across
+    the pool and returns when all have finished. Tasks must only write
+    to disjoint state (distinct array slices, distinct result slots).
+    Every task runs even if some raise; the first exception is
+    re-raised afterwards and the pool survives. Re-entrant use —
+    [body] calling [run]/[parallel_for] on the same pool — degrades to
+    sequential execution instead of deadlocking. *)
+
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n f] applies [f] to [0 .. n-1], grouping
+    indices into contiguous chunks of size [chunk] (default:
+    [n / (8 * jobs)], at least 1) that are scheduled dynamically.
+    Same exception and re-entrancy guarantees as {!run}. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; the independent-jobs primitive behind the
+    batch runner. Result order matches input order. *)

@@ -1,0 +1,191 @@
+(* Domain-pool backend (OCaml >= 5.0). See pool_backend.mli; this file
+   becomes pool_backend.ml through the version-guarded rule in dune.
+
+   Design notes. A batch is an immutable record with its own atomic
+   counters, published through a single atomic slot. Workers that wake
+   up late keep a reference to their (already drained) batch and fetch
+   indices past its size — a harmless no-op — so publishing the next
+   batch can never corrupt a straggler: the failure mode of resetting
+   shared counters under a slow worker does not exist. Waits are
+   hybrid: a bounded cpu_relax spin (fast hand-off between the ~G
+   back-to-back parallel regions of a randomization sweep) before
+   falling back to a condition variable (no busy idling between
+   solves, and live-lock-free on machines with fewer cores than
+   jobs). *)
+
+let parallelism_available = true
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+type batch = {
+  body : int -> unit;
+  size : int;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  completed : int Atomic.t;  (* tasks fully executed *)
+}
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a new batch was published, or stop was set *)
+  finished : Condition.t;  (* the current batch completed *)
+  current : (int * batch) Atomic.t;  (* (generation, batch) *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;  (* under mutex *)
+  busy : bool Atomic.t;  (* a run is in flight; re-entrant runs go sequential *)
+  stop : bool Atomic.t;
+  mutable workers : unit Domain.t array;
+}
+
+let spin_budget = 4_096
+
+let jobs pool = pool.n_jobs
+
+(* Every task runs exactly once even when some raise: failures are
+   recorded, the batch always completes, the first failure is re-raised
+   by the publisher. Used verbatim for the sequential fallback paths. *)
+let run_sequential n body =
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    try body i
+    with e ->
+      if !failure = None then
+        failure := Some (e, Printexc.get_raw_backtrace ())
+  done;
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let record_failure pool e bt =
+  Mutex.lock pool.mutex;
+  if pool.failure = None then pool.failure <- Some (e, bt);
+  Mutex.unlock pool.mutex
+
+(* Claim and execute tasks until the batch is exhausted. The completed
+   counter is incremented only after the body returns (or raises and is
+   recorded), so [completed = size] really means all work is done. *)
+let drain pool batch =
+  let rec loop () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.size then begin
+      (try batch.body i
+       with e -> record_failure pool e (Printexc.get_raw_backtrace ()));
+      let done_now = 1 + Atomic.fetch_and_add batch.completed 1 in
+      if done_now = batch.size then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.finished;
+        Mutex.unlock pool.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker pool =
+  let seen = ref (fst (Atomic.get pool.current)) in
+  let rec wait spins =
+    if Atomic.get pool.stop then None
+    else begin
+      let generation, batch = Atomic.get pool.current in
+      if generation <> !seen then begin
+        seen := generation;
+        Some batch
+      end
+      else if spins > 0 then begin
+        Domain.cpu_relax ();
+        wait (spins - 1)
+      end
+      else begin
+        Mutex.lock pool.mutex;
+        while
+          (not (Atomic.get pool.stop))
+          && fst (Atomic.get pool.current) = !seen
+        do
+          Condition.wait pool.work pool.mutex
+        done;
+        Mutex.unlock pool.mutex;
+        wait spin_budget
+      end
+    end
+  in
+  let rec serve () =
+    match wait spin_budget with
+    | None -> ()
+    | Some batch -> begin
+        drain pool batch;
+        serve ()
+      end
+  in
+  serve ()
+
+let create ~jobs:n_jobs =
+  if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let initial_batch =
+    { body = ignore; size = 0; next = Atomic.make 0; completed = Atomic.make 0 }
+  in
+  let pool =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = Atomic.make (0, initial_batch);
+      failure = None;
+      busy = Atomic.make false;
+      stop = Atomic.make false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let run pool n body =
+  if n <= 0 then ()
+  else if
+    pool.n_jobs = 1 || n = 1
+    || not (Atomic.compare_and_set pool.busy false true)
+  then
+    (* Single-job pools, single tasks, and re-entrant/concurrent runs
+       take the zero-overhead in-caller path. *)
+    run_sequential n body
+  else begin
+    Fun.protect
+      ~finally:(fun () -> Atomic.set pool.busy false)
+      (fun () ->
+        let batch =
+          { body; size = n; next = Atomic.make 0; completed = Atomic.make 0 }
+        in
+        let generation = fst (Atomic.get pool.current) + 1 in
+        Mutex.lock pool.mutex;
+        pool.failure <- None;
+        Atomic.set pool.current (generation, batch);
+        Condition.broadcast pool.work;
+        Mutex.unlock pool.mutex;
+        (* The caller is a pool member too. *)
+        drain pool batch;
+        (* Wait for straggling workers: brief spin, then block. *)
+        let spins = ref spin_budget in
+        while Atomic.get batch.completed < n && !spins > 0 do
+          Domain.cpu_relax ();
+          decr spins
+        done;
+        if Atomic.get batch.completed < n then begin
+          Mutex.lock pool.mutex;
+          while Atomic.get batch.completed < n do
+            Condition.wait pool.finished pool.mutex
+          done;
+          Mutex.unlock pool.mutex
+        end;
+        let failure = pool.failure in
+        pool.failure <- None;
+        match failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+  end
+
+let shutdown pool =
+  Atomic.set pool.stop true;
+  Mutex.lock pool.mutex;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]

@@ -1,0 +1,33 @@
+(* Sequential backend for OCaml < 5.0, where the runtime has no domain
+   parallelism. See pool_backend.mli; this file becomes pool_backend.ml
+   through the version-guarded rule in dune.
+
+   Semantics match the domain backend exactly — every task runs once,
+   the first exception is re-raised after the whole batch has executed,
+   the pool survives — only the execution is in-caller. Kept to plain
+   4.14 stdlib: no Domain, no Atomic. *)
+
+let parallelism_available = false
+let recommended_jobs () = 1
+
+type t = { n_jobs : int }
+
+let create ~jobs:n_jobs =
+  if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { n_jobs }
+
+let jobs pool = pool.n_jobs
+
+let run _pool n body =
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    try body i
+    with e ->
+      if !failure = None then
+        failure := Some (e, Printexc.get_raw_backtrace ())
+  done;
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let shutdown _pool = ()

@@ -115,20 +115,34 @@ let get m i j =
   done;
   !result
 
-let mv_into m x y =
+let check_mv_args ~name m x y ~lo ~hi =
   if Array.length x <> m.cols || Array.length y <> m.rows then
-    invalid_arg "Sparse.mv_into: dimension mismatch";
-  if x == y then invalid_arg "Sparse.mv_into: x and y must be distinct";
+    invalid_arg (name ^ ": dimension mismatch");
+  if x == y then invalid_arg (name ^ ": x and y must be distinct");
+  if lo < 0 || hi > m.rows || lo > hi then
+    invalid_arg (name ^ ": bad row range")
+
+let mv_into_range_unchecked m x y ~lo ~hi =
   let row_start = m.row_start
   and col_index = m.col_index
   and values = m.values in
-  for i = 0 to m.rows - 1 do
+  for i = lo to hi - 1 do
     let acc = ref 0. in
     for k = row_start.(i) to row_start.(i + 1) - 1 do
       acc := !acc +. (values.(k) *. x.(col_index.(k)))
     done;
     y.(i) <- !acc
   done
+
+let mv_into_range m x y ~lo ~hi =
+  check_mv_args ~name:"Sparse.mv_into_range" m x y ~lo ~hi;
+  mv_into_range_unchecked m x y ~lo ~hi
+
+let mv_into m x y =
+  check_mv_args ~name:"Sparse.mv_into" m x y ~lo:0 ~hi:m.rows;
+  mv_into_range_unchecked m x y ~lo:0 ~hi:m.rows
+
+let row_offsets m = Array.copy m.row_start
 
 let mv m x =
   let y = Array.make m.rows 0. in

@@ -31,6 +31,19 @@ val mv_into : t -> Vec.t -> Vec.t -> unit
 (** [mv_into a x y] writes [A x] into pre-allocated [y] (no allocation in
     the hot loop). [x] and [y] must be distinct arrays. *)
 
+val mv_into_range : t -> Vec.t -> Vec.t -> lo:int -> hi:int -> unit
+(** [mv_into_range a x y ~lo ~hi] writes rows [lo .. hi-1] of [A x] into
+    the same rows of [y], leaving the rest of [y] untouched — the
+    row-slice kernel behind the partitioned (multi-domain) mat-vec of
+    {!Mrm_engine.Kernel}. Requires [0 <= lo <= hi <= rows]; [x] and [y]
+    must be distinct. [mv_into] is the [lo = 0, hi = rows] case. *)
+
+val row_offsets : t -> int array
+(** A fresh copy of the CSR row-start offsets (length [rows + 1]):
+    row [i]'s entries occupy positions [offsets.(i) .. offsets.(i+1) - 1],
+    so [offsets.(i+1) - offsets.(i)] is the nnz of row [i] and
+    [offsets.(rows)] is {!nnz}. Used to balance row partitions by nnz. *)
+
 val vm : Vec.t -> t -> Vec.t
 (** [vm x a] is [x^T A]. *)
 

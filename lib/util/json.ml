@@ -1,0 +1,321 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: recursive descent over the raw string.                     *)
+
+exception Parse_error of int * string
+
+let fail pos message = raise (Parse_error (pos, message))
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_exn_internal text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail !pos (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  (* \uXXXX escapes, including surrogate pairs, re-encoded as UTF-8. *)
+  let hex4 () =
+    if !pos + 4 > n then fail !pos "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let c = text.[!pos] in
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail !pos "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let add_utf8 buffer code =
+    if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buffer (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buffer
+      | '\\' -> begin
+          if !pos >= n then fail !pos "unterminated escape";
+          let e = text.[!pos] in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buffer '"'
+          | '\\' -> Buffer.add_char buffer '\\'
+          | '/' -> Buffer.add_char buffer '/'
+          | 'b' -> Buffer.add_char buffer '\b'
+          | 'f' -> Buffer.add_char buffer '\012'
+          | 'n' -> Buffer.add_char buffer '\n'
+          | 'r' -> Buffer.add_char buffer '\r'
+          | 't' -> Buffer.add_char buffer '\t'
+          | 'u' ->
+              let code = hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: a low surrogate must follow. *)
+                if
+                  !pos + 2 <= n
+                  && text.[!pos] = '\\'
+                  && text.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let low = hex4 () in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    fail !pos "unpaired surrogate"
+                  else
+                    add_utf8 buffer
+                      (0x10000
+                      + ((code - 0xD800) * 0x400)
+                      + (low - 0xDC00))
+                end
+                else fail !pos "unpaired surrogate"
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail !pos "unpaired surrogate"
+              else add_utf8 buffer code
+          | _ -> fail (!pos - 1) "bad escape character");
+          go ()
+        end
+      | c -> begin
+          Buffer.add_char buffer c;
+          go ()
+        end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < n && is_digit text.[!pos] do
+      advance ()
+    done;
+    if peek () = Some '.' then begin
+      advance ();
+      while !pos < n && is_digit text.[!pos] do
+        advance ()
+      done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') -> begin
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        while !pos < n && is_digit text.[!pos] do
+          advance ()
+        done
+      end
+    | _ -> ());
+    let token = String.sub text start (!pos - start) in
+    match float_of_string_opt token with
+    | Some v -> Num v
+    | None -> fail start (Printf.sprintf "bad number %S" token)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' -> begin
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> begin
+                advance ();
+                members ((key, value) :: acc)
+              end
+            | Some '}' -> begin
+                advance ();
+                List.rev ((key, value) :: acc)
+              end
+            | _ -> fail !pos "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      end
+    | Some '[' -> begin
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let value = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> begin
+                advance ();
+                elements (value :: acc)
+              end
+            | Some ']' -> begin
+                advance ();
+                List.rev (value :: acc)
+              end
+            | _ -> fail !pos "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected character '%c'" c)
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos < n then fail !pos "trailing content after JSON value";
+  value
+
+let parse text =
+  match parse_exn_internal text with
+  | value -> Ok value
+  | exception Parse_error (pos, message) ->
+      Error (Printf.sprintf "offset %d: %s" pos message)
+
+let parse_exn text =
+  match parse text with
+  | Ok value -> value
+  | Error message -> failwith ("Json: " ^ message)
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let escape_string buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\b' -> Buffer.add_string buffer "\\b"
+      | '\012' -> Buffer.add_string buffer "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let number_to_string v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && abs_float v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else begin
+    (* Shortest representation that round-trips binary64. *)
+    let short = Printf.sprintf "%.12g" v in
+    if float_of_string short = v then short else Printf.sprintf "%.17g" v
+  end
+
+let to_string json =
+  let buffer = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Num v -> Buffer.add_string buffer (number_to_string v)
+    | Str s -> escape_string buffer s
+    | List items -> begin
+        Buffer.add_char buffer '[';
+        List.iteri
+          (fun k item ->
+            if k > 0 then Buffer.add_char buffer ',';
+            emit item)
+          items;
+        Buffer.add_char buffer ']'
+      end
+    | Obj members -> begin
+        Buffer.add_char buffer '{';
+        List.iteri
+          (fun k (key, value) ->
+            if k > 0 then Buffer.add_char buffer ',';
+            escape_string buffer key;
+            Buffer.add_char buffer ':';
+            emit value)
+          members;
+        Buffer.add_char buffer '}'
+      end
+  in
+  emit json;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Accessors.                                                          *)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let to_float = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v && abs_float v <= 2. ** 53. ->
+      Some (int_of_float v)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function List items -> Some items | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,48 @@
+(** Minimal JSON tree, parser and printer.
+
+    The batch front-end ([mrm2 batch]) exchanges JSONL job specs and
+    results, and the bench harness emits [BENCH_<experiment>.json]
+    perf records; this module keeps both pure-OCaml (no external JSON
+    dependency, matching the hand-rolled emitters in
+    {!Mrm_check.Diagnostics}).
+
+    Numbers are [float] throughout (JSON has a single number type);
+    integers survive a round-trip exactly up to 2^53. The parser
+    accepts UTF-8 input, the standard escapes and [\uXXXX] (surrogate
+    pairs included); it rejects trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document. The error string carries a character
+    offset, e.g. ["offset 12: expected ':'"]. *)
+
+val parse_exn : string -> t
+(** @raise Failure with the {!parse} error message. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering; object member order is
+    preserved. Non-finite numbers render as [null] (JSON has no
+    representation for them). *)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors: total functions returning options, for digging through   *)
+(* parsed job specs without pattern-matching boilerplate.              *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an
+    object containing it. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] values that are exact integers only. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

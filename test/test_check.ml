@@ -251,7 +251,23 @@ let test_check_conditioning_codes () =
   let spread =
     { (base_data ()) with Check.rates = [| 1e-6; 1e6 |] }
   in
-  expect_code "scale spread" "MRM051" (Check.check_conditioning spread)
+  expect_code "scale spread" "MRM051" (Check.check_conditioning spread);
+  (* Paper-scale model on a single domain: the row-parallel engine
+     pointer fires, and requesting jobs > 1 silences it. *)
+  let n = 10_000 in
+  let paper_scale =
+    Check.of_triplets ~states:n
+      ~transitions:[ (0, 1, 1.); (1, 0, 1.) ]
+      ~rates:(Array.make n 1.) ~variances:(Array.make n 0.)
+      ~initial:(Array.init n (fun i -> if i = 0 then 1. else 0.))
+  in
+  expect_code "paper scale sequential" "MRM053"
+    (Check.check_conditioning paper_scale);
+  let config = { Check.default_config with Check.jobs = 4 } in
+  let report = Check.check_conditioning ~config paper_scale in
+  if has "MRM053" report then
+    Alcotest.failf "paper scale with jobs = 4: MRM053 should not fire [%s]"
+      (String.concat "; " (codes report))
 
 (* ------------------------------------------------------------------ *)
 (* validate_exn and the solver ?validate flag                           *)

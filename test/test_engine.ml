@@ -1,0 +1,598 @@
+(* Tests for the parallel execution engine: pool scheduling semantics
+   (coverage, exceptions, re-entrancy, shutdown), nnz-balanced
+   partitions, partitioned kernels against their sequential
+   counterparts, the solver's ?pool argument (parallel must equal
+   sequential bit for bit), and the batch front-end with its
+   dedup/memoization and the mrm2 batch JSONL round trip. *)
+
+module Pool = Mrm_engine.Pool
+module Partition = Mrm_engine.Partition
+module Kernel = Mrm_engine.Kernel
+module Batch = Mrm_batch.Batch
+module Json = Mrm_util.Json
+module Sparse = Mrm_linalg.Sparse
+module Vec = Mrm_linalg.Vec
+module Model = Mrm_core.Model
+module Randomization = Mrm_core.Randomization
+module Generator = Mrm_ctmc.Generator
+module Onoff = Mrm_models.Onoff
+
+let job_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool semantics                                                       *)
+
+let test_pool_covers_all_tasks () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check int) "jobs" jobs (Pool.jobs pool);
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Pool.run pool n (fun i -> hits.(i) <- hits.(i) + 1);
+              if n > 0 then
+                Alcotest.(check (array int))
+                  (Printf.sprintf "each of %d tasks ran once on %d jobs" n
+                     jobs)
+                  (Array.make n 1) (Array.sub hits 0 n))
+            (* n = 0, n = 1, n < jobs, n = jobs, n >> jobs *)
+            [ 0; 1; jobs - 1; jobs; 97 ]))
+    job_counts
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let ran = Array.make 8 false in
+      let raised =
+        try
+          Pool.run pool 8 (fun i ->
+              ran.(i) <- true;
+              if i = 3 then failwith "task 3 exploded");
+          false
+        with Failure msg ->
+          Alcotest.(check string) "message" "task 3 exploded" msg;
+          true
+      in
+      Alcotest.(check bool) "exception re-raised" true raised;
+      (* Every task still ran (no abandonment mid-batch)... *)
+      Alcotest.(check (array bool)) "all tasks ran" (Array.make 8 true) ran;
+      (* ...and the pool survives for the next batch. *)
+      let total = Atomic.make 0 in
+      Pool.run pool 10 (fun i -> ignore (Atomic.fetch_and_add total (i + 1)));
+      Alcotest.(check int) "pool survives" 55 (Atomic.get total))
+
+let test_pool_reentrant_run () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let hits = Atomic.make 0 in
+      (* body calls run on the same pool: must degrade to sequential
+         instead of deadlocking. *)
+      Pool.run pool 4 (fun _ ->
+          Pool.run pool 5 (fun _ -> ignore (Atomic.fetch_and_add hits 1)));
+      Alcotest.(check int) "nested tasks all ran" 20 (Atomic.get hits))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* A pool keeps working after shutdown, in-caller. *)
+  let sum = ref 0 in
+  Pool.run pool 5 (fun i -> sum := !sum + i);
+  Alcotest.(check int) "run after shutdown" 10 !sum
+
+let test_parallel_for_chunks () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              let n = 23 in
+              let hits = Array.make n 0 in
+              Pool.parallel_for pool ?chunk ~n (fun i ->
+                  hits.(i) <- hits.(i) + 1);
+              Alcotest.(check (array int))
+                (Printf.sprintf "chunk %s on %d jobs"
+                   (match chunk with
+                   | None -> "default"
+                   | Some c -> string_of_int c)
+                   jobs)
+                (Array.make n 1) hits)
+            [ None; Some 1; Some 4; Some 100 ]))
+    job_counts
+
+let test_map_array () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let input = Array.init 17 (fun i -> i) in
+      let out = Pool.map_array pool (fun x -> (x * x, string_of_int x)) input in
+      Alcotest.(check int) "length" 17 (Array.length out);
+      Array.iteri
+        (fun i (sq, s) ->
+          Alcotest.(check int) "square" (i * i) sq;
+          Alcotest.(check string) "order preserved" (string_of_int i) s)
+        out;
+      Alcotest.(check int) "empty input" 0
+        (Array.length (Pool.map_array pool (fun x -> x) [||])))
+
+(* ------------------------------------------------------------------ *)
+(* Partitions                                                           *)
+
+let check_partition_covers name partition ~rows =
+  let ranges = Partition.ranges partition in
+  let expected = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: contiguous at %d" name lo)
+        true
+        (lo = !expected && hi >= lo);
+      expected := hi)
+    ranges;
+  Alcotest.(check int) (name ^ ": covers every row") rows !expected
+
+let test_partition_uniform () =
+  check_partition_covers "10/3" (Partition.uniform ~parts:3 ~rows:10) ~rows:10;
+  check_partition_covers "3/10 (more parts than rows)"
+    (Partition.uniform ~parts:10 ~rows:3)
+    ~rows:3;
+  check_partition_covers "0 rows" (Partition.uniform ~parts:4 ~rows:0) ~rows:0
+
+let test_partition_by_nnz () =
+  (* Skewed matrix: row 0 holds almost all entries; nnz balancing must
+     not hand the remaining rows to the same range. *)
+  let n = 64 in
+  let triplets = ref [] in
+  for j = 0 to n - 1 do
+    triplets := (0, j, 1.) :: !triplets
+  done;
+  for i = 1 to n - 1 do
+    triplets := (i, i, 1.) :: !triplets
+  done;
+  let m = Sparse.of_triplets ~rows:n ~cols:n !triplets in
+  let partition = Partition.by_nnz ~parts:4 m in
+  check_partition_covers "skewed" partition ~rows:n;
+  let offsets = Sparse.row_offsets m in
+  let heaviest =
+    Array.fold_left
+      (fun acc (lo, hi) -> max acc (offsets.(hi) - offsets.(lo)))
+      0
+      (Partition.ranges partition)
+  in
+  (* A perfect split carries nnz/4 + slack for one indivisible row. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "nnz balanced (heaviest range %d of %d)" heaviest
+       (Sparse.nnz m))
+    true
+    (heaviest <= (Sparse.nnz m / 4) + n)
+
+let prop_partition_covers_random =
+  QCheck2.Test.make ~count:100 ~name:"partitions cover any matrix"
+    QCheck2.Gen.(
+      tup3 (int_range 1 30) (int_range 1 8) (int_range 0 40))
+    (fun (rows, parts, extra) ->
+      let triplets =
+        List.init extra (fun k -> (k mod rows, (k * 7) mod rows, 1.))
+      in
+      let m = Sparse.of_triplets ~rows ~cols:rows triplets in
+      let partition = Partition.by_nnz ~parts m in
+      let ranges = Partition.ranges partition in
+      let covered = ref 0 in
+      Array.for_all
+        (fun (lo, hi) ->
+          let ok = lo = !covered && hi >= lo in
+          covered := hi;
+          ok)
+        ranges
+      && !covered = rows)
+
+(* ------------------------------------------------------------------ *)
+(* Kernels vs their sequential counterparts                             *)
+
+let prop_kernel_matches_sequential =
+  QCheck2.Test.make ~count:60
+    ~name:"Kernel mv/dot/sum = Sparse.mv/Vec (jobs x parts x chunk)"
+    QCheck2.Gen.(
+      let* n = int_range 1 24 in
+      let* entries = list_repeat (3 * n) (float_range (-2.) 2.) in
+      let* x = list_repeat n (float_range (-1.) 1.) in
+      let* jobs = oneofl job_counts in
+      let* parts = int_range 1 7 in
+      let* chunk = oneofl [ None; Some 1; Some 3 ] in
+      return (n, entries, Array.of_list x, jobs, parts, chunk))
+    (fun (n, entries, x, jobs, parts, chunk) ->
+      let triplets =
+        List.mapi (fun k v -> (k mod n, (k * 5 + 1) mod n, v)) entries
+      in
+      let m = Sparse.of_triplets ~rows:n ~cols:n triplets in
+      Pool.with_pool ~jobs (fun pool ->
+          let partition = Partition.by_nnz ~parts m in
+          let expected = Sparse.mv m x in
+          let got = Array.make n Float.nan in
+          Kernel.mv_into pool partition m x got;
+          let y = Array.init n (fun i -> float_of_int i /. 7.) in
+          let y' = Array.copy y in
+          Kernel.axpy pool partition ~alpha:1.5 ~x ~y;
+          Vec.axpy ~alpha:1.5 ~x ~y:y';
+          (* Row-sliced kernels are bit-identical; chunked reductions
+             reorder the summation, so those get a tolerance — but must
+             be deterministic across runs for a fixed chunk. *)
+          let close a b = abs_float (a -. b) <= 1e-12 *. (1. +. abs_float b) in
+          expected = got && y = y'
+          && close (Kernel.dot pool ?chunk x expected) (Vec.dot x expected)
+          && close (Kernel.sum pool ?chunk x) (Vec.sum x)
+          && Kernel.dot pool ?chunk x expected = Kernel.dot pool ?chunk x expected
+          && Kernel.sum pool ?chunk x = Kernel.sum pool ?chunk x))
+
+(* ------------------------------------------------------------------ *)
+(* Solver: ?pool must not change a single bit                           *)
+
+let check_results_identical name (a : Randomization.result)
+    (b : Randomization.result) =
+  Alcotest.(check int)
+    (name ^ ": iterations")
+    a.diagnostics.iterations b.diagnostics.iterations;
+  Array.iteri
+    (fun n va ->
+      Array.iteri
+        (fun i v ->
+          if v <> b.moments.(n).(i) then
+            Alcotest.failf "%s: moments.(%d).(%d): %.17g <> %.17g" name n i v
+              b.moments.(n).(i))
+        va)
+    a.moments
+
+let test_solver_parallel_equals_sequential_table1 () =
+  let model = Onoff.model (Onoff.table1 ~sigma2:10.) in
+  let sequential = Randomization.moments model ~t:2. ~order:3 in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let parallel = Randomization.moments ~pool model ~t:2. ~order:3 in
+          check_results_identical
+            (Printf.sprintf "table1 jobs=%d" jobs)
+            sequential parallel))
+    job_counts
+
+let test_solver_parallel_equals_sequential_large () =
+  (* ~2k-state ON-OFF model: big enough for several nnz ranges per
+     domain, small enough for CI. *)
+  let model = Onoff.model (Onoff.scaled_table2 ~sources:2_000) in
+  let sequential = Randomization.moments model ~t:0.005 ~order:3 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let parallel = Randomization.moments ~pool model ~t:0.005 ~order:3 in
+      check_results_identical "scaled table2" sequential parallel)
+
+let test_moments_at_times_with_pool () =
+  let model = Onoff.model (Onoff.table1 ~sigma2:1.) in
+  let times = [| 0.; 0.5; 1.; 2. |] in
+  let sequential = Randomization.moments_at_times model ~times ~order:3 in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let parallel =
+        Randomization.moments_at_times ~pool model ~times ~order:3
+      in
+      Array.iteri
+        (fun k r ->
+          check_results_identical
+            (Printf.sprintf "t=%g" times.(k))
+            r parallel.(k))
+        sequential)
+
+let prop_solver_pool_invariant =
+  (* Random models x jobs: the parallel sweep reproduces the sequential
+     one exactly, for single times and for shared multi-time sweeps. *)
+  QCheck2.Test.make ~count:25 ~name:"random models: ?pool is a no-op on values"
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* cycle = list_repeat n (float_range 0.2 3.) in
+      let* rates = list_repeat n (float_range (-2.) 2.) in
+      let* variances = list_repeat n (float_range 0. 2.) in
+      let* jobs = oneofl [ 2; 4 ] in
+      return (n, cycle, rates, variances, jobs))
+    (fun (n, cycle, rates, variances, jobs) ->
+      let triplets =
+        List.mapi (fun i r -> (i, (i + 1) mod n, r)) cycle
+      in
+      let generator = Generator.of_triplets ~states:n triplets in
+      let initial = Array.init n (fun i -> if i = 0 then 1. else 0.) in
+      let model =
+        Model.make ~generator ~rates:(Array.of_list rates)
+          ~variances:(Array.of_list variances) ~initial
+      in
+      let times = [| 0.3; 1.1 |] in
+      let seq_one = Randomization.moments model ~t:1.1 ~order:3 in
+      let seq_many = Randomization.moments_at_times model ~times ~order:3 in
+      Pool.with_pool ~jobs (fun pool ->
+          let par_one = Randomization.moments ~pool model ~t:1.1 ~order:3 in
+          let par_many =
+            Randomization.moments_at_times ~pool model ~times ~order:3
+          in
+          seq_one.moments = par_one.moments
+          && Array.for_all2
+               (fun (a : Randomization.result) (b : Randomization.result) ->
+                 a.moments = b.moments)
+               seq_many par_many))
+
+let test_moment_series_projection () =
+  (* The satellite rewrite: moment_series is a projection of
+     moments_at_times, and stays within eps of pointwise solves. *)
+  let model = Onoff.model (Onoff.table1 ~sigma2:10.) in
+  let times = [| 0.; 0.25; 1.; 2. |] in
+  let series = Randomization.moment_series ~validate:true model ~times ~order:3 in
+  let swept = Randomization.moments_at_times model ~times ~order:3 in
+  Array.iteri
+    (fun k (t, values) ->
+      Alcotest.(check (float 0.)) "time echoed" times.(k) t;
+      Array.iteri
+        (fun n v ->
+          let expected =
+            Vec.dot (model : Model.t).Model.initial swept.(k).moments.(n)
+          in
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "series = projected sweep (t=%g, n=%d)" t n)
+            expected v;
+          let pointwise =
+            Vec.dot
+              (model : Model.t).Model.initial
+              (Randomization.moments model ~t ~order:3).moments.(n)
+          in
+          if
+            abs_float (v -. pointwise) > 1e-8 *. (1. +. abs_float pointwise)
+          then
+            Alcotest.failf "series vs pointwise at t=%g, n=%d: %g vs %g" t n v
+              pointwise)
+        values)
+    series
+
+(* ------------------------------------------------------------------ *)
+(* Batch front-end                                                      *)
+
+let small_job ?(id = "a") ?(eps = 1e-9) ?(order = 3) ?(meth = Batch.Randomization)
+    () =
+  {
+    Batch.id;
+    model = Onoff.model (Onoff.table1 ~sigma2:1.);
+    times = [| 1. |];
+    order;
+    eps;
+    meth;
+  }
+
+let test_batch_dedup () =
+  let jobs =
+    [| small_job ~id:"first" (); small_job ~id:"second" ();
+       small_job ~id:"third" ~eps:1e-6 () |]
+  in
+  let outcomes = Batch.run jobs in
+  Alcotest.(check int) "outcome per job" 3 (Array.length outcomes);
+  Alcotest.(check (option string)) "first is representative" None
+    outcomes.(0).duplicate_of;
+  Alcotest.(check (option string)) "second reuses first" (Some "first")
+    outcomes.(1).duplicate_of;
+  Alcotest.(check (option string)) "different eps solves fresh" None
+    outcomes.(2).duplicate_of;
+  Alcotest.(check string) "equal digests" outcomes.(0).digest
+    outcomes.(1).digest;
+  Alcotest.(check bool) "eps changes the digest" true
+    (outcomes.(0).digest <> outcomes.(2).digest);
+  match (outcomes.(0).result, outcomes.(1).result) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "shared values" true
+        (a.(0).Batch.values = b.(0).Batch.values)
+  | _ -> Alcotest.fail "batch jobs failed"
+
+let test_batch_matches_direct_solver () =
+  List.iter
+    (fun jobs_opt ->
+      let run jobs_array =
+        match jobs_opt with
+        | None -> Batch.run jobs_array
+        | Some jobs -> Pool.with_pool ~jobs (fun pool -> Batch.run ~pool jobs_array)
+      in
+      let outcomes = run [| small_job () |] in
+      match outcomes.(0).result with
+      | Error e -> Alcotest.failf "batch failed: %s" e
+      | Ok points ->
+          let model = Onoff.model (Onoff.table1 ~sigma2:1.) in
+          let direct = Randomization.moments model ~t:1. ~order:3 in
+          let expected =
+            Array.init 4 (fun n ->
+                Vec.dot (model : Model.t).Model.initial direct.moments.(n))
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "values match direct solve (%s)"
+               (match jobs_opt with
+               | None -> "sequential"
+               | Some j -> Printf.sprintf "pool of %d" j))
+            true
+            (points.(0).Batch.values = expected);
+          Alcotest.(check (option int)) "iterations recorded"
+            (Some direct.diagnostics.iterations)
+            points.(0).Batch.iterations)
+    [ None; Some 2 ]
+
+let test_batch_error_isolation () =
+  (* An invalid job must fail alone, not poison the batch. *)
+  let bad = { (small_job ~id:"bad" ()) with order = -1 } in
+  let outcomes = Batch.run [| small_job ~id:"good" (); bad |] in
+  (match outcomes.(0).result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "good job failed: %s" e);
+  match outcomes.(1).result with
+  | Ok _ -> Alcotest.fail "order = -1 should fail"
+  | Error message ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message mentions the cause: %s" message)
+        true
+        (String.length message > 0)
+
+let test_batch_job_of_json () =
+  let parse line =
+    Batch.job_of_json ~default_id:"fallback" (Json.parse_exn line)
+  in
+  (match
+     parse
+       {|{"id":"j1","model":"onoff","sigma2":1,"size":8,"times":[0.5,1],"order":2,"method":"ode"}|}
+   with
+  | Error e -> Alcotest.failf "valid spec rejected: %s" e
+  | Ok job ->
+      Alcotest.(check string) "id" "j1" job.Batch.id;
+      Alcotest.(check int) "order" 2 job.Batch.order;
+      Alcotest.(check bool) "method" true (job.Batch.meth = Batch.Ode);
+      Alcotest.(check int) "times" 2 (Array.length job.Batch.times);
+      Alcotest.(check int) "model built" 9 (Model.dim job.Batch.model));
+  (match parse {|{"model":"repair","t":1}|} with
+  | Error e -> Alcotest.failf "defaults rejected: %s" e
+  | Ok job ->
+      Alcotest.(check string) "default id" "fallback" job.Batch.id;
+      Alcotest.(check int) "default order" 3 job.Batch.order);
+  let expect_error name line =
+    match parse line with
+    | Ok _ -> Alcotest.failf "%s: should be rejected" name
+    | Error _ -> ()
+  in
+  expect_error "no model source" {|{"t":1}|};
+  expect_error "no times" {|{"model":"onoff"}|};
+  expect_error "both model sources" {|{"model":"onoff","file":"x.mrm","t":1}|};
+  expect_error "both time forms" {|{"model":"onoff","t":1,"times":[1]}|};
+  expect_error "bad method" {|{"model":"onoff","t":1,"method":"lattice"}|};
+  expect_error "negative order" {|{"model":"onoff","t":1,"order":-2}|};
+  expect_error "not an object" {|[1,2]|}
+
+let test_batch_outcome_json_round_trip () =
+  let outcomes = Batch.run [| small_job ~id:"rt" () |] in
+  let json = Json.parse_exn (Json.to_string (Batch.outcome_to_json outcomes.(0))) in
+  let str key = Option.bind (Json.member key json) Json.to_str in
+  Alcotest.(check (option string)) "id" (Some "rt") (str "id");
+  Alcotest.(check (option string)) "status" (Some "ok") (str "status");
+  match Option.bind (Json.member "points" json) Json.to_list with
+  | Some [ point ] ->
+      let moments =
+        Option.bind (Json.member "moments" point) Json.to_list
+        |> Option.value ~default:[]
+      in
+      Alcotest.(check int) "order+1 moments" 4 (List.length moments);
+      Alcotest.(check (option (float 0.))) "t echoed" (Some 1.)
+        (Option.bind (Json.member "t" point) Json.to_float)
+  | _ -> Alcotest.fail "expected exactly one point"
+
+(* ------------------------------------------------------------------ *)
+(* mrm2 batch CLI on the committed fixture                              *)
+
+let mrm2 = Filename.concat (Filename.concat ".." "bin") "mrm2.exe"
+
+let test_batch_cli_fixture () =
+  let out = Filename.temp_file "mrm2_batch" ".out" in
+  let command =
+    Printf.sprintf "MRM2_JOBS=2 %s batch fixtures/batch_jobs.jsonl > %s 2>/dev/null"
+      mrm2 out
+  in
+  let status = Sys.command command in
+  let lines =
+    let ic = open_in out in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  in
+  Sys.remove out;
+  Alcotest.(check int) "exit code" 0 status;
+  Alcotest.(check int) "one JSONL line per job" 4 (List.length lines);
+  let parsed = List.map Json.parse_exn lines in
+  List.iter
+    (fun json ->
+      Alcotest.(check (option string)) "status ok" (Some "ok")
+        (Option.bind (Json.member "status" json) Json.to_str))
+    parsed;
+  (* The duplicate spec line must reference the representative... *)
+  let dup = List.nth parsed 1 in
+  Alcotest.(check (option string)) "dedup over the wire" (Some "small")
+    (Option.bind (Json.member "duplicate_of" dup) Json.to_str);
+  (* ...and agree with the library solving the same model directly
+     (which is also what `mrm2 moments --model onoff --sigma2 1 --size 8`
+     prints — asserted end-to-end by the @batch-smoke dune alias). *)
+  let model =
+    Onoff.model
+      { (Onoff.table1 ~sigma2:1.) with sources = 8; capacity = 8. }
+  in
+  let direct = Randomization.moments model ~t:1. ~order:3 in
+  let expected =
+    Array.to_list
+      (Array.init 4 (fun n ->
+           Vec.dot (model : Model.t).Model.initial direct.moments.(n)))
+  in
+  let first_moments =
+    Option.bind (Json.member "points" (List.hd parsed)) Json.to_list
+    |> Option.value ~default:[] |> List.hd |> Json.member "moments"
+    |> Fun.flip Option.bind Json.to_list
+    |> Option.value ~default:[]
+    |> List.filter_map Json.to_float
+  in
+  List.iteri
+    (fun n expected_value ->
+      let got = List.nth first_moments n in
+      if abs_float (got -. expected_value) > 1e-9 *. (1. +. abs_float expected_value)
+      then
+        Alcotest.failf "CLI moment %d: %.17g vs library %.17g" n got
+          expected_value)
+    expected
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "all tasks run once" `Quick
+            test_pool_covers_all_tasks;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "re-entrant run" `Quick test_pool_reentrant_run;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "parallel_for chunking" `Quick
+            test_parallel_for_chunks;
+          Alcotest.test_case "map_array" `Quick test_map_array;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "uniform" `Quick test_partition_uniform;
+          Alcotest.test_case "nnz balancing" `Quick test_partition_by_nnz;
+          to_alcotest prop_partition_covers_random;
+        ] );
+      ("kernel", [ to_alcotest prop_kernel_matches_sequential ]);
+      ( "solver",
+        [
+          Alcotest.test_case "table-1 parallel = sequential" `Quick
+            test_solver_parallel_equals_sequential_table1;
+          Alcotest.test_case "2k-state parallel = sequential" `Slow
+            test_solver_parallel_equals_sequential_large;
+          Alcotest.test_case "moments_at_times with pool" `Quick
+            test_moments_at_times_with_pool;
+          to_alcotest prop_solver_pool_invariant;
+          Alcotest.test_case "moment_series projection" `Quick
+            test_moment_series_projection;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "dedup + memoization" `Quick test_batch_dedup;
+          Alcotest.test_case "matches direct solver" `Quick
+            test_batch_matches_direct_solver;
+          Alcotest.test_case "error isolation" `Quick
+            test_batch_error_isolation;
+          Alcotest.test_case "job_of_json" `Quick test_batch_job_of_json;
+          Alcotest.test_case "outcome JSON round trip" `Quick
+            test_batch_outcome_json_round_trip;
+          Alcotest.test_case "CLI fixture" `Quick test_batch_cli_fixture;
+        ] );
+    ]

@@ -331,6 +331,106 @@ let test_float_cell () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Json: the hand-rolled tree behind mrm2 batch and the BENCH records   *)
+
+module Json = Mrm_util.Json
+
+let test_json_parse_basics () =
+  let open Json in
+  let cases =
+    [
+      ("null", Null);
+      ("true", Bool true);
+      ("false", Bool false);
+      ("42", Num 42.);
+      ("-3.25e2", Num (-325.));
+      ({|"hi"|}, Str "hi");
+      ("[]", List []);
+      ("[1,2,3]", List [ Num 1.; Num 2.; Num 3. ]);
+      ("{}", Obj []);
+      ( {| {"a": 1, "b": [true, null]} |},
+        Obj [ ("a", Num 1.); ("b", List [ Bool true; Null ]) ] );
+    ]
+  in
+  List.iter
+    (fun (text, expected) ->
+      match parse text with
+      | Ok v ->
+          if v <> expected then Alcotest.failf "parse %s: wrong tree" text
+      | Error e -> Alcotest.failf "parse %s: %s" text e)
+    cases
+
+let test_json_parse_strings () =
+  let open Json in
+  (match parse {|"a\"b\\c\n\tAé"|} with
+  | Ok (Str s) ->
+      Alcotest.(check string) "escapes + unicode" "a\"b\\c\n\tA\xc3\xa9" s
+  | _ -> Alcotest.fail "string escapes");
+  (* Surrogate pair: U+1D11E (musical G clef) in UTF-8. *)
+  match parse {|"𝄞"|} with
+  | Ok (Str s) ->
+      Alcotest.(check string) "surrogate pair" "\xf0\x9d\x84\x9e" s
+  | _ -> Alcotest.fail "surrogate pair"
+
+let test_json_parse_errors () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "%S should not parse" text
+      | Error message ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error carries an offset: %s" text message)
+            true
+            (String.length message > 0))
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated";
+      "{\"a\" 1}"; "+5"; "[1] trailing";
+    ]
+
+let test_json_round_trip () =
+  let open Json in
+  let doc =
+    Obj
+      [
+        ("name", Str "fig8");
+        ("times", List [ Num 0.01; Num 0.1; Num (1. /. 3.) ]);
+        ("eps", Num 1e-9);
+        ("exact", Num 12345678901234.);
+        ("flags", Obj [ ("full", Bool false); ("note", Null) ]);
+      ]
+  in
+  let text = to_string doc in
+  (match parse text with
+  | Ok v ->
+      if v <> doc then
+        Alcotest.failf "round trip changed the tree: %s" text
+  | Error e -> Alcotest.failf "round trip re-parse: %s" e);
+  (* Non-finite numbers have no JSON representation; they render null. *)
+  Alcotest.(check string) "nan -> null" "null" (to_string (Num Float.nan));
+  Alcotest.(check string)
+    "inf -> null" "[null,1]"
+    (to_string (List [ Num infinity; Num 1. ]))
+
+let test_json_accessors () =
+  let open Json in
+  let doc =
+    parse_exn {|{"order": 3, "t": 0.5, "id": "x", "times": [1, 2]}|}
+  in
+  Alcotest.(check (option int)) "to_int" (Some 3)
+    (Option.bind (member "order" doc) to_int);
+  Alcotest.(check (option int)) "to_int rejects fractions" None
+    (Option.bind (member "t" doc) to_int);
+  Alcotest.(check (option string)) "to_str" (Some "x")
+    (Option.bind (member "id" doc) to_str);
+  Alcotest.(check (option int)) "to_list" (Some 2)
+    (Option.map List.length (Option.bind (member "times" doc) to_list));
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (member "absent" doc) to_int);
+  Alcotest.check_raises "parse_exn propagates"
+    (Failure "Json: offset 0: unexpected end of input") (fun () ->
+      ignore (parse_exn ""))
+
 let () =
   Alcotest.run "mrm_util"
     [
@@ -393,5 +493,13 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "series" `Quick test_table_series;
           Alcotest.test_case "float cell" `Quick test_float_cell;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "string escapes" `Quick test_json_parse_strings;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
     ]
