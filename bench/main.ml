@@ -49,8 +49,15 @@ let figures_dir = "figures"
 let emit_bench ~name fields =
   if not (Sys.file_exists figures_dir) then Unix.mkdir figures_dir 0o755;
   let path = Filename.concat figures_dir ("BENCH_" ^ name ^ ".json") in
+  (* Solver observability snapshot (Mrm_obs.Metrics) rides along with
+     the timings; the dispatch loop resets the registry per experiment,
+     so the counters cover exactly this experiment's solves. *)
   let json =
-    Mrm_util.Json.(to_string (Obj (("experiment", Str name) :: fields)))
+    Mrm_util.Json.(
+      to_string
+        (Obj
+           (("experiment", Str name)
+           :: (fields @ [ ("metrics", Mrm_obs.Metrics.to_json ()) ]))))
   in
   let oc = open_out path in
   Fun.protect
@@ -910,7 +917,9 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f ->
+          Mrm_obs.Metrics.reset ();
+          f ()
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments));

@@ -124,6 +124,46 @@ let with_optional_pool ~jobs f =
   else Mrm_engine.Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags, shared by the solver subcommands. --trace picks
+   the span sink for this run (overriding MRM2_TRACE); --metrics prints
+   the Mrm_obs.Metrics report to stderr after the command body. *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "stderr") (some string) None
+    & info [ "trace" ] ~docv:"SINK"
+        ~doc:
+          "Emit solver spans: $(b,stderr) (the default when $(docv) is \
+           omitted) for human-readable lines, any other value for a JSONL \
+           trace file at that path. Overrides the $(b,MRM2_TRACE) \
+           environment variable, which is honoured otherwise.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the solver metrics report (counters and gauges: \
+           truncation point, Poisson terms, pool jobs, ...) to standard \
+           error when the command finishes.")
+
+(* Evaluates to [run_with_obs : (unit -> int) -> int]: applies the sink
+   choice, runs the command body, then reports/flushes. *)
+let obs_term =
+  let setup trace metrics body =
+    (match trace with
+    | None -> ()
+    | Some spec -> Mrm_obs.Trace.set_sink (Mrm_obs.Trace.sink_of_spec spec));
+    let code = body () in
+    if metrics then
+      Format.eprintf "%a@?" Mrm_obs.Metrics.pp_report ();
+    Mrm_obs.Trace.flush ();
+    code
+  in
+  Term.(const setup $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
 (* moments                                                             *)
 
 type method_kind = Mrandom | Mode | Mgaver
@@ -156,7 +196,8 @@ let moments_cmd =
             "Solver: $(b,randomization) (paper Section 6), $(b,ode) (eq. 6, \
              Heun) or $(b,gaver) (transform domain).")
   in
-  let run file kind sigma2 size t order eps method_ jobs =
+  let run file kind sigma2 size t order eps method_ jobs obs =
+    obs @@ fun () ->
     let model = build_model ?file kind ~sigma2 ~size in
     (* Model files may declare impulse rewards; route those through the
        impulse-extended solver (randomization method only). *)
@@ -204,7 +245,7 @@ let moments_cmd =
   let term =
     Term.(
       const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg $ order
-      $ eps_arg $ method_ $ jobs_arg ~default:sequential_default)
+      $ eps_arg $ method_ $ jobs_arg ~default:sequential_default $ obs_term)
   in
   Cmd.v
     (Cmd.info "moments" ~doc:"Moments of the accumulated reward at time t")
@@ -227,7 +268,8 @@ let bounds_cmd =
       & info [ "moments" ] ~docv:"K"
           ~doc:"Number of moments to compute (the paper's figures use 23).")
   in
-  let run file kind sigma2 size t moment_count points =
+  let run file kind sigma2 size t moment_count points obs =
+    obs @@ fun () ->
     let model = build_model ?file kind ~sigma2 ~size in
     let pi = (model : Mrm_core.Model.t).initial in
     let r = Mrm_core.Randomization.moments model ~t ~order:moment_count in
@@ -257,7 +299,7 @@ let bounds_cmd =
   let term =
     Term.(
       const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ t_arg
-      $ moment_count $ points)
+      $ moment_count $ points $ obs_term)
   in
   Cmd.v
     (Cmd.info "bounds" ~doc:"Moment-based bounds on the reward distribution")
@@ -595,7 +637,8 @@ let batch_cmd =
              standard input). See $(b,mrm2 batch --help) for the spec \
              fields.")
   in
-  let run input eps jobs =
+  let run input eps jobs obs =
+    obs @@ fun () ->
     let lines =
       let read_all ic =
         let rec loop acc =
@@ -671,7 +714,7 @@ let batch_cmd =
   let term =
     Term.(
       const run $ input $ eps_arg
-      $ jobs_arg ~default:Mrm_engine.Pool.default_jobs)
+      $ jobs_arg ~default:Mrm_engine.Pool.default_jobs $ obs_term)
   in
   Cmd.v
     (Cmd.info "batch"

@@ -1,4 +1,10 @@
 module Tridiag = Mrm_linalg.Tridiag
+module Trace = Mrm_obs.Trace
+module Metrics = Mrm_obs.Metrics
+
+let m_prepares = Metrics.counter "bounds.prepare"
+let m_orders_rejected = Metrics.counter "bounds.orders_rejected"
+let m_hankel_order = Metrics.gauge "bounds.hankel_order"
 
 type bound = { point : float; lower : float; upper : float }
 
@@ -58,6 +64,10 @@ let jacobi_from_cholesky r n =
   (alpha, beta)
 
 let prepare moments =
+  Trace.with_span "bounds.prepare"
+    ~attrs:[ ("moments", Trace.Int (Array.length moments)) ]
+  @@ fun () ->
+  Metrics.incr m_prepares;
   let count = Array.length moments in
   if count < 3 then
     invalid_arg "Moment_bounds.prepare: need at least moments m0, m1, m2";
@@ -97,6 +107,10 @@ let prepare moments =
     end
   in
   let n, r = fit n_max in
+  Metrics.set m_hankel_order (float_of_int n);
+  Metrics.incr ~by:(n_max - n) m_orders_rejected;
+  Trace.add_attr "nodes" (Trace.Int n);
+  Trace.add_attr "rejected" (Trace.Int (n_max - n));
   let alpha, beta = jacobi_from_cholesky r n in
   {
     scale;
@@ -107,37 +121,76 @@ let prepare moments =
   }
 
 (* Tridiagonal solve (J_n - x I) delta = beta_n^2 e_n by the Thomas
-   algorithm; the caller perturbs x on breakdown. *)
+   algorithm. [None] on elimination breakdown — a vanishing (or
+   overflowed) pivot means x is an eigenvalue of a leading section of
+   J_n, in particular any Gauss node. Masking such a pivot with a tiny
+   constant (the previous behaviour) silently overflows the solution to
+   inf and feeds a non-finite alpha_hat to the eigensolver; the caller
+   perturbs x by a relative epsilon and retries instead. *)
+exception Breakdown
+
 let radau_shift t x =
   let n = Array.length t.alpha in
   let beta_border = t.beta.(n - 1) in
-  if n = 1 then
-    (* (alpha_0 - x) delta = beta_1^2 *)
-    x +. (beta_border *. beta_border /. (t.alpha.(0) -. x))
-  else begin
-    let diag = Array.init n (fun i -> t.alpha.(i) -. x) in
-    let off = Array.sub t.beta 0 (n - 1) in
-    let rhs = Array.make n 0. in
-    rhs.(n - 1) <- beta_border *. beta_border;
-    (* Forward elimination. *)
-    let c' = Array.make (n - 1) 0. in
-    let d' = Array.make n 0. in
-    let pivot0 = if diag.(0) = 0. then 1e-300 else diag.(0) in
-    c'.(0) <- off.(0) /. pivot0;
-    d'.(0) <- rhs.(0) /. pivot0;
-    for i = 1 to n - 1 do
-      let pivot = diag.(i) -. (off.(i - 1) *. c'.(i - 1)) in
-      let pivot = if pivot = 0. then 1e-300 else pivot in
-      if i < n - 1 then c'.(i) <- off.(i) /. pivot;
-      d'.(i) <- (rhs.(i) -. (off.(i - 1) *. d'.(i - 1))) /. pivot
-    done;
-    (* Only the last component of delta is needed: back substitution ends
-       at index n-1 immediately. *)
-    x +. d'.(n - 1)
-  end
+  let checked pivot =
+    if pivot = 0. || not (Float.is_finite pivot) then raise Breakdown
+    else pivot
+  in
+  match
+    if n = 1 then
+      (* (alpha_0 - x) delta = beta_1^2 *)
+      x +. (beta_border *. beta_border /. checked (t.alpha.(0) -. x))
+    else begin
+      let diag = Array.init n (fun i -> t.alpha.(i) -. x) in
+      let off = Array.sub t.beta 0 (n - 1) in
+      let rhs = Array.make n 0. in
+      rhs.(n - 1) <- beta_border *. beta_border;
+      (* Forward elimination. *)
+      let c' = Array.make (n - 1) 0. in
+      let d' = Array.make n 0. in
+      let pivot0 = checked diag.(0) in
+      c'.(0) <- off.(0) /. pivot0;
+      d'.(0) <- rhs.(0) /. pivot0;
+      for i = 1 to n - 1 do
+        let pivot = checked (diag.(i) -. (off.(i - 1) *. c'.(i - 1))) in
+        if i < n - 1 then c'.(i) <- off.(i) /. pivot;
+        d'.(i) <- (rhs.(i) -. (off.(i - 1) *. d'.(i - 1))) /. pivot
+      done;
+      (* Only the last component of delta is needed: back substitution
+         ends at index n-1 immediately. *)
+      x +. d'.(n - 1)
+    end
+  with
+  | alpha_hat when Float.is_finite alpha_hat -> Some alpha_hat
+  | _ -> None
+  | exception Breakdown -> None
+
+(* Prescribing a node exactly at (or binary64-close to) a Gauss node
+   makes the shift solve singular; nudge the prescribed point by a
+   relative epsilon, doubling until the elimination survives. The
+   displacement stays far below the node_tolerance that cdf_bounds uses
+   to classify nodes, so bounds are unaffected. *)
+let radau_shift_perturbed t x =
+  match radau_shift t x with
+  | Some alpha_hat -> (x, alpha_hat)
+  | None ->
+      let rec retry step attempt =
+        if attempt > 60 then
+          invalid_arg "Moment_bounds.radau_rule: shift solve keeps breaking \
+                       down (degenerate Jacobi data)"
+        else begin
+          match radau_shift t (x +. step) with
+          | Some alpha_hat -> (x +. step, alpha_hat)
+          | None -> (
+              match radau_shift t (x -. step) with
+              | Some alpha_hat -> (x -. step, alpha_hat)
+              | None -> retry (2. *. step) (attempt + 1))
+        end
+      in
+      retry (1e-14 *. (1. +. abs_float x)) 0
 
 let radau_rule t x =
-  let alpha_hat = radau_shift t x in
+  let _, alpha_hat = radau_shift_perturbed t x in
   let diag = Array.append t.alpha [| alpha_hat |] in
   let offdiag = Array.copy t.beta in
   let { Tridiag.eigenvalues; first_components } =
@@ -147,6 +200,10 @@ let radau_rule t x =
     Array.map (fun c -> t.total_mass *. c *. c) first_components
   in
   (eigenvalues, weights)
+
+let radau_quadrature t point =
+  let nodes, weights = radau_rule t (point /. t.scale) in
+  (Array.map (fun v -> v *. t.scale) nodes, weights)
 
 let cdf_bounds t point =
   let x = point /. t.scale in
@@ -178,14 +235,24 @@ let quantile_bounds t p =
   let pad = (10. *. (node_max -. node_min)) +. (10. *. t.scale) +. 1. in
   let lo_bracket = node_min -. pad and hi_bracket = node_max +. pad in
   (* upper-bound(x) is nondecreasing in x; find the smallest x with
-     upper(x) >= p. *)
+     upper(x) >= p. The bisection only means anything when the predicate
+     actually flips inside the bracket: the Radau upper bound carries a
+     Christoffel atom at the evaluation point itself, so for extreme p
+     (below the atom's mass even at lo_bracket) the predicate is true on
+     the whole bracket and the loop would silently converge to the
+     padded endpoint — an uncertified value. Check the endpoints first
+     and return the documented infinite clamps instead. *)
   let bisect predicate =
-    let lo = ref lo_bracket and hi = ref hi_bracket in
-    for _ = 1 to 80 do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if predicate mid then hi := mid else lo := mid
-    done;
-    0.5 *. (!lo +. !hi)
+    if predicate lo_bracket then neg_infinity
+    else if not (predicate hi_bracket) then infinity
+    else begin
+      let lo = ref lo_bracket and hi = ref hi_bracket in
+      for _ = 1 to 80 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if predicate mid then hi := mid else lo := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
   in
   let lower_quantile = bisect (fun x -> (cdf_bounds t x).upper >= p) in
   let upper_quantile = bisect (fun x -> (cdf_bounds t x).lower > p) in

@@ -48,9 +48,29 @@ val gauss_quadrature : t -> (float array * float array)
     measure; exposed for testing (it integrates polynomials of degree
     [2n-1] exactly against the moment sequence). *)
 
+val radau_quadrature : t -> float -> (float array * float array)
+(** [radau_quadrature t x] is the Gauss–Radau rule (nodes, weights) with
+    one node prescribed at [x] — the rule whose partial sums realize the
+    Chebyshev–Markov–Stieltjes bounds that {!cdf_bounds} reports. All
+    nodes are finite, including when [x] sits exactly on a Gauss node of
+    the measure: the underlying shift solve detects the singular
+    elimination there and retries with [x] perturbed by a relative
+    epsilon (far below the node tolerance of {!cdf_bounds}), instead of
+    masking the zero pivot and overflowing. Weights sum to [m_0].
+    Exposed for testing.
+    @raise Invalid_argument when the Jacobi data is so degenerate that no
+    nearby perturbation yields a solvable system. *)
+
 val quantile_bounds : t -> float -> float * float
 (** [quantile_bounds t p] returns [(lo, hi)] such that every distribution
     with the given moments has its [p]-quantile inside [[lo, hi]]:
     [lo = inf (x : upper-bound(x) >= p)] and
     [hi = sup (x : lower-bound(x) <= p)], found by bisection.
+
+    When [p] lies outside the range certifiable inside the bracketed
+    Gauss support — e.g. [p] smaller than the Christoffel atom mass at
+    the far bracket edge, where the bound predicate never flips — the
+    affected side is clamped to [neg_infinity] (respectively
+    [infinity]) rather than silently reporting the arbitrary bracket
+    endpoint as if it were certified.
     @raise Invalid_argument unless [0 < p < 1]. *)

@@ -2,6 +2,11 @@ module Generator = Mrm_ctmc.Generator
 module Sparse = Mrm_linalg.Sparse
 module Vec = Mrm_linalg.Vec
 module Ode = Mrm_ode.Ode
+module Trace = Mrm_obs.Trace
+module Metrics = Mrm_obs.Metrics
+
+let m_solves = Metrics.counter "ode.solves"
+let m_steps = Metrics.counter "ode.steps"
 
 let default_steps model ~t =
   let q = Generator.uniformization_rate model.Model.generator in
@@ -45,7 +50,11 @@ let unstack model ~order y =
   Array.init (order + 1) (fun j -> Array.sub y (j * n) n)
 
 let check_args ~t ~order =
-  if t < 0. then invalid_arg "Moments_ode: requires t >= 0";
+  (* Reject NaN/infinite horizons outright: [t < 0.] alone lets them
+     through (NaN comparisons are all false) and the stepper would grind
+     on a poisoned state vector. *)
+  if not (Float.is_finite t) || t < 0. then
+    invalid_arg "Moments_ode: requires finite t >= 0";
   if order < 0 then invalid_arg "Moments_ode: requires order >= 0"
 
 (* Pre-solve static verification (the ?validate flag); eps is not
@@ -61,9 +70,16 @@ let moments ?(validate = false) ?(method_ = Ode.Heun) ?steps model ~t ~order =
   if validate then validate_model model ~t ~order;
   check_args ~t ~order;
   let steps = Option.value steps ~default:(default_steps model ~t) in
+  Trace.with_span "ode.moments"
+    ~attrs:
+      [ ("t", Trace.Float t); ("order", Trace.Int order);
+        ("steps", Trace.Int steps) ]
+  @@ fun () ->
+  Metrics.incr m_solves;
   let y0 = initial_state model ~order in
   if t = 0. then unstack model ~order y0
   else begin
+    Metrics.incr ~by:steps m_steps;
     let y =
       Ode.integrate method_ (rhs model ~order) ~t0:0. ~t1:t ~steps y0
     in
@@ -77,6 +93,12 @@ let moment ?method_ ?steps model ~t ~order =
 let moments_adaptive ?(validate = false) ?(tol = 1e-10) model ~t ~order =
   if validate then validate_model model ~t ~order;
   check_args ~t ~order;
+  Trace.with_span "ode.moments_adaptive"
+    ~attrs:
+      [ ("t", Trace.Float t); ("order", Trace.Int order);
+        ("tol", Trace.Float tol) ]
+  @@ fun () ->
+  Metrics.incr m_solves;
   let y0 = initial_state model ~order in
   if t = 0. then unstack model ~order y0
   else begin

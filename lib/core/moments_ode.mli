@@ -22,7 +22,12 @@ val moments :
 
     [validate] (default [false]) runs {!Mrm_check.Check} on the model
     and configuration first and raises {!Mrm_check.Check.Failed} on any
-    error-severity finding (see {!Randomization.moments}). *)
+    error-severity finding (see {!Randomization.moments}).
+
+    [t = 0.] returns the exact initial condition without stepping.
+    @raise Invalid_argument if [t] is NaN, infinite or negative (the
+    non-finite cases are rejected explicitly; a plain sign check would
+    let them through), or if [order < 0]. *)
 
 val moment :
   ?method_:Mrm_ode.Ode.method_ -> ?steps:int -> Model.t -> t:float ->

@@ -6,6 +6,21 @@ module Special = Mrm_util.Special
 module Pool = Mrm_engine.Pool
 module Partition = Mrm_engine.Partition
 module Kernel = Mrm_engine.Kernel
+module Trace = Mrm_obs.Trace
+module Metrics = Mrm_obs.Metrics
+
+(* Observability: per-solve counters/gauges and spans (see Mrm_obs).
+   Recording is observational only — the computed values are bit-for-bit
+   identical with tracing on or off. *)
+let m_solves = Metrics.counter "randomization.solves"
+let m_iterations = Metrics.counter "randomization.iterations"
+let m_terms_skipped = Metrics.counter "randomization.terms_skipped"
+let m_truncation = Metrics.gauge "randomization.truncation_point"
+
+let record_truncation g =
+  Metrics.incr ~by:g m_iterations;
+  Metrics.set m_truncation (float_of_int g);
+  Trace.add_attr "G" (Trace.Int g)
 
 type diagnostics = {
   q : float;
@@ -76,7 +91,14 @@ let unshift_moments ~shift ~t shifted =
    2 d^n n! (qt)^n * P(Pois(qt) >= G+1-n) < eps (G is larger than the
    paper's by about 2n; validated empirically in the test suite). *)
 let truncation_point ~d ~lambda ~order ~eps =
-  if order = 0 then
+  if not (Float.is_finite lambda) || lambda < 0. then
+    invalid_arg "Randomization.truncation_point: requires finite lambda >= 0";
+  if lambda = 0. then
+    (* Pois(0) is a point mass at k = 0, but the U-recursion still needs
+       [order] steps to feed the lower-order terms through; without this
+       short circuit [log lambda = -inf] poisons [log_prefactor] below. *)
+    max 1 order
+  else if order = 0 then
     (* V^(0) is exact (row sums are 1); a single term suffices, but we keep
        enough terms for the weights to sum to ~1. *)
     Poisson.tail_quantile ~lambda ~log_eps:(log eps)
@@ -183,26 +205,42 @@ let accumulate ~par ~u ~order terms =
 let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
   if validate then
     validate_model model ~t ~order ~eps ~jobs:(pool_jobs pool);
-  if t < 0. then invalid_arg "Randomization.moments: requires t >= 0";
+  (* [t < 0.] alone lets NaN and infinity through (every comparison with
+     NaN is false), silently poisoning the whole solve — require a
+     finite, non-negative horizon outright. *)
+  if not (Float.is_finite t) || t < 0. then
+    invalid_arg "Randomization.moments: requires finite t >= 0";
   if order < 0 then invalid_arg "Randomization.moments: requires order >= 0";
   if not (eps > 0.) then invalid_arg "Randomization.moments: requires eps > 0";
+  Trace.with_span "randomization.moments"
+    ~attrs:
+      [ ("t", Trace.Float t); ("order", Trace.Int order);
+        ("eps", Trace.Float eps) ]
+  @@ fun () ->
+  Metrics.incr m_solves;
   let n_states = Model.dim model in
   let q = Generator.uniformization_rate model.Model.generator in
   let trivial_diag ~d ~shift =
     { q; d; shift; iterations = 0; eps; log_error_bound = neg_infinity }
   in
   if t = 0. then begin
+    (* Exact short circuit: B(0) = 0, so moment 0 is 1 and every higher
+       moment vanishes; no truncation point is involved (computing one
+       would need log(lambda) with lambda = qt = 0). *)
+    Trace.add_attr "path" (Trace.Str "t=0");
     let moments =
       Array.init (order + 1) (fun n ->
           if n = 0 then Vec.ones n_states else Vec.zeros n_states)
     in
     { moments; diagnostics = trivial_diag ~d:0. ~shift:0. }
   end
-  else if q = 0. then
+  else if q = 0. then begin
+    Trace.add_attr "path" (Trace.Str "no-transitions");
     {
       moments = moments_no_transitions model ~t ~order;
       diagnostics = trivial_diag ~d:0. ~shift:0.;
     }
+  end
   else begin
     (* Shift drifts to be non-negative (paper, Section 6). *)
     let min_rate = Model.min_rate model in
@@ -213,6 +251,7 @@ let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
     (* Minimal d making both R' and S' substochastic (see .mli note). *)
     let d = Float.max (max_shifted_rate /. q) (max_std_dev /. sqrt q) in
     if d = 0. then begin
+      Trace.add_attr "path" (Trace.Str "zero-rewards");
       (* All shifted rates and variances vanish: B~ is identically 0. *)
       let shifted =
         Array.init (order + 1) (fun n ->
@@ -225,12 +264,19 @@ let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
     end
     else begin
       let lambda = q *. t in
-      let g = truncation_point ~d ~lambda ~order ~eps in
-      let q' = Generator.uniformized model.Model.generator ~rate:q in
-      let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
-      let s' =
-        Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances
+      let g, q', r', s' =
+        Trace.with_span "randomization.setup" (fun () ->
+            let g = truncation_point ~d ~lambda ~order ~eps in
+            let q' = Generator.uniformized model.Model.generator ~rate:q in
+            let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
+            let s' =
+              Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances
+            in
+            (g, q', r', s'))
       in
+      record_truncation g;
+      Trace.add_attr "q" (Trace.Float q);
+      Trace.add_attr "d" (Trace.Float d);
       (* u.(j) holds U^(j)(k); accumulators acc.(j) build
          sum_k Pois(lambda;k) U^(j)(k). U^(0)(k) = h for every k because
          the generator is conservative (Q' h = h), so order 0 is kept
@@ -240,19 +286,24 @@ let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
       let acc = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
       let scratch = Vec.zeros n_states in
       let par = par_context pool q' in
-      for k = 0 to g do
-        let w = Poisson.pmf ~lambda k in
-        if w > 0. then accumulate ~par ~u ~order [ (w, acc) ];
-        if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
-      done;
+      Trace.with_span "randomization.sweep" ~attrs:[ ("G", Trace.Int g) ]
+        (fun () ->
+          for k = 0 to g do
+            let w = Poisson.pmf ~lambda k in
+            if w > 0. then accumulate ~par ~u ~order [ (w, acc) ]
+            else Metrics.incr m_terms_skipped;
+            if k < g then
+              advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
+          done);
       (* V^(n) = n! d^n * acc_n; V^(0) = h exactly. *)
       let shifted_moments =
-        Array.init (order + 1) (fun n ->
-            if n = 0 then Vec.ones n_states
-            else begin
-              let factor = Special.factorial n *. (d ** float_of_int n) in
-              Vec.scale factor acc.(n)
-            end)
+        Trace.with_span "randomization.finalize" (fun () ->
+            Array.init (order + 1) (fun n ->
+                if n = 0 then Vec.ones n_states
+                else begin
+                  let factor = Special.factorial n *. (d ** float_of_int n) in
+                  Vec.scale factor acc.(n)
+                end))
       in
       let log_error_bound =
         if order = 0 then neg_infinity
@@ -281,9 +332,14 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
     invalid_arg "Randomization.moments_at_times: requires eps > 0";
   Array.iter
     (fun t ->
-      if t < 0. then
-        invalid_arg "Randomization.moments_at_times: requires t >= 0")
+      if not (Float.is_finite t) || t < 0. then
+        invalid_arg "Randomization.moments_at_times: requires finite t >= 0")
     times;
+  Trace.with_span "randomization.moments_at_times"
+    ~attrs:
+      [ ("times", Trace.Int (Array.length times));
+        ("order", Trace.Int order); ("eps", Trace.Float eps) ]
+  @@ fun () ->
   let n_states = Model.dim model in
   let q = Generator.uniformization_rate model.Model.generator in
   let needs_sweep t = t > 0. && q > 0. in
@@ -308,6 +364,8 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
         else 0) times
     in
     let g = Array.fold_left max 1 g_of_t in
+    Metrics.incr m_solves;
+    record_truncation g;
     let q' = Generator.uniformized model.Model.generator ~rate:q in
     let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
     let s' = Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances in
@@ -321,19 +379,22 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
     in
     let scratch = Vec.zeros n_states in
     let par = par_context pool q' in
-    for k = 0 to g do
-      let terms = ref [] in
-      Array.iteri
-        (fun time_index t ->
-          if needs_sweep t && k <= g_of_t.(time_index) then begin
-            let w = Poisson.pmf ~lambda:(q *. t) k in
-            if w > 0. then
-              terms := (w, accumulators.(time_index)) :: !terms
-          end)
-        times;
-      if !terms <> [] then accumulate ~par ~u ~order !terms;
-      if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
-    done;
+    Trace.with_span "randomization.sweep" ~attrs:[ ("G", Trace.Int g) ]
+      (fun () ->
+        for k = 0 to g do
+          let terms = ref [] in
+          Array.iteri
+            (fun time_index t ->
+              if needs_sweep t && k <= g_of_t.(time_index) then begin
+                let w = Poisson.pmf ~lambda:(q *. t) k in
+                if w > 0. then
+                  terms := (w, accumulators.(time_index)) :: !terms
+                else Metrics.incr m_terms_skipped
+              end)
+            times;
+          if !terms <> [] then accumulate ~par ~u ~order !terms;
+          if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
+        done);
     Array.mapi
       (fun time_index t ->
         if not (needs_sweep t) then moments ~eps ?pool model ~t ~order
@@ -371,6 +432,10 @@ let moment ?eps model ~t ~order =
 let moment_series ?(validate = false) ?eps ?pool model ~times ~order =
   (* One multi-time sweep instead of restarting the recursion per time
      point — G(t_max) matrix products total rather than sum_i G(t_i). *)
+  Trace.with_span "randomization.moment_series"
+    ~attrs:
+      [ ("times", Trace.Int (Array.length times)); ("order", Trace.Int order) ]
+  @@ fun () ->
   let results = moments_at_times ~validate ?eps ?pool model ~times ~order in
   Array.mapi
     (fun k { moments = m; _ } ->

@@ -62,7 +62,15 @@ val moments :
     substochastic: [d = max(max_i r_i / q, max_i sigma_i / sqrt q)]
     (after the non-negativity shift). Only [G] is (slightly) affected.
 
-    @raise Invalid_argument if [t < 0] or [order < 0]. *)
+    [t = 0.] short-circuits to the exact answer — moment 0 is the ones
+    vector, every higher moment is the zero vector — without touching
+    the truncation-point machinery (whose tail bound would need
+    [log lambda] with [lambda = qt = 0]).
+
+    @raise Invalid_argument if [t] is NaN, infinite or negative, if
+    [order < 0], or unless [eps > 0]. The NaN/infinity rejection is
+    deliberate: [t < 0.] alone would let non-finite horizons through
+    (every NaN comparison is false) and silently poison the solve. *)
 
 val moment : ?eps:float -> Model.t -> t:float -> order:int -> float
 (** [pi . V^(order)(t)] — the unconditional raw moment. *)
@@ -94,6 +102,14 @@ val variance : ?eps:float -> Model.t -> t:float -> float
 val central_moment : ?eps:float -> Model.t -> t:float -> order:int -> float
 
 (**/**)
+
+val truncation_point : d:float -> lambda:float -> order:int -> eps:float -> int
+(** Internal: the Theorem-4 truncation point [G] with the corrected tail
+    index (see randomization.ml), i.e. the smallest [G] with
+    [2 d^n n! lambda^n P(Pois(lambda) >= G+1-n) < eps]. [lambda = 0.]
+    (a point-mass Poisson) short-circuits to [max 1 order]. Exposed for
+    the property-based tests; not part of the stable API.
+    @raise Invalid_argument if [lambda] is NaN, infinite or negative. *)
 
 val unshift_moments :
   shift:float -> t:float -> float array array -> float array array

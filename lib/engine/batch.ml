@@ -1,4 +1,6 @@
 module Json = Mrm_util.Json
+module Trace = Mrm_obs.Trace
+module Metrics = Mrm_obs.Metrics
 module Pool = Mrm_engine.Pool
 module Vec = Mrm_linalg.Vec
 module Sparse = Mrm_linalg.Sparse
@@ -113,8 +115,12 @@ let timed_solve ?pool job =
   in
   (result, Unix.gettimeofday () -. t0)
 
+let m_jobs = Metrics.counter "batch.jobs"
+let m_dedup_hits = Metrics.counter "batch.dedup_hits"
+
 let run ?pool jobs =
   let n = Array.length jobs in
+  Trace.with_span "batch.run" ~attrs:[ ("jobs", Trace.Int n) ] @@ fun () ->
   let digests = Array.map digest jobs in
   (* representative.(i) is the first job with job i's digest. *)
   let first_of_digest = Hashtbl.create (2 * n) in
@@ -134,6 +140,9 @@ let run ?pool jobs =
          (fun i -> representative.(i) = i)
          (Seq.init n (fun i -> i)))
   in
+  Metrics.incr ~by:n m_jobs;
+  Metrics.incr ~by:(n - Array.length unique) m_dedup_hits;
+  Trace.add_attr "unique" (Trace.Int (Array.length unique));
   (* Outer level: unique jobs across the pool. Each solve also receives
      the pool; re-entrant use degrades to sequential, so exactly one
      level wins (inner when there is a single unique job — map_array of

@@ -1,5 +1,7 @@
 module Sparse = Mrm_linalg.Sparse
 
+let m_imbalance = Mrm_obs.Metrics.gauge "partition.imbalance"
+
 type t = { ranges : (int * int) array; rows : int }
 
 let ranges p = p.ranges
@@ -49,7 +51,21 @@ let by_nnz ~parts matrix =
 let of_pool_for ~jobs matrix =
   let rows = Sparse.rows matrix in
   let parts = max 1 (min (max 1 rows) (4 * jobs)) in
-  by_nnz ~parts matrix
+  let partition = by_nnz ~parts matrix in
+  (* Worst-case load ratio of the partition: parts * max_part_nnz /
+     total_nnz, 1.0 = perfectly balanced. Recorded as a running maximum
+     so a long run surfaces its worst split. *)
+  let total = Sparse.nnz matrix in
+  if total > 0 && parts > 1 then begin
+    let offsets = Sparse.row_offsets matrix in
+    let worst = ref 0 in
+    Array.iter
+      (fun (lo, hi) -> worst := max !worst (offsets.(hi) - offsets.(lo)))
+      partition.ranges;
+    Mrm_obs.Metrics.observe_max m_imbalance
+      (float_of_int (parts * !worst) /. float_of_int total)
+  end;
+  partition
 
 let pp ppf p =
   Format.fprintf ppf "@[<h>partition %d rows in %d part(s):" p.rows

@@ -1,5 +1,8 @@
 type t = Pool_backend.t
 
+let m_runs = Mrm_obs.Metrics.counter "pool.runs"
+let m_jobs = Mrm_obs.Metrics.counter "pool.jobs"
+
 let parallelism_available = Pool_backend.parallelism_available
 
 let env_jobs () =
@@ -22,7 +25,11 @@ let create ?jobs () =
 
 let jobs = Pool_backend.jobs
 let shutdown = Pool_backend.shutdown
-let run = Pool_backend.run
+
+let run pool n f =
+  Mrm_obs.Metrics.incr m_runs;
+  Mrm_obs.Metrics.incr ~by:(max 0 n) m_jobs;
+  Pool_backend.run pool n f
 
 let with_pool ?jobs f =
   let pool = create ?jobs () in

@@ -1,0 +1,100 @@
+module Json = Mrm_util.Json
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+(* Registry guarded by the same kind of spin lock as Trace (Mutex is
+   unavailable below the threads library on 4.14). Updates to the cells
+   themselves are lock-free. *)
+
+let lock = Atomic.make false
+
+let rec acquire () =
+  if not (Atomic.compare_and_set lock false true) then acquire ()
+
+let release () = Atomic.set lock false
+
+let locked f =
+  acquire ();
+  Fun.protect ~finally:release f
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+
+let find_or_create table name make =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some cell -> cell
+      | None ->
+          let cell = make () in
+          Hashtbl.add table name cell;
+          cell)
+
+let counter name = find_or_create counters name (fun () -> Atomic.make 0)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  ignore (Atomic.fetch_and_add c by)
+
+let count = Atomic.get
+
+let gauge name = find_or_create gauges name (fun () -> Atomic.make Float.nan)
+
+let set = Atomic.set
+
+let rec observe_max g v =
+  let seen = Atomic.get g in
+  if Float.is_nan seen || v > seen then begin
+    if not (Atomic.compare_and_set g seen v) then observe_max g v
+  end
+
+let gauge_value = Atomic.get
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let sorted_bindings table read =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name cell acc -> (name, read cell) :: acc) table [])
+
+let snapshot () =
+  locked (fun () ->
+      {
+        counters = sorted_bindings counters Atomic.get;
+        gauges =
+          List.filter
+            (fun (_, v) -> not (Float.is_nan v))
+            (sorted_bindings gauges Atomic.get);
+      })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g Float.nan) gauges)
+
+let pp_report ppf () =
+  let { counters; gauges } = snapshot () in
+  Format.fprintf ppf "@[<v>metrics:";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "@,  %-32s %d" name v)
+    counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "@,  %-32s %g" name v)
+    gauges;
+  if counters = [] && gauges = [] then
+    Format.fprintf ppf " (none recorded)";
+  Format.fprintf ppf "@]@."
+
+let to_json () =
+  let { counters; gauges } = snapshot () in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) counters)
+      );
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) gauges));
+    ]

@@ -1,0 +1,65 @@
+(** Named monotonic counters and gauges for the solver stack.
+
+    Counters and gauges are process-global, created on first use and
+    registered by name; repeated {!counter}/{!gauge} calls with the same
+    name return the same underlying cell. Updates are atomic, so pool
+    workers (OCaml 5 domains) can record concurrently; creation and
+    {!snapshot}/{!reset} serialize on an internal lock.
+
+    {!reset} zeroes values but keeps every registered cell alive, so
+    handles held at module-initialization time stay valid for the whole
+    process.
+
+    Metric names recorded by the instrumented stack:
+    - [randomization.solves], [randomization.iterations] (total Poisson
+      terms, i.e. summed truncation points [G]),
+      [randomization.terms_skipped] (zero-weight fast path),
+      [randomization.truncation_point] (gauge: last [G]);
+    - [ode.solves], [ode.steps];
+    - [bounds.prepare], [bounds.hankel_order] (gauge: Gauss nodes
+      accepted by {!Mrm_core.Moment_bounds.prepare}),
+      [bounds.orders_rejected];
+    - [pool.runs], [pool.jobs] (tasks executed by the domain pool),
+      [partition.imbalance] (gauge: worst observed
+      [parts * max_part_nnz / total_nnz], 1.0 = perfectly balanced);
+    - [batch.jobs], [batch.dedup_hits]. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find or create the monotonic counter with this name (initially 0). *)
+
+val incr : ?by:int -> counter -> unit
+(** Atomically add [by] (default 1; must be [>= 0]). *)
+
+val count : counter -> int
+
+val gauge : string -> gauge
+(** Find or create the gauge with this name (initially [nan] = unset). *)
+
+val set : gauge -> float -> unit
+(** Record the latest value. *)
+
+val observe_max : gauge -> float -> unit
+(** Keep the running maximum of the observed values. *)
+
+val gauge_value : gauge -> float
+(** Current value; [nan] when never set since creation or {!reset}. *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;  (** sorted by name; unset gauges omitted *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero all counters and unset all gauges, keeping every cell
+    registered (existing handles remain valid). *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable table of the current snapshot. *)
+
+val to_json : unit -> Mrm_util.Json.t
+(** [{"counters": {...}, "gauges": {...}}] of the current snapshot. *)

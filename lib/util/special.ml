@@ -169,10 +169,26 @@ let normal_quantile p =
          /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.))
     end
   in
-  (* One Halley refinement step using the accurate cdf/pdf. *)
+  (* One Halley refinement step using the accurate cdf/pdf. The step is
+     u / (1 + x u / 2) with u = e / phi(x); the naive factor
+     1/phi(x) = sqrt(2 pi) exp(x^2/2) overflows once |x| >~ 37.6
+     (p within ~1e-310 of 0 or 1), turning the correction into
+     inf/inf = NaN. Assemble |u| in log space instead and skip the
+     refinement when it cannot be represented — there the residual e has
+     already underflowed to the point where Acklam's ~1e-9 relative
+     accuracy is all binary64 can hold anyway. *)
   let e = normal_cdf ~mu:0. ~sigma:1. x -. p in
-  let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
-  x -. (u /. (1. +. (x *. u /. 2.)))
+  if e = 0. then x
+  else begin
+    let log_abs_u =
+      log (abs_float e) +. (0.5 *. log (2. *. Float.pi)) +. (x *. x /. 2.)
+    in
+    if log_abs_u >= log Float.max_float then x
+    else begin
+      let u = (if e > 0. then 1. else -1.) *. exp log_abs_u in
+      x -. (u /. (1. +. (x *. u /. 2.)))
+    end
+  end
 
 let log_poisson_pmf ~lambda k =
   if lambda < 0. then invalid_arg "Special.log_poisson_pmf: lambda >= 0";

@@ -32,7 +32,12 @@ val normal_cdf : mu:float -> sigma:float -> float -> float
 (** CDF of N(mu, sigma^2) at a point. [sigma > 0]. *)
 
 val normal_quantile : float -> float
-(** Inverse CDF of the standard normal (Acklam's algorithm, ~1e-9 absolute).
+(** Inverse CDF of the standard normal (Acklam's algorithm refined by a
+    Halley step, ~1e-9 absolute). Well defined over the whole open unit
+    interval including denormal-range tails (e.g. [p = 1e-320] gives
+    about [-38.26]): the Halley correction is assembled in log space and
+    skipped where [1/phi(x)] is not representable, so extreme [p] never
+    yields NaN.
     @raise Invalid_argument unless the argument lies in (0, 1). *)
 
 val log_poisson_pmf : lambda:float -> int -> float

@@ -1,0 +1,84 @@
+(* Standalone validator for the @obs-smoke alias: given a JSONL trace
+   produced by `mrm2 moments --trace=FILE`, check that every line parses
+   with Mrm_util.Json, that the schema fields are present and sane, and
+   that the randomization solve span carries its truncation point. Exits
+   non-zero with a diagnostic on the first violation. *)
+
+module Json = Mrm_util.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 1) fmt
+
+let str_member key json = Option.bind (Json.member key json) Json.to_str
+let num_member key json = Option.bind (Json.member key json) Json.to_float
+
+let check_record lineno json =
+  match str_member "type" json with
+  | Some "span" ->
+      let name = str_member "name" json in
+      if name = None then fail "line %d: span without a name" lineno;
+      (match (num_member "start" json, num_member "end" json,
+              num_member "elapsed" json) with
+      | Some s, Some e, Some d ->
+          if not (s >= 0. && e >= s && d >= 0.) then
+            fail "line %d: span %s has inconsistent timestamps" lineno
+              (Option.value name ~default:"?")
+      | _ -> fail "line %d: span missing timestamps" lineno);
+      if Json.member "attrs" json = None then
+        fail "line %d: span missing attrs" lineno
+  | Some "event" ->
+      if str_member "name" json = None then
+        fail "line %d: event without a name" lineno;
+      if num_member "time" json = None then
+        fail "line %d: event without a time" lineno
+  | Some other -> fail "line %d: unknown record type %S" lineno other
+  | None -> fail "line %d: record without a type" lineno
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ -> fail "usage: check_trace TRACE.jsonl"
+  in
+  let ic =
+    try open_in path with Sys_error msg -> fail "cannot open trace: %s" msg
+  in
+  let records = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match Json.parse line with
+       | Ok json ->
+           check_record !lineno json;
+           records := json :: !records
+       | Error msg -> fail "line %d: invalid JSON: %s" !lineno msg
+     done
+   with End_of_file -> close_in ic);
+  let records = List.rev !records in
+  if records = [] then fail "trace is empty";
+  (* The traced solve must have produced a randomization.moments span
+     with its truncation point G and the per-phase children. *)
+  let solve =
+    match
+      List.find_opt
+        (fun j -> str_member "name" j = Some "randomization.moments")
+        records
+    with
+    | Some span -> span
+    | None -> fail "no randomization.moments span in trace"
+  in
+  let attr key = Option.bind (Json.member "attrs" solve) (Json.member key) in
+  (match Option.bind (attr "G") Json.to_int with
+  | Some g when g >= 1 -> ()
+  | Some g -> fail "solve span has implausible G = %d" g
+  | None -> fail "solve span has no G attribute");
+  if attr "t" = None then fail "solve span has no t attribute";
+  List.iter
+    (fun phase ->
+      if
+        not
+          (List.exists (fun j -> str_member "name" j = Some phase) records)
+      then fail "missing phase span %s" phase)
+    [ "randomization.setup"; "randomization.sweep"; "randomization.finalize" ];
+  Printf.printf "trace ok: %d records\n" (List.length records)

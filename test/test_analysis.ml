@@ -92,6 +92,57 @@ let test_quantile_bounds_invalid () =
   | _ -> Alcotest.fail "p = 0 rejected"
   | exception Invalid_argument _ -> ()
 
+let test_quantile_bounds_extreme_p_clamped () =
+  (* Regression: for p below any representable probability mass the
+     bisection predicate is true (resp. false) on the whole bracket, and
+     the old code silently converged to an uncertified bracket endpoint.
+     The clamp now reports the honest answer: an unbounded side. *)
+  let moments = Array.init 12 (fun k -> Special.factorial k) in
+  let b = Moment_bounds.prepare moments in
+  let lo, hi = Moment_bounds.quantile_bounds b 1e-300 in
+  Alcotest.(check bool) "tiny p: lower bound unbounded" true
+    (lo = neg_infinity);
+  Alcotest.(check bool) "tiny p: upper bound ordered" true (hi >= lo);
+  (* Ordinary p is unaffected by the clamp. *)
+  let lo, hi = Moment_bounds.quantile_bounds b 0.5 in
+  Alcotest.(check bool) "median finite" true
+    (Float.is_finite lo && Float.is_finite hi && lo <= hi)
+
+let test_radau_quadrature_at_gauss_node () =
+  (* Regression: shifting the Jacobi matrix to a point that is an exact
+     Gauss node makes a Thomas pivot exactly zero. The old code masked it
+     with a 1e-300 floor, producing a ~1e300 garbage node; the solver now
+     detects the breakdown and perturbs the shift by a relative epsilon,
+     so every returned node is finite. *)
+  let check_at moments point =
+    let b = Moment_bounds.prepare moments in
+    let nodes, weights = Moment_bounds.radau_quadrature b point in
+    Alcotest.(check bool)
+      (Printf.sprintf "nodes finite at %g" point)
+      true
+      (Array.for_all Float.is_finite nodes);
+    let mass = Array.fold_left ( +. ) 0. weights in
+    check_close ~tol:1e-8 "weights sum to m0" moments.(0) mass;
+    Alcotest.(check bool) "weights nonnegative" true
+      (Array.for_all (fun w -> w >= -1e-12) weights);
+    (* cdf_bounds goes through the same shifted rule; it must stay a
+       valid bound pair at the node itself. *)
+    let bound = Moment_bounds.cdf_bounds b point in
+    Alcotest.(check bool) "cdf bounds ordered" true
+      (bound.Moment_bounds.lower <= bound.Moment_bounds.upper +. 1e-12
+      && bound.Moment_bounds.lower >= -1e-12
+      && bound.Moment_bounds.upper <= 1. +. 1e-12)
+  in
+  (* Two-point symmetric distribution at +-1: the order-1 Gauss rule has
+     its node at the mean, 0 — evaluate exactly there. *)
+  check_at [| 1.; 0.; 1. |] 0.;
+  (* Standard normal moments, again at the mean. *)
+  check_at [| 1.; 0.; 1.; 0.; 3.; 0.; 15. |] 0.;
+  (* Exponential moments at one of the computed Gauss nodes. *)
+  let b = Moment_bounds.prepare (Array.init 10 (fun k -> Special.factorial k)) in
+  let gauss_nodes, _ = Moment_bounds.gauss_quadrature b in
+  check_at (Array.init 10 (fun k -> Special.factorial k)) gauss_nodes.(0)
+
 (* ------------------------------------------------------------------ *)
 (* Joint moments and covariance                                         *)
 
@@ -501,6 +552,10 @@ let () =
           Alcotest.test_case "monotone in p" `Quick
             test_quantile_bounds_monotone_in_p;
           Alcotest.test_case "invalid p" `Quick test_quantile_bounds_invalid;
+          Alcotest.test_case "extreme p clamped to certainty" `Quick
+            test_quantile_bounds_extreme_p_clamped;
+          Alcotest.test_case "Radau rule at exact Gauss node" `Quick
+            test_radau_quadrature_at_gauss_node;
         ] );
       ( "joint_moments",
         [

@@ -320,12 +320,43 @@ let test_rand_invalid_arguments () =
   (match Randomization.moments model2 ~t:(-1.) ~order:2 with
   | _ -> Alcotest.fail "negative t"
   | exception Invalid_argument _ -> ());
+  (* Regression: NaN and infinite horizons used to slip past the `t < 0.`
+     guard (IEEE comparisons with NaN are false) and poison the Poisson
+     truncation search downstream. They must be rejected up front. *)
+  List.iter
+    (fun t ->
+      (match Randomization.moments model2 ~t ~order:2 with
+      | _ -> Alcotest.failf "t = %g accepted" t
+      | exception Invalid_argument _ -> ());
+      match Randomization.moments_at_times model2 ~times:[| 1.0; t |] ~order:2 with
+      | _ -> Alcotest.failf "times containing %g accepted" t
+      | exception Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity ];
   (match Randomization.moments model2 ~t:1. ~order:(-1) with
   | _ -> Alcotest.fail "negative order"
   | exception Invalid_argument _ -> ());
   match Randomization.moments ~eps:0. model2 ~t:1. ~order:1 with
   | _ -> Alcotest.fail "zero eps"
   | exception Invalid_argument _ -> ()
+
+let test_rand_truncation_point_degenerate () =
+  (* Regression: lambda = 0 used to take log 0 = -inf through the tail
+     search and return a poisoned truncation point. A zero uniformization
+     rate means the Poisson mixture is concentrated at N = 0, so order
+     terms suffice exactly. *)
+  Alcotest.(check int) "lambda = 0, order 3" 3
+    (Randomization.truncation_point ~d:1. ~lambda:0. ~order:3 ~eps:1e-9);
+  Alcotest.(check int) "lambda = 0, order 0" 1
+    (Randomization.truncation_point ~d:1. ~lambda:0. ~order:0 ~eps:1e-9);
+  (match Randomization.truncation_point ~d:1. ~lambda:Float.nan ~order:2 ~eps:1e-9 with
+  | _ -> Alcotest.fail "nan lambda accepted"
+  | exception Invalid_argument _ -> ());
+  (match Randomization.truncation_point ~d:1. ~lambda:(-1.) ~order:2 ~eps:1e-9 with
+  | _ -> Alcotest.fail "negative lambda accepted"
+  | exception Invalid_argument _ -> ());
+  (* Sanity on a regular call: G grows with lambda and stays modest. *)
+  let g = Randomization.truncation_point ~d:1. ~lambda:10. ~order:2 ~eps:1e-9 in
+  Alcotest.(check bool) "regular G sensible" true (g > 10 && g < 100)
 
 let test_rand_higher_order_moments_positive () =
   (* Non-negative rates + nonneg support start: all raw moments of the
@@ -837,6 +868,8 @@ let () =
           Alcotest.test_case "central moments" `Quick test_rand_central_moment;
           Alcotest.test_case "invalid arguments" `Quick
             test_rand_invalid_arguments;
+          Alcotest.test_case "degenerate truncation point" `Quick
+            test_rand_truncation_point_degenerate;
           Alcotest.test_case "high orders monotone in t" `Quick
             test_rand_higher_order_moments_positive;
         ] );

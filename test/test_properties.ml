@@ -168,6 +168,35 @@ let prop_poisson_tail_monotone =
       in
       decreasing tails)
 
+(* Truncation point of the randomization solver: G must be nondecreasing
+   in lambda for fixed (d, order, eps) — more expected jumps can only need
+   more terms. Monotonicity in the moment order additionally requires the
+   corrected tail prefactor d*lambda*(order+1) to be >= 1: below that the
+   d^n n! lambda^n correction itself shrinks with n and G may legitimately
+   drop by a term (e.g. d=0.01, lambda=10, eps=1e-6: G(1)=28 > G(2)=27). *)
+let prop_truncation_point_monotone =
+  QCheck2.Test.make ~count ~name:"truncation point monotone in order/lambda"
+    ~print:(fun (d, lambda, eps, order) ->
+      Printf.sprintf "d=%g lambda=%g eps=%g order=%d" d lambda eps order)
+    QCheck2.Gen.(
+      let* d = float_range 0.05 4. in
+      let* lambda = float_range 0.1 300. in
+      let* eps = oneofl [ 1e-12; 1e-9; 1e-6; 1e-3 ] in
+      let* order = int_range 0 6 in
+      return (d, lambda, eps, order))
+    (fun (d, lambda, eps, order) ->
+      let g o = Randomization.truncation_point ~d ~lambda ~order:o ~eps in
+      let lambda_ok =
+        g order <= Randomization.truncation_point ~d ~lambda:(2. *. lambda) ~order ~eps
+      in
+      let order_ok =
+        (* Only claimed on the validated domain (see comment above). *)
+        d *. lambda *. float_of_int (order + 1) < 1.
+        || g order <= g (order + 1)
+      in
+      let floor_ok = g order >= max 1 order in
+      lambda_ok && order_ok && floor_ok)
+
 let prop_stationary_solves_pi_q =
   QCheck2.Test.make ~count ~name:"GTH: pi Q = 0, pi >= 0, sum pi = 1"
     ~print:(fun g -> Printf.sprintf "generator dim %d" (Generator.dim g))
@@ -420,6 +449,7 @@ let () =
           to_alcotest prop_variance_monotone_in_s;
           to_alcotest prop_error_bound_honored;
           to_alcotest prop_moment_series_consistent;
+          to_alcotest prop_truncation_point_monotone;
         ] );
       ( "ctmc",
         [

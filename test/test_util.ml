@@ -128,6 +128,41 @@ let test_normal_quantile_roundtrip () =
         (Special.normal_cdf ~mu:0. ~sigma:1. x))
     [ 1e-6; 0.01; 0.25; 0.5; 0.8413; 0.99; 1. -. 1e-6 ]
 
+let test_normal_quantile_extreme_tails () =
+  (* Regression: the Halley correction used to evaluate exp(x^2/2)
+     directly, which overflows for |x| beyond ~38 and turned the whole
+     refinement into NaN for p in the denormal range. The step is now
+     taken in log space, so even p = 1e-320 yields the correct finite
+     quantile in both tails. *)
+  List.iter
+    (fun p ->
+      let lo = Special.normal_quantile p in
+      if not (Float.is_finite lo) then
+        Alcotest.failf "quantile at p=%g not finite: %g" p lo;
+      Alcotest.(check bool) (Printf.sprintf "left tail at %g" p) true (lo < 0.);
+      (* For p down to ~1e-308 the cdf still resolves, so round-trip; in
+         the denormal range just pin the known magnitude. *)
+      if p >= 1e-300 then
+        check_close ~tol:1e-9
+          (Printf.sprintf "roundtrip %g" p)
+          p
+          (Special.normal_cdf ~mu:0. ~sigma:1. lo);
+      (* The mirrored upper tail exists as a double only down to
+         p ~ 1e-16 (1 - 1e-20 rounds to 1); probe what is representable. *)
+      if 1. -. p < 1. then
+        Alcotest.(check bool)
+          (Printf.sprintf "right tail at 1-%g" p)
+          true
+          (Special.normal_quantile (1. -. p) > 0.))
+    [ 1e-10; 1e-16; 1e-20; 1e-100; 1e-300; 1e-320 ];
+  (* x ~ -38.27 at p = 1e-320: the pre-fix code returned NaN here. *)
+  let x = Special.normal_quantile 1e-320 in
+  Alcotest.(check bool) "deep tail magnitude" true (x < -38. && x > -39.);
+  (* The largest p below 1: refinement must stay finite, not overflow. *)
+  let top = Special.normal_quantile (Float.pred 1.0) in
+  Alcotest.(check bool) "p -> 1- finite" true
+    (Float.is_finite top && top > 8.)
+
 let test_normal_quantile_invalid () =
   List.iter
     (fun p ->
@@ -456,6 +491,8 @@ let () =
           Alcotest.test_case "normal pdf" `Quick test_normal_pdf;
           Alcotest.test_case "normal quantile roundtrip" `Quick
             test_normal_quantile_roundtrip;
+          Alcotest.test_case "normal quantile extreme tails" `Quick
+            test_normal_quantile_extreme_tails;
           Alcotest.test_case "normal quantile domain" `Quick
             test_normal_quantile_invalid;
           Alcotest.test_case "log poisson pmf" `Quick test_log_poisson_pmf;
