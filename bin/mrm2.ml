@@ -496,20 +496,34 @@ let fluid_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
-type lint_format = Human | Sexp | Json
+type lint_format = Human | Sexp | Json | Github
 
 let lint_format_conv =
   let parse = function
     | "human" -> Ok Human
     | "sexp" -> Ok Sexp
     | "json" -> Ok Json
+    | "github" -> Ok Github
     | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
   in
   let print ppf f =
     Format.pp_print_string ppf
-      (match f with Human -> "human" | Sexp -> "sexp" | Json -> "json")
+      (match f with
+      | Human -> "human"
+      | Sexp -> "sexp"
+      | Json -> "json"
+      | Github -> "github")
   in
   Arg.conv (parse, print)
+
+let lint_format_arg =
+  Arg.(
+    value
+    & opt lint_format_conv Human
+    & info [ "format" ] ~docv:"F"
+        ~doc:
+          "Report rendering: $(b,human), $(b,sexp), $(b,json) or \
+           $(b,github) (GitHub Actions $(b,::error) annotations for CI).")
 
 let lint_cmd =
   let module Check = Mrm_check.Check in
@@ -527,23 +541,19 @@ let lint_cmd =
       & info [ "order" ] ~docv:"N"
           ~doc:"Moment order the solve would use (conditioning checks).")
   in
-  let format =
-    Arg.(
-      value
-      & opt lint_format_conv Human
-      & info [ "format" ] ~docv:"F"
-          ~doc:"Report rendering: $(b,human), $(b,sexp) or $(b,json).")
-  in
   let strict =
     Arg.(
       value & flag
       & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
   in
-  let print_report format report =
+  let print_report ~file format report =
     match format with
     | Human -> Format.printf "%a" Diagnostics.pp_report report
     | Sexp -> print_endline (Diagnostics.report_to_sexp report)
     | Json -> print_endline (Diagnostics.report_to_json report)
+    | Github ->
+        if report <> [] then
+          print_endline (Diagnostics.report_to_github ~file report)
   in
   let exit_code strict report =
     if Diagnostics.has_errors report then 1
@@ -577,7 +587,7 @@ let lint_cmd =
               (Model_io.error_message e);
           ]
         in
-        print_report format report;
+        print_report ~file:path format report;
         1
     | Ok raw ->
         let n = raw.Model_io.declared_states in
@@ -598,12 +608,12 @@ let lint_cmd =
         in
         let config = { Check.t; order; eps; q = None; d = None; jobs } in
         let report = Check.check ~config data in
-        print_report format report;
+        print_report ~file:path format report;
         exit_code strict report
   in
   let term =
     Term.(
-      const run $ file $ t_arg $ order $ eps_arg $ format $ strict
+      const run $ file $ t_arg $ order $ eps_arg $ lint_format_arg $ strict
       $ jobs_arg ~default:sequential_default)
   in
   Cmd.v
@@ -612,6 +622,130 @@ let lint_cmd =
          "Statically verify a model file: generator validity, reward \
           sanity, reachability, uniformization invariants and \
           conditioning, without solving anything")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* lint-src                                                            *)
+
+let lint_src_cmd =
+  let module Lint = Mrm_analysis.Lint in
+  let module Baseline = Mrm_analysis.Baseline in
+  let module Diagnostics = Mrm_check.Diagnostics in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATHS"
+          ~doc:
+            "Files or directories to analyze (default: $(b,lib bin bench \
+             test), relative to the current directory).")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline file waiving pre-existing findings (format: CODE \
+             FILE COUNT per line). Missing file = empty baseline.")
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Rewrite the $(b,--baseline) file to waive exactly the current \
+             findings, then exit 0.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero on fresh warnings, not just fresh errors \
+             (baselined findings never fail).")
+  in
+  let run paths baseline_path update strict format =
+    let paths =
+      match paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
+    in
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    if missing <> [] then begin
+      Printf.eprintf "mrm2 lint-src: no such path: %s\n"
+        (String.concat ", " missing);
+      2
+    end
+    else begin
+      let findings = Lint.lint_paths paths in
+      if update then begin
+        match baseline_path with
+        | None ->
+            prerr_endline "mrm2 lint-src: --update-baseline needs --baseline";
+            2
+        | Some path ->
+            Baseline.save path (Baseline.of_findings findings);
+            Printf.printf "baseline: %d finding(s) across %d file(s) -> %s\n"
+              (List.length findings)
+              (List.length
+                 (List.sort_uniq compare
+                    (List.map (fun f -> f.Lint.file) findings)))
+              path;
+            0
+      end
+      else begin
+        let baseline =
+          match baseline_path with
+          | Some path when Sys.file_exists path -> begin
+              match Baseline.load path with
+              | Ok b -> b
+              | Error msg ->
+                  Printf.eprintf "mrm2 lint-src: bad baseline %s: %s\n" path
+                    msg;
+                  exit 2
+            end
+          | _ -> Baseline.empty
+        in
+        let { Baseline.fresh; waived; stale } =
+          Baseline.apply baseline findings
+        in
+        let report = List.map Lint.to_diagnostic fresh in
+        (match format with
+        | Human ->
+            Format.printf "%a" Diagnostics.pp_report report;
+            if waived <> [] then
+              Format.printf "%d baselined finding(s) waived@."
+                (List.length waived);
+            List.iter
+              (fun (e : Baseline.entry) ->
+                Format.printf
+                  "note: stale baseline allowance %s %s %d (finding gone — \
+                   regenerate with --update-baseline)@."
+                  e.code e.file e.count)
+              stale
+        | Sexp -> print_endline (Diagnostics.report_to_sexp report)
+        | Json -> print_endline (Diagnostics.report_to_json report)
+        | Github ->
+            if report <> [] then
+              print_endline (Diagnostics.report_to_github report));
+        if Diagnostics.has_errors report then 1
+        else if strict && Diagnostics.count Diagnostics.Warning report > 0
+        then 1
+        else 0
+      end
+    end
+  in
+  let term =
+    Term.(
+      const run $ paths $ baseline_arg $ update_arg $ strict $ lint_format_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint-src"
+       ~doc:
+         "Statically analyze the project's own OCaml sources (SRC0xx \
+          diagnostics): float equality, polymorphic comparison in hot \
+          paths, unsafe escapes, exception swallowing, non-atomic shared \
+          writes in parallel jobs, and stray terminal output. Deliberate \
+          exceptions are waived with (* mrm:ignore SRC001 -- reason *) \
+          comments or a checked-in baseline.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -751,6 +885,6 @@ let () =
   let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
       [ moments_cmd; batch_cmd; bounds_cmd; distribution_cmd; simulate_cmd;
-        path_cmd; mtta_cmd; fluid_cmd; info_cmd; lint_cmd ]
+        path_cmd; mtta_cmd; fluid_cmd; info_cmd; lint_cmd; lint_src_cmd ]
   in
   exit (Cmd.eval' root)

@@ -1,0 +1,37 @@
+(** Checked-in baseline: waivers for pre-existing findings.
+
+    A baseline entry waives up to [count] findings of [code] in [file];
+    anything beyond the allowance is fresh and fails the build.
+    Counting per (code, file) — rather than per line — keeps the file
+    stable under unrelated edits while still catching every newly
+    introduced finding. The text format is line-based ([CODE FILE
+    COUNT], [#] comments) so diffs review like code. *)
+
+type entry = { code : string; file : string; count : int }
+type t = entry list
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Malformed lines are collected into the [Error] message. *)
+
+val load : string -> (t, string) result
+
+val to_string : t -> string
+(** Renders with a self-describing header; [parse] round-trips it. *)
+
+val save : string -> t -> unit
+
+val of_findings : Lint.finding list -> t
+(** The baseline that waives exactly the given findings, sorted by
+    file then code. *)
+
+type applied = {
+  fresh : Lint.finding list;  (** beyond the baseline — these fail *)
+  waived : Lint.finding list;
+  stale : entry list;  (** allowance left unused: candidates to drop *)
+}
+
+val apply : t -> Lint.finding list -> applied
+(** Findings are consumed in the order given (sort with
+    {!Lint.compare_finding} for determinism). *)

@@ -1,0 +1,615 @@
+(* Source-level lint over the project's own OCaml code.
+
+   Files are parsed with the stock compiler-libs front end
+   (Parse.implementation / Parse.interface) and walked with
+   Ast_iterator; no typing pass is run, so the float/int judgements are
+   syntactic over-approximations — precise enough for the conventions
+   they enforce, and the suppression/baseline layers absorb the
+   deliberate exceptions. *)
+
+module Diagnostics = Mrm_check.Diagnostics
+
+type finding = {
+  code : string;
+  severity : Diagnostics.severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  context : (string * string) list;
+}
+
+let compare_finding a b =
+  match compare a.file b.file with
+  | 0 -> begin
+      match compare a.line b.line with
+      | 0 -> begin
+          match compare a.col b.col with 0 -> compare a.code b.code | c -> c
+        end
+      | c -> c
+    end
+  | c -> c
+
+let to_diagnostic f =
+  Diagnostics.with_location ~file:f.file ~line:f.line ~col:f.col
+    (Diagnostics.make f.severity ~code:f.code ~context:f.context f.message)
+
+let rule_table =
+  [
+    ( "SRC001",
+      Diagnostics.Warning,
+      "float equality: =, <> or compare applied to a float-typed operand" );
+    ( "SRC002",
+      Diagnostics.Warning,
+      "polymorphic comparison (=, <>, compare, min, max) in a hot-path \
+       module (lib/linalg, lib/core, lib/engine)" );
+    ("SRC003", Diagnostics.Error, "Obj.magic or *.unsafe_* access");
+    ( "SRC004",
+      Diagnostics.Warning,
+      "exception-swallowing handler: try ... with _ ->" );
+    ( "SRC005",
+      Diagnostics.Error,
+      "non-atomic write to shared mutable state inside a parallel job \
+       (lib/engine, lib/obs)" );
+    ( "SRC006",
+      Diagnostics.Warning,
+      "direct terminal output from library code (everything goes through \
+       sinks)" );
+    ("SRC090", Diagnostics.Error, "file does not parse");
+  ]
+
+let severity_of code =
+  match List.find_opt (fun (c, _, _) -> c = code) rule_table with
+  | Some (_, s, _) -> s
+  | None -> Diagnostics.Error
+
+(* ------------------------------------------------------------------ *)
+(* Path classification                                                  *)
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+type file_class = {
+  hot : bool;  (** lib/linalg, lib/core, lib/engine: SRC002 applies *)
+  library : bool;  (** under lib/: SRC006 applies *)
+  parallel_host : bool;  (** lib/engine, lib/obs: SRC005 applies *)
+}
+
+let classify path =
+  let p = normalize path in
+  let has sub = contains_sub ~sub p in
+  {
+    hot = has "lib/linalg/" || has "lib/core/" || has "lib/engine/";
+    library = has "lib/";
+    parallel_host = has "lib/engine/" || has "lib/obs/";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic type guesses                                               *)
+
+open Parsetree
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_fns =
+  [
+    "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "abs_float";
+    "float_of_int"; "float_of_string"; "ceil"; "floor"; "mod_float";
+    "ldexp"; "copysign"; "hypot"; "atan2"; "atan"; "asin"; "acos"; "sin";
+    "cos"; "tan"; "sinh"; "cosh"; "tanh";
+  ]
+
+let float_consts =
+  [ "nan"; "infinity"; "neg_infinity"; "epsilon_float"; "max_float";
+    "min_float" ]
+
+(* Float.* members that do NOT return float — everything else in the
+   Float module is treated as float-valued. *)
+let float_module_non_float =
+  [
+    "equal"; "compare"; "to_int"; "to_string"; "is_finite"; "is_nan";
+    "is_integer"; "sign_bit"; "classify_float";
+  ]
+
+let int_ops =
+  [ "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "~-"; "~+" ]
+
+let int_fns = [ "succ"; "pred"; "abs"; "int_of_float"; "int_of_string";
+                "int_of_char" ]
+
+let length_fns = [ "Array"; "String"; "Bytes"; "List"; "Seq"; "Hashtbl";
+                   "Queue"; "Stack" ]
+
+let ident_path (e : expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some txt | _ -> None
+
+let rec known_float (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Lident n; _ } -> List.mem n float_consts
+  | Pexp_ident { txt = Ldot (Lident "Float", n); _ } ->
+      not (List.mem n float_module_non_float)
+  | Pexp_apply (f, _) -> begin
+      match ident_path f with
+      | Some (Lident op) ->
+          List.mem op float_ops || List.mem op float_fns
+      | Some (Ldot (Lident "Float", n)) ->
+          not (List.mem n float_module_non_float)
+      | Some (Ldot (Lident "Stdlib", n)) ->
+          List.mem n float_ops || List.mem n float_fns
+      | _ -> false
+    end
+  | Pexp_constraint
+      (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ }) ->
+      true
+  | Pexp_open (_, e) | Pexp_sequence (_, e) -> known_float e
+  | Pexp_ifthenelse (_, a, Some b) -> known_float a || known_float b
+  | _ -> false
+
+(* "Immediate" in the unboxed sense: comparisons on these never hit the
+   polymorphic walker once typed. Constants of any basic type are also
+   excluded from SRC002 — [s = "x"] and [c = '\n'] are idiomatic. *)
+let rec known_immediate (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _ | Pconst_string _) -> true
+  | Pexp_construct ({ txt = Lident ("true" | "false" | "()" | "None"); _ }, None)
+    ->
+      true
+  | Pexp_apply (f, _) -> begin
+      match ident_path f with
+      | Some (Lident op) ->
+          List.mem op int_ops || List.mem op int_fns || op = "not"
+          || op = "&&" || op = "||"
+      | Some (Ldot (Lident m, "length")) -> List.mem m length_fns
+      | Some (Ldot (Lident ("Int" | "Char" | "Bool"), _)) -> true
+      | _ -> false
+    end
+  | Pexp_constraint
+      ( _,
+        {
+          ptyp_desc =
+            Ptyp_constr ({ txt = Lident ("int" | "char" | "bool"); _ }, []);
+          _;
+        } ) ->
+      true
+  | Pexp_open (_, e) | Pexp_sequence (_, e) -> known_immediate e
+  | Pexp_ifthenelse (_, a, Some b) -> known_immediate a || known_immediate b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule engine                                                          *)
+
+type state = {
+  path : string;
+  cls : file_class;
+  mutable findings : finding list;
+  (* Some bound-names <=> inside a function literal passed to a
+     parallel runner; the set over-approximates the names bound inside
+     the closure (parameters, lets, for indices, match patterns). *)
+  mutable job_locals : (string, unit) Hashtbl.t option;
+}
+
+let report st ~loc ~code ?(context = []) message =
+  let pos = loc.Location.loc_start in
+  st.findings <-
+    {
+      code;
+      severity = severity_of code;
+      file = st.path;
+      line = pos.Lexing.pos_lnum;
+      col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+      message;
+      context;
+    }
+    :: st.findings
+
+let expr_excerpt (e : expression) =
+  (* short head description for diagnostics *)
+  match ident_path e with
+  | Some lid -> String.concat "." (Longident.flatten lid)
+  | None -> (
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_float (s, _)) -> s
+      | Pexp_constant (Pconst_integer (s, _)) -> s
+      | _ -> "<expr>")
+
+let eq_like = [ "="; "<>" ]
+let poly_cmp_fns = [ "compare"; "min"; "max" ]
+
+let print_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "prerr_int"; "prerr_float";
+    "prerr_char";
+  ]
+
+let format_print_fns =
+  [ "printf"; "eprintf"; "print_string"; "print_newline"; "print_flush" ]
+
+(* names bound by a pattern, added to [acc] *)
+let rec pattern_names acc (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Hashtbl.replace acc txt ()
+  | Ppat_alias (p, { txt; _ }) ->
+      Hashtbl.replace acc txt ();
+      pattern_names acc p
+  | Ppat_tuple ps -> List.iter (pattern_names acc) ps
+  | Ppat_construct (_, Some (_, p)) -> pattern_names acc p
+  | Ppat_variant (_, Some p) -> pattern_names acc p
+  | Ppat_record (fields, _) ->
+      List.iter (fun (_, p) -> pattern_names acc p) fields
+  | Ppat_array ps -> List.iter (pattern_names acc) ps
+  | Ppat_or (a, b) ->
+      pattern_names acc a;
+      pattern_names acc b
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p)
+  | Ppat_exception p ->
+      pattern_names acc p
+  | _ -> ()
+
+(* the head variable of an lvalue-ish expression: [x], [x.f], [!x] *)
+let rec head_name (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident n; _ } -> Some n
+  | Pexp_field (e, _) -> head_name e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "!"; _ }; _ }, [ (_, e) ])
+    ->
+      head_name e
+  | _ -> None
+
+(* variable-like free identifiers (operators like [-] are global and
+   irrelevant to the range-disjointness argument) *)
+let free_names (e : expression) =
+  let acc = Hashtbl.create 8 in
+  let variable_like n =
+    n <> "" && (n.[0] = '_' || (Char.lowercase_ascii n.[0] >= 'a' && Char.lowercase_ascii n.[0] <= 'z'))
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Lident n; _ } when variable_like n ->
+              Hashtbl.replace acc n ()
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  Hashtbl.fold (fun k () l -> k :: l) acc []
+
+(* Calls that hand closures to the domain pool. Matched by name so the
+   rule survives aliasing like [let run = Pool.run]: any application of
+   [run] / [parallel_for] / [map_array] / [for_ranges] (bare or
+   module-qualified) whose trailing argument is a function literal. *)
+let parallel_runners = [ "run"; "parallel_for"; "map_array"; "for_ranges" ]
+
+let is_parallel_runner (f : expression) =
+  match ident_path f with
+  | Some (Lident n) -> List.mem n parallel_runners
+  | Some (Ldot (_, n)) -> List.mem n parallel_runners
+  | _ -> false
+
+let local st name =
+  match st.job_locals with
+  | None -> true (* not in a job: everything is "local" for SRC005 *)
+  | Some tbl -> Hashtbl.mem tbl name
+
+let mark_local st name =
+  match st.job_locals with
+  | None -> ()
+  | Some tbl -> Hashtbl.replace tbl name ()
+
+(* SRC005 body: flag writes inside a parallel job that can race. An
+   array store is accepted when the index mentions only names bound
+   inside the job (the range-disjoint convention: each job writes its
+   own slice); everything funneled through Atomic.* is an application
+   and never matches these shapes. *)
+let check_job_write st (e : expression) =
+  if st.job_locals <> None && st.cls.parallel_host then begin
+    let flag ~what target =
+      report st ~loc:e.pexp_loc ~code:"SRC005"
+        ~context:[ ("write", what); ("target", target) ]
+        (Printf.sprintf
+           "%s to shared %s inside a parallel job: use Atomic or write a \
+            job-private range" what target)
+    in
+    match e.pexp_desc with
+    | Pexp_setfield (obj, field, _) -> begin
+        match head_name obj with
+        | Some n when local st n -> ()
+        | _ ->
+            flag ~what:"field mutation"
+              (Printf.sprintf "%s.%s" (expr_excerpt obj)
+                 (String.concat "." (Longident.flatten field.txt)))
+      end
+    | Pexp_apply (f, args) -> begin
+        match (ident_path f, args) with
+        | Some (Lident ":="), (_, lhs) :: _ -> begin
+            match head_name lhs with
+            | Some n when local st n -> ()
+            | _ -> flag ~what:"ref assignment" (expr_excerpt lhs)
+          end
+        | Some (Lident ("incr" | "decr")), (_, lhs) :: _ -> begin
+            match head_name lhs with
+            | Some n when local st n -> ()
+            | _ -> flag ~what:"ref increment" (expr_excerpt lhs)
+          end
+        | Some (Ldot (Lident ("Array" | "Bytes" | "Float"), set)),
+          (_, arr) :: (_, idx) :: _
+          when set = "set" || set = "unsafe_set" -> begin
+            match head_name arr with
+            | Some n when local st n -> ()
+            | _ ->
+                let idx_names = free_names idx in
+                let disjoint =
+                  idx_names <> [] && List.for_all (local st) idx_names
+                in
+                if not disjoint then
+                  flag ~what:"array store" (expr_excerpt arr)
+          end
+        | _ -> ()
+      end
+    | _ -> ()
+  end
+
+(* Ident-position checks (SRC003, SRC006) that apply to a name whether
+   it stands alone or heads an application — the traversal does not
+   re-visit applied heads, so these are called explicitly for both. *)
+let check_ident_uses st (e : expression) =
+  let loc = e.pexp_loc in
+  (* SRC003: unsafe escapes *)
+  (match ident_path e with
+  | Some (Ldot (Lident "Obj", ("magic" | "repr" | "obj"))) ->
+      report st ~loc ~code:"SRC003"
+        ~context:[ ("ident", expr_excerpt e) ]
+        "Obj.magic-style cast defeats the type system"
+  | Some (Ldot (_, n))
+    when String.length n > 7 && String.sub n 0 7 = "unsafe_" ->
+      report st ~loc ~code:"SRC003"
+        ~context:[ ("ident", expr_excerpt e) ]
+        (Printf.sprintf "unchecked access %s skips bounds checking"
+           (expr_excerpt e))
+  | _ -> ());
+  (* SRC006: terminal output from library code *)
+  if st.cls.library then
+    match ident_path e with
+    | Some (Lident n) when List.mem n print_idents ->
+        report st ~loc ~code:"SRC006"
+          ~context:[ ("ident", n) ]
+          (Printf.sprintf
+             "`%s` writes to the terminal from library code; emit through \
+              a sink or formatter argument instead"
+             n)
+    | Some (Ldot (Lident (("Printf" | "Format") as m), fn))
+      when List.mem fn format_print_fns ->
+        report st ~loc ~code:"SRC006"
+          ~context:[ ("ident", m ^ "." ^ fn) ]
+          (Printf.sprintf
+             "`%s.%s` writes to std channels from library code; emit \
+              through a sink or take a formatter"
+             m fn)
+    | _ -> ()
+
+let check_expr st (e : expression) =
+  let loc = e.pexp_loc in
+  check_ident_uses st e;
+  (* SRC002 (hot modules): bare polymorphic compare passed as a value is
+     caught here; applied forms are handled below with operand guesses. *)
+  (match e.pexp_desc with
+  | Pexp_apply (f, ((_, a) :: _ as args)) -> begin
+      let b_opt =
+        match args with _ :: (_, b) :: _ -> Some b | _ -> None
+      in
+      let op_name =
+        match ident_path f with
+        | Some (Lident n) -> Some n
+        | Some (Ldot (Lident "Stdlib", n)) -> Some n
+        | _ -> None
+      in
+      match op_name with
+      | Some op when List.mem op eq_like || List.mem op poly_cmp_fns ->
+          let operands =
+            a :: (match b_opt with Some b -> [ b ] | None -> [])
+          in
+          let n_args = List.length args in
+          if List.exists known_float operands && op <> "min" && op <> "max"
+          then
+            report st ~loc ~code:"SRC001"
+              ~context:
+                [
+                  ("op", op);
+                  ("lhs", expr_excerpt a);
+                  (match b_opt with
+                  | Some b -> ("rhs", expr_excerpt b)
+                  | None -> ("rhs", "<partial>"));
+                ]
+              (Printf.sprintf
+                 "float %s `%s` is exact-bit comparison; use a tolerance, \
+                  or suppress if this is a sentinel check"
+                 (if op = "compare" then "ordering" else "equality")
+                 op)
+          else if
+            st.cls.hot && n_args >= 2
+            && not (List.exists known_immediate operands)
+            && not (List.exists known_float operands)
+          then
+            report st ~loc ~code:"SRC002"
+              ~context:[ ("op", op); ("lhs", expr_excerpt a) ]
+              (Printf.sprintf
+                 "polymorphic `%s` in a hot-path module walks the structure \
+                  and cannot be unboxed; use a monomorphic comparison"
+                 op)
+      | _ -> ()
+    end
+  | Pexp_ident { txt = Lident "compare"; _ } when st.cls.hot ->
+      report st ~loc ~code:"SRC002"
+        ~context:[ ("op", "compare") ]
+        "polymorphic `compare` passed as a value in a hot-path module; \
+         use a monomorphic comparison function"
+  | _ -> ());
+  (* SRC004: exception-swallowing handlers *)
+  (match e.pexp_desc with
+  | Pexp_try (_, cases) ->
+      List.iter
+        (fun case ->
+          let rec has_wildcard (p : pattern) =
+            match p.ppat_desc with
+            | Ppat_any -> true
+            | Ppat_alias (p, _) -> has_wildcard p
+            | Ppat_or (a, b) -> has_wildcard a || has_wildcard b
+            | _ -> false
+          in
+          if case.pc_guard = None && has_wildcard case.pc_lhs then
+            report st ~loc:case.pc_lhs.ppat_loc ~code:"SRC004"
+              "catch-all `with _ ->` swallows every exception (including \
+               Out_of_memory and Stack_overflow); match specific exceptions")
+        cases
+  | _ -> ());
+  (* SRC005: racy writes inside parallel jobs *)
+  check_job_write st e
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                            *)
+
+let iterator st =
+  let default = Ast_iterator.default_iterator in
+  let enter_binding_names (e : expression) =
+    (* record names bound inside a job closure as we descend *)
+    match e.pexp_desc with
+    | Pexp_fun (_, _, p, _) ->
+        Option.iter (fun tbl -> pattern_names tbl p) st.job_locals
+    | Pexp_let (_, vbs, _) ->
+        Option.iter
+          (fun tbl -> List.iter (fun vb -> pattern_names tbl vb.pvb_pat) vbs)
+          st.job_locals
+    | Pexp_for ({ ppat_desc = Ppat_var { txt; _ }; _ }, _, _, _, _) ->
+        mark_local st txt
+    | Pexp_match (_, cases) | Pexp_function cases ->
+        Option.iter
+          (fun tbl ->
+            List.iter (fun case -> pattern_names tbl case.pc_lhs) cases)
+          st.job_locals
+    | _ -> ()
+  in
+  let rec expr it (e : expression) =
+    check_expr st e;
+    enter_binding_names e;
+    match e.pexp_desc with
+    | Pexp_apply (f, args) when is_parallel_runner f -> begin
+        (* descend into non-closure arguments in the enclosing scope,
+           then into the trailing function literal as a parallel job *)
+        expr it f;
+        let rec is_fun (a : expression) =
+          match a.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> true
+          | Pexp_open (_, e) | Pexp_constraint (e, _) -> is_fun e
+          | _ -> false
+        in
+        List.iter
+          (fun (_, (a : expression)) ->
+            if is_fun a then begin
+              let saved = st.job_locals in
+              let tbl =
+                match saved with
+                | Some tbl -> Hashtbl.copy tbl
+                | None -> Hashtbl.create 16
+              in
+              st.job_locals <- Some tbl;
+              expr it a;
+              st.job_locals <- saved
+            end
+            else expr it a)
+          args
+      end
+    | Pexp_apply (({ pexp_desc = Pexp_ident _; _ } as f), args) ->
+        (* the applied head's comparison judgement happened as part of
+           this node; re-visiting it would double-report bare-`compare`.
+           Its ident-position rules still apply. *)
+        check_ident_uses st f;
+        List.iter (fun (_, a) -> expr it a) args
+    | _ -> default.expr it e
+  in
+  { default with expr }
+
+let lint_source ~path contents =
+  let st = { path; cls = classify path; findings = []; job_locals = None } in
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  let parse () =
+    if Filename.check_suffix path ".mli" then begin
+      let sg = Parse.interface lexbuf in
+      let it = iterator st in
+      it.signature it sg
+    end
+    else begin
+      let str = Parse.implementation lexbuf in
+      let it = iterator st in
+      it.structure it str
+    end
+  in
+  (try parse () with
+  | Syntaxerr.Error _ as exn ->
+      let loc =
+        match exn with
+        | Syntaxerr.Error err -> Syntaxerr.location_of_error err
+        | _ -> Location.none
+      in
+      report st ~loc ~code:"SRC090" "file does not parse"
+  | exn ->
+      report st ~loc:Location.none ~code:"SRC090"
+        ~context:[ ("exn", Printexc.to_string exn) ]
+        "file does not parse");
+  let suppressions = Suppress.scan contents in
+  List.filter
+    (fun f ->
+      not (Suppress.suppressed suppressions ~code:f.code ~line:f.line))
+    (List.sort compare_finding st.findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Discovery                                                            *)
+
+let skip_dirs = [ "_build"; "fixtures"; "figures"; "related"; "node_modules" ]
+
+let discover paths =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then begin
+      let base = Filename.basename path in
+      if
+        (not (List.mem base skip_dirs))
+        && not (String.length base > 1 && base.[0] = '.')
+      then
+        Array.iter
+          (fun entry -> walk (Filename.concat path entry))
+          (let entries = Sys.readdir path in
+           Array.sort compare entries;
+           entries)
+    end
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then acc := path :: !acc
+  in
+  List.iter
+    (fun p -> if Sys.file_exists p then walk p)
+    paths;
+  List.rev !acc
+
+let lint_paths paths =
+  List.sort compare_finding
+    (List.concat_map lint_file (discover paths))

@@ -1,0 +1,69 @@
+(** Source-level static analysis of the project's own OCaml code.
+
+    Parses [.ml]/[.mli] files with the stock compiler-libs front end
+    ([Parse] + [Ast_iterator] — no ppx, no typing) and enforces the
+    floating-point and concurrency conventions the solvers rely on as
+    [SRC0xx] findings. The judgements are syntactic: "float-typed"
+    means a float literal, float arithmetic ([+.] …), a known
+    float-returning function, or a [: float] constraint — deliberate
+    exceptions are waived inline ({!Suppress}) or by the checked-in
+    baseline ({!Baseline}).
+
+    Rules (registry: {!rule_table}):
+    - [SRC001] (warning) — [=], [<>] or [compare] on a float-typed
+      operand: exact-bit comparison where a tolerance is almost always
+      meant. Sentinel checks ([x = 0.]) get inline suppressions.
+    - [SRC002] (warning) — polymorphic [=]/[<>]/[compare]/[min]/[max]
+      on operands of unknown type in the hot-path modules
+      ([lib/linalg], [lib/core], [lib/engine]); the polymorphic walker
+      boxes floats and defeats unboxing.
+    - [SRC003] (error) — [Obj.magic] / [*.unsafe_*].
+    - [SRC004] (warning) — [try ... with _ ->]: swallows
+      [Out_of_memory], [Stack_overflow], and every bug.
+    - [SRC005] (error) — inside a closure passed to a parallel runner
+      ([run], [parallel_for], [map_array], [for_ranges]) in
+      [lib/engine]/[lib/obs]: a write ([:=], [incr], field mutation,
+      array store) to state not bound inside the job, unless the array
+      index mentions only job-bound names (the range-disjoint
+      convention). [Atomic.*] operations never match.
+    - [SRC006] (warning) — [print_*]/[Printf.printf]/[Format.printf]
+      and friends in library code; output must go through sinks.
+    - [SRC090] (error) — the file does not parse. *)
+
+type finding = {
+  code : string;
+  severity : Mrm_check.Diagnostics.severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+  context : (string * string) list;
+}
+
+val compare_finding : finding -> finding -> int
+(** Orders by file, line, column, code. *)
+
+val to_diagnostic : finding -> Mrm_check.Diagnostics.t
+(** Rendered with {!Mrm_check.Diagnostics.with_location}, so every
+    output format carries file/line/col. *)
+
+val rule_table : (string * Mrm_check.Diagnostics.severity * string) list
+(** (code, severity, one-line description) registry. *)
+
+val lint_source : path:string -> string -> finding list
+(** Analyze one source text. [path] determines the rule set ([.mli] vs
+    [.ml]; hot-path / library / parallel-host classification by
+    directory) and is reported as the finding location — tests pass
+    synthetic paths to pin a classification. Inline suppressions are
+    already applied; findings are sorted. *)
+
+val lint_file : string -> finding list
+(** [lint_source] over the file's contents. *)
+
+val discover : string list -> string list
+(** All [.ml]/[.mli] files under the given files/directories, walking
+    recursively and skipping [_build], [fixtures], [figures],
+    [related] and dot-directories. Sorted traversal, stable output. *)
+
+val lint_paths : string list -> finding list
+(** {!discover} then {!lint_file}, merged and sorted. *)

@@ -1,0 +1,26 @@
+(** Inline suppression comments for the source analyzer.
+
+    Syntax, anywhere in a comment:
+    [(* mrm:ignore SRC001 SRC004 — reason *)]. The code list may be
+    empty (suppress everything on the covered lines); the reason after
+    the dash ([-], en or em dash) is free text kept for reporting. A
+    suppression covers its own starting line, plus — when the comment
+    stands alone on its line — the line following the one the comment
+    closes on (so a multi-line standalone comment covers the line of
+    code right after it). *)
+
+type t = {
+  line : int;  (** 1-based line the comment starts on *)
+  end_line : int;  (** 1-based line the comment closes on *)
+  codes : string list;  (** empty = suppress every code *)
+  standalone : bool;  (** nothing but whitespace before the comment *)
+  reason : string option;
+}
+
+val scan : string -> t list
+(** All suppressions in a source text, in line order. *)
+
+val covers : t -> code:string -> line:int -> bool
+
+val suppressed : t list -> code:string -> line:int -> bool
+(** True when some suppression {!covers} the finding. *)

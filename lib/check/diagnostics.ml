@@ -35,6 +35,35 @@ let codes ds =
     [] ds
   |> List.rev
 
+(* ------------------------------------------------------------------ *)
+(* Source locations. Diagnostics stay a flat record; a location is the
+   well-known context keys "file"/"line"/"col", so every existing
+   rendering (sexp, json) carries it for free and only the renderers
+   that care (pp, GitHub annotations) treat it specially.              *)
+
+let location_keys = [ "file"; "line"; "col" ]
+
+let with_location ~file ?line ?col d =
+  let loc =
+    List.concat
+      [
+        [ ("file", file) ];
+        (match line with Some l -> [ ("line", string_of_int l) ] | None -> []);
+        (match col with Some c -> [ ("col", string_of_int c) ] | None -> []);
+      ]
+  in
+  let rest = List.filter (fun (k, _) -> not (List.mem k location_keys)) d.context in
+  { d with context = loc @ rest }
+
+let location d =
+  match List.assoc_opt "file" d.context with
+  | None -> None
+  | Some file ->
+      let num key =
+        Option.bind (List.assoc_opt key d.context) int_of_string_opt
+      in
+      Some (file, num "line", num "col")
+
 let pp ppf d =
   Format.fprintf ppf "%s %s: %s" (severity_label d.severity) d.code d.message;
   if d.context <> [] then begin
@@ -158,6 +187,58 @@ let report_to_sexp ds =
     (by_severity ds);
   Buffer.add_string buf ")";
   Buffer.contents buf
+
+(* GitHub Actions workflow commands: one annotation per diagnostic.
+   Newlines and the command delimiters must be URL-style escaped per
+   the workflow-command spec; Info maps to "notice". *)
+
+let github_escape ~in_property s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | ':' when in_property -> Buffer.add_string buf "%3A"
+      | ',' when in_property -> Buffer.add_string buf "%2C"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_github ?file d =
+  let command =
+    match d.severity with
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "notice"
+  in
+  let file, line, col =
+    match location d with
+    | Some (f, line, col) -> (Some f, line, col)
+    | None -> (file, None, None)
+  in
+  let props =
+    List.concat
+      [
+        (match file with
+        | Some f -> [ ("file", github_escape ~in_property:true f) ]
+        | None -> []);
+        (match line with
+        | Some l -> [ ("line", string_of_int l) ]
+        | None -> []);
+        (match col with Some c -> [ ("col", string_of_int c) ] | None -> []);
+        [ ("title", github_escape ~in_property:true d.code) ];
+      ]
+  in
+  Printf.sprintf "::%s %s::%s: %s" command
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) props))
+    d.code
+    (github_escape ~in_property:false d.message)
+
+let report_to_github ?file ds =
+  String.concat "\n" (List.map (to_github ?file) (by_severity ds))
 
 let report_to_json ds =
   let buf = Buffer.create 256 in

@@ -47,6 +47,16 @@ val by_severity : t list -> t list
 val codes : t list -> string list
 (** Distinct codes present, in first-appearance order. *)
 
+val with_location : file:string -> ?line:int -> ?col:int -> t -> t
+(** Attach a source location, stored under the well-known context keys
+    ["file"], ["line"] and ["col"] (replacing any previous ones) so the
+    sexp/json renderings carry it without a schema change. Used by the
+    source-level analyzer ([Mrm_analysis]) whose findings point at
+    OCaml source, and honoured by {!to_github}. *)
+
+val location : t -> (string * int option * int option) option
+(** [(file, line, col)] when the context carries a location. *)
+
 val pp : Format.formatter -> t -> unit
 (** [error MRM004: row 2 sums to 0.5 (not 0) [row=2 sum=0.5]]. *)
 
@@ -61,5 +71,16 @@ val to_sexp : t -> string
 val to_json : t -> string
 (** [{"severity":"error","code":"MRM004","message":"...","context":{"row":"2","sum":"0.5"}}] *)
 
+val to_github : ?file:string -> t -> string
+(** A GitHub Actions workflow command
+    ([::error file=...,line=...,title=CODE::CODE: message]) so CI runs
+    surface findings as inline annotations. The location comes from
+    {!location} when present, falling back to [?file]; [Info] renders
+    as [notice]. Newlines, [%], and the property delimiters are escaped
+    per the workflow-command spec. *)
+
 val report_to_sexp : t list -> string
 val report_to_json : t list -> string
+
+val report_to_github : ?file:string -> t list -> string
+(** One {!to_github} line per diagnostic, most severe first. *)

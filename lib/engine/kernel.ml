@@ -3,6 +3,9 @@ module Vec = Mrm_linalg.Vec
 
 let for_ranges pool partition f =
   let ranges = Partition.ranges partition in
+  if Racecheck.enabled () then
+    Racecheck.check_ranges ~what:"Kernel.for_ranges"
+      ~rows:(Partition.rows partition) ranges;
   Pool.run pool (Array.length ranges) (fun k ->
       let lo, hi = ranges.(k) in
       if hi > lo then f lo hi)
@@ -39,6 +42,9 @@ let reduce pool ?chunk n partial =
     in
     let n_chunks = (n + chunk - 1) / chunk in
     let partials = Array.make n_chunks 0. in
+    if Racecheck.enabled () then
+      Racecheck.check_ranges ~what:"Kernel.reduce" ~rows:n
+        (Array.init n_chunks (fun c -> (c * chunk, min n ((c + 1) * chunk))));
     Pool.run pool n_chunks (fun c ->
         let lo = c * chunk in
         let hi = min n (lo + chunk) in

@@ -6,7 +6,13 @@
     deterministic: ranges write disjoint slices, and reductions
     combine fixed per-chunk partials in chunk order regardless of the
     execution schedule — so a parallel randomization sweep reproduces
-    the sequential one bit for bit. *)
+    the sequential one bit for bit.
+
+    Under [MRM2_RACECHECK=1] every kernel call first validates its
+    write ranges (disjointness and full coverage) with
+    {!Racecheck.check_ranges} and aborts with {!Racecheck.Race} on
+    violation; the check is observational — it never changes what the
+    kernels compute. *)
 
 val for_ranges : Pool.t -> Partition.t -> (int -> int -> unit) -> unit
 (** [for_ranges pool partition f] runs [f lo hi] for every non-empty

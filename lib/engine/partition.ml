@@ -67,6 +67,10 @@ let of_pool_for ~jobs matrix =
   end;
   partition
 
+let of_ranges ~rows ranges =
+  if rows < 0 then invalid_arg "Partition.of_ranges: negative rows";
+  { ranges = Array.copy ranges; rows }
+
 let pp ppf p =
   Format.fprintf ppf "@[<h>partition %d rows in %d part(s):" p.rows
     (Array.length p.ranges);

@@ -28,6 +28,13 @@ val by_nnz : parts:int -> Mrm_linalg.Sparse.t -> t
     rows are both handled; for an empty matrix this degrades to
     {!uniform}. @raise Invalid_argument when [parts < 1]. *)
 
+val of_ranges : rows:int -> (int * int) array -> t
+(** Wrap explicit ranges with {e no} validation — for custom layouts
+    and for exercising the dynamic race checker. The kernels verify
+    disjointness and coverage under [MRM2_RACECHECK=1]
+    ({!Racecheck.check_ranges}); without the checker, overlapping
+    ranges silently race. @raise Invalid_argument when [rows < 0]. *)
+
 val of_pool_for : jobs:int -> Mrm_linalg.Sparse.t -> t
 (** The partition the solvers use: {!by_nnz} with [4 * jobs] parts
     (capped at the row count) — enough slack for the dynamic scheduler

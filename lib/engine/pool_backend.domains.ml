@@ -69,7 +69,7 @@ let drain pool batch =
       (try batch.body i
        with e -> record_failure pool e (Printexc.get_raw_backtrace ()));
       let done_now = 1 + Atomic.fetch_and_add batch.completed 1 in
-      if done_now = batch.size then begin
+      if Int.equal done_now batch.size then begin
         Mutex.lock pool.mutex;
         Condition.broadcast pool.finished;
         Mutex.unlock pool.mutex
@@ -85,7 +85,7 @@ let worker pool =
     if Atomic.get pool.stop then None
     else begin
       let generation, batch = Atomic.get pool.current in
-      if generation <> !seen then begin
+      if not (Int.equal generation !seen) then begin
         seen := generation;
         Some batch
       end
@@ -97,7 +97,7 @@ let worker pool =
         Mutex.lock pool.mutex;
         while
           (not (Atomic.get pool.stop))
-          && fst (Atomic.get pool.current) = !seen
+          && Int.equal (fst (Atomic.get pool.current)) !seen
         do
           Condition.wait pool.work pool.mutex
         done;

@@ -123,8 +123,10 @@ let emit_line json human =
       match !sink_state with
       | Null -> ()
       | Stderr ->
+          (* mrm:ignore SRC006 — this is the stderr sink itself: the one
+             place library output is allowed to reach a terminal *)
           prerr_string (human ());
-          prerr_newline ()
+          prerr_newline () (* mrm:ignore SRC006 — stderr sink *)
       | Jsonl _ -> (
           match !channel with
           | None -> ()

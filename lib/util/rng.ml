@@ -68,6 +68,9 @@ let rec normal rng =
     let u = (2. *. uniform rng) -. 1. in
     let v = (2. *. uniform rng) -. 1. in
     let s = (u *. u) +. (v *. v) in
+    (* mrm:ignore SRC001 — Marsaglia polar rejection: only the exact
+       origin (probability ~2^-128) must be resampled; log s is finite
+       for every other point in the disc. *)
     if s >= 1. || s = 0. then normal rng
     else begin
       let scale = sqrt (-2. *. log s /. s) in

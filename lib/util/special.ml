@@ -81,6 +81,8 @@ let erf_series x =
 let erfc_continued_fraction x =
   let tiny = 1e-300 in
   let b0 = x in
+  (* mrm:ignore SRC001 — Lentz sentinel: only an exact zero divides; any
+     nonzero b0, however small, is a valid pivot. *)
   let f = ref (if b0 = 0. then tiny else b0) in
   let c = ref !f and d = ref 0. in
   (* erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + 1/2/(x + 1/(x + 3/2/(x + ...))))*)
@@ -90,9 +92,9 @@ let erfc_continued_fraction x =
     let a = float_of_int !iter /. 2. in
     let b = x in
     d := b +. (a *. !d);
-    if !d = 0. then d := tiny;
+    if !d = 0. then d := tiny (* mrm:ignore SRC001 — Lentz zero-pivot guard *);
     c := b +. (a /. !c);
-    if !c = 0. then c := tiny;
+    if !c = 0. then c := tiny (* mrm:ignore SRC001 — Lentz zero-pivot guard *);
     d := 1. /. !d;
     let delta = !c *. !d in
     f := !f *. delta;
@@ -178,6 +180,8 @@ let normal_quantile p =
      already underflowed to the point where Acklam's ~1e-9 relative
      accuracy is all binary64 can hold anyway. *)
   let e = normal_cdf ~mu:0. ~sigma:1. x -. p in
+  (* mrm:ignore SRC001 — an exactly-zero residual means the quantile is
+     already converged; any nonzero e still benefits from the step. *)
   if e = 0. then x
   else begin
     let log_abs_u =
@@ -193,5 +197,8 @@ let normal_quantile p =
 let log_poisson_pmf ~lambda k =
   if lambda < 0. then invalid_arg "Special.log_poisson_pmf: lambda >= 0";
   if k < 0 then invalid_arg "Special.log_poisson_pmf: k >= 0";
+  (* mrm:ignore SRC001 — sentinel: the lambda = 0 degenerate distribution
+     (all mass at k = 0) applies only at exactly zero; log lambda is
+     finite for every other representable lambda. *)
   if lambda = 0. then (if k = 0 then 0. else neg_infinity)
   else (float_of_int k *. log lambda) -. lambda -. log_factorial k

@@ -1,0 +1,2 @@
+(* SRC001 fixture: exact float equality where a tolerance is meant. *)
+let is_unit x = x = 1.0

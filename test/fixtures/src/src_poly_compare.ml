@@ -1,0 +1,3 @@
+(* SRC002 fixture: polymorphic comparison on operands of unknown type —
+   a finding only when linted under a hot-path module path. *)
+let same a b = a = b

@@ -1,0 +1,3 @@
+(* SRC006 fixture: direct console output from (what is linted as)
+   library code. *)
+let shout () = print_endline "loud"

@@ -1,0 +1,5 @@
+(* SRC005 fixture: writes from a parallel job. The accumulator update
+   races; the element store indexed by the job-bound [i] follows the
+   range-disjoint convention and is fine. *)
+let bad pool total = Pool.run pool 4 (fun i -> total := !total + i)
+let good pool out = Pool.run pool 4 (fun i -> out.(i) <- float_of_int i)

@@ -1,0 +1,7 @@
+(* Suppression fixture: both findings below are waived inline, one by a
+   trailing comment, one by a multi-line standalone comment. *)
+let is_zero x = x = 0. (* mrm:ignore SRC001 — sentinel *)
+
+(* mrm:ignore SRC001 — a standalone comment that spans several lines
+   must cover the line of code immediately after it closes *)
+let is_unit x = x = 1.0

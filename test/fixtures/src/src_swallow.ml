@@ -1,0 +1,4 @@
+(* SRC004 fixture: a catch-all handler that swallows every exception,
+   next to a specific handler that is fine. *)
+let bad f = try f () with _ -> 0
+let good f = try f () with Not_found -> 0

@@ -1,0 +1,2 @@
+(* SRC090 fixture: does not parse. *)
+let let in = (((

@@ -1,0 +1,3 @@
+(* SRC003 fixture: unchecked access and unsound casts. *)
+let head a = Array.unsafe_get a 0
+let cast x = Obj.magic x

@@ -545,6 +545,107 @@ let test_batch_cli_fixture () =
     expected
 
 (* ------------------------------------------------------------------ *)
+(* Dynamic race checker                                                 *)
+
+module Racecheck = Mrm_engine.Racecheck
+
+(* run [f] with the checker forced on/off, restoring the environment
+   setting afterwards *)
+let with_racecheck flag f =
+  Racecheck.set_enabled (Some flag);
+  Fun.protect ~finally:(fun () -> Racecheck.set_enabled None) f
+
+let race_code = function
+  | Racecheck.Race d -> d.Mrm_check.Diagnostics.code
+  | e -> raise e
+
+let expect_race name expected_code f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected %s, nothing raised" name expected_code
+  | exception e ->
+      Alcotest.(check string) (name ^ ": code") expected_code (race_code e)
+
+let test_racecheck_overlap_rejected () =
+  with_racecheck true (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let n = 8 in
+          let x = Array.init n float_of_int in
+          let y = Array.make n 0. in
+          (* jobs 0 and 1 both write row 2 *)
+          let overlapping =
+            Partition.of_ranges ~rows:n [| (0, 3); (2, 5); (5, n) |]
+          in
+          expect_race "overlap" "RACE001" (fun () ->
+              Kernel.copy_into pool overlapping x y);
+          (* the diagnostic names both offending jobs *)
+          (match
+             try
+               Kernel.copy_into pool overlapping x y;
+               None
+             with Racecheck.Race d -> Some d
+           with
+          | Some d ->
+              let ctx = d.Mrm_check.Diagnostics.context in
+              Alcotest.(check (option string))
+                "job_a" (Some "0") (List.assoc_opt "job_a" ctx);
+              Alcotest.(check (option string))
+                "job_b" (Some "1") (List.assoc_opt "job_b" ctx)
+          | None -> Alcotest.fail "overlap not detected");
+          expect_race "gap" "RACE002" (fun () ->
+              Kernel.copy_into pool
+                (Partition.of_ranges ~rows:n [| (0, 3); (5, n) |])
+                x y);
+          expect_race "out of bounds" "RACE003" (fun () ->
+              Kernel.copy_into pool
+                (Partition.of_ranges ~rows:n [| (0, 3); (3, n + 1) |])
+                x y);
+          (* empty ranges are legal; a valid tiling passes and computes *)
+          Kernel.copy_into pool
+            (Partition.of_ranges ~rows:n [| (0, 3); (3, 3); (3, n) |])
+            x y;
+          Alcotest.(check bool) "copy happened" true (x = y)))
+
+let test_racecheck_disabled_is_silent () =
+  with_racecheck false (fun () ->
+      Pool.with_pool ~jobs:1 (fun pool ->
+          (* jobs = 1: the overlapping ranges run sequentially, so the
+             unchecked sweep is still well-defined — it must not raise *)
+          let n = 6 in
+          let x = Array.init n float_of_int in
+          let y = Array.make n 0. in
+          Kernel.copy_into pool
+            (Partition.of_ranges ~rows:n [| (0, 4); (2, n) |])
+            x y;
+          Alcotest.(check bool) "unchecked sweep ran" true (x = y)))
+
+let test_racecheck_reduce_checked () =
+  with_racecheck true (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let x = Array.init 31 (fun i -> float_of_int i /. 3.) in
+          (* chunked reductions build their own ranges; they must pass
+             the checker and still match the sequential sum *)
+          let got = Kernel.sum pool ~chunk:4 x in
+          let expected = Vec.sum x in
+          Alcotest.(check bool) "sum close" true
+            (abs_float (got -. expected) <= 1e-12 *. (1. +. abs_float expected))))
+
+let test_racecheck_solve_bit_for_bit () =
+  (* Section 7 ON-OFF example: an instrumented parallel solve is
+     bit-for-bit identical to the unchecked one *)
+  let model = Onoff.model (Onoff.table1 ~sigma2:10.) in
+  let unchecked =
+    with_racecheck false (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            Randomization.moments ~pool model ~t:2. ~order:3))
+  in
+  let checked =
+    with_racecheck true (fun () ->
+        Pool.with_pool ~jobs:4 (fun pool ->
+            Randomization.moments ~pool model ~t:2. ~order:3))
+  in
+  check_results_identical "racecheck on vs off" unchecked checked
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
@@ -571,6 +672,17 @@ let () =
           to_alcotest prop_partition_covers_random;
         ] );
       ("kernel", [ to_alcotest prop_kernel_matches_sequential ]);
+      ( "racecheck",
+        [
+          Alcotest.test_case "overlap/gap/bounds rejected" `Quick
+            test_racecheck_overlap_rejected;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_racecheck_disabled_is_silent;
+          Alcotest.test_case "reductions pass the checker" `Quick
+            test_racecheck_reduce_checked;
+          Alcotest.test_case "checked solve is bit-for-bit" `Quick
+            test_racecheck_solve_bit_for_bit;
+        ] );
       ( "solver",
         [
           Alcotest.test_case "table-1 parallel = sequential" `Quick
