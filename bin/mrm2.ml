@@ -4,6 +4,9 @@
      moments   - raw moments of the accumulated reward at time t
      batch     - many moment jobs at once (JSONL in/out, deduplicated,
                  parallel across a domain pool)
+     serve     - resident solver service (JSONL over a Unix/TCP socket,
+                 LRU result cache, bounded queue, graceful drain)
+     call      - client for a running serve (stream jobs, print results)
      bounds    - moment-based bounds on P(B(t) <= x)
      simulate  - Monte-Carlo estimates with confidence intervals
      path      - a discretized joint sample path (t, state, B(t))
@@ -773,46 +776,51 @@ let batch_cmd =
   in
   let run input eps jobs obs =
     obs @@ fun () ->
-    let lines =
-      let read_all ic =
-        let rec loop acc =
-          match input_line ic with
-          | line -> loop (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        loop []
-      in
-      match input with
-      | None | Some "-" -> read_all stdin
-      | Some path ->
-          let ic = open_in path in
-          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
-    in
-    let specs =
-      List.filteri (fun _ line -> String.trim line <> "") lines
-      |> List.mapi (fun k line ->
-             let default_id = Printf.sprintf "job-%d" (k + 1) in
-             match Json.parse (String.trim line) with
-             | Error e -> Error (Printf.sprintf "%s: %s" default_id e)
+    (* Stream the input: each line is parsed and validated as it is
+       read, so a huge job file never sits in memory as raw text, and
+       ids/diagnostics are numbered by the *original* input line (blank
+       lines advance the counter without producing a job). *)
+    let parse_lines ic =
+      let jobs_rev = ref [] and bad_rev = ref [] and lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let trimmed = String.trim line in
+           if trimmed <> "" then begin
+             let default_id = Printf.sprintf "job-%d" !lineno in
+             match Json.parse trimmed with
+             | Error e ->
+                 bad_rev :=
+                   Printf.sprintf "line %d (%s): %s" !lineno default_id e
+                   :: !bad_rev
              | Ok json -> (
                  match Batch.job_of_json ~default_id ~default_eps:eps json with
-                 | Error e -> Error (Printf.sprintf "%s: %s" default_id e)
-                 | Ok job -> Ok job))
+                 | Error e ->
+                     bad_rev :=
+                       Printf.sprintf "line %d (%s): %s" !lineno default_id e
+                       :: !bad_rev
+                 | Ok job -> jobs_rev := job :: !jobs_rev)
+           end
+         done
+       with End_of_file -> ());
+      (List.rev !jobs_rev, List.rev !bad_rev)
     in
-    let bad =
-      List.filter_map (function Error e -> Some e | Ok _ -> None) specs
+    let good, bad =
+      match input with
+      | None | Some "-" -> parse_lines stdin
+      | Some path ->
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> parse_lines ic)
     in
     match bad with
     | _ :: _ ->
         List.iter (Printf.eprintf "mrm2 batch: %s\n") bad;
         1
     | [] ->
-        let jobs_array =
-          Array.of_list
-            (List.filter_map
-               (function Ok j -> Some j | Error _ -> None)
-               specs)
-        in
+        let jobs_array = Array.of_list good in
         let t0 = Unix.gettimeofday () in
         let outcomes =
           with_optional_pool ~jobs (fun pool ->
@@ -863,6 +871,221 @@ let batch_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve / call                                                        *)
+
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" spec))
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Ok (host, p)
+      | _ -> Error (`Msg (Printf.sprintf "bad port in %S" spec)))
+
+let host_port_conv =
+  Arg.conv ~docv:"HOST:PORT"
+    ( parse_host_port,
+      fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p )
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the solver service.")
+
+(* Resolve the service endpoint from --socket / the TCP flag; exactly
+   one must be given. *)
+let endpoint_of ~tcp_flag socket tcp =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+      Error
+        (Printf.sprintf "give either --socket or --%s, not both" tcp_flag)
+  | Some path, None -> Ok (`Unix path)
+  | None, Some (host, port) -> Ok (`Tcp (host, port))
+  | None, None ->
+      Error
+        (Printf.sprintf "missing service endpoint (--socket or --%s)"
+           tcp_flag)
+
+let serve_cmd =
+  let module Server = Mrm_server.Server in
+  let listen =
+    Arg.(
+      value
+      & opt (some host_port_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen on TCP instead of a Unix socket (port $(b,0) picks a \
+             free port, printed on startup).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Request-queue capacity; requests beyond it are rejected with \
+             a structured $(b,SRV002) error (backpressure).")
+  in
+  let cache_entries =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result-cache entry cap (LRU eviction beyond it).")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Result-cache (approximate) size cap in MiB.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Solver worker threads. One worker keeps per-request trace \
+             spans nested; more overlap cache hits with running solves.")
+  in
+  let no_validate =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:
+            "Skip the server-side $(b,mrm2 lint) pass (MRM0xx diagnostics \
+             over the wire) before solving each request.")
+  in
+  let run socket listen queue cache_entries cache_mb workers no_validate eps
+      jobs obs =
+    obs @@ fun () ->
+    match endpoint_of ~tcp_flag:"listen" socket listen with
+    | Error msg ->
+        Printf.eprintf "mrm2 serve: %s\n" msg;
+        2
+    | Ok endpoint ->
+        let config =
+          {
+            (Server.default_config endpoint) with
+            Server.queue_capacity = queue;
+            cache_entries;
+            cache_bytes = cache_mb * 1024 * 1024;
+            workers;
+            pool_jobs = jobs;
+            default_eps = eps;
+            validate = not no_validate;
+          }
+        in
+        (* The "listening" line is printed only once the socket is bound
+           and accepting — the serve-smoke driver polls for it. *)
+        let on_ready = function
+          | Unix.ADDR_UNIX path ->
+              Printf.eprintf "mrm2 serve: listening on %s\n%!" path
+          | Unix.ADDR_INET (addr, port) ->
+              Printf.eprintf "mrm2 serve: listening on %s:%d\n%!"
+                (Unix.string_of_inet_addr addr)
+                port
+        in
+        let code = Server.run ~on_ready config in
+        Printf.eprintf "mrm2 serve: drained, exiting\n%!";
+        code
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ listen $ queue $ cache_entries $ cache_mb
+      $ workers $ no_validate $ eps_arg
+      $ jobs_arg ~default:Mrm_engine.Pool.default_jobs
+      $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident solver service: accept concurrent JSONL \
+          connections on a Unix socket ($(b,--socket)) or TCP address \
+          ($(b,--listen)), answer repeat jobs from an LRU result cache \
+          keyed by the structural job digest, push back with structured \
+          errors when the bounded request queue is full, honour \
+          per-request $(b,deadline_s) budgets, and drain gracefully on \
+          SIGTERM/SIGINT (in-flight solves finish, responses flush, exit \
+          0).")
+    term
+
+let call_cmd =
+  let module Client = Mrm_server.Client in
+  let connect =
+    Arg.(
+      value
+      & opt (some host_port_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Connect to a TCP service instead of a Unix socket.")
+  in
+  let input =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"JOBS"
+          ~doc:
+            "JSONL job file, one spec per line ($(b,-) or no argument: \
+             read standard input). Same fields as $(b,mrm2 batch), plus \
+             optional $(b,deadline_s).")
+  in
+  let run socket connect input =
+    match endpoint_of ~tcp_flag:"connect" socket connect with
+    | Error msg ->
+        Printf.eprintf "mrm2 call: %s\n" msg;
+        2
+    | Ok endpoint -> (
+        let session ic =
+          Client.call endpoint ~input:ic ~on_response:print_endline
+        in
+        let result =
+          match input with
+          | None | Some "-" -> begin
+              match session stdin with
+              | summary -> Ok summary
+              | exception e -> Error e
+            end
+          | Some path -> begin
+              match open_in path with
+              | exception Sys_error msg -> Error (Sys_error msg)
+              | ic ->
+                  Fun.protect
+                    ~finally:(fun () -> close_in ic)
+                    (fun () ->
+                      match session ic with
+                      | summary -> Ok summary
+                      | exception e -> Error e)
+            end
+        in
+        match result with
+        | Ok { Client.sent; errors; cache_hits } ->
+            Printf.eprintf
+              "# call: %d request(s), %d cached, %d error(s)\n" sent
+              cache_hits errors;
+            if errors = 0 then 0 else 1
+        | Error (Client.Disconnected what) ->
+            Printf.eprintf "mrm2 call: server disconnected (%s)\n" what;
+            3
+        | Error (Unix.Unix_error (err, _, _)) ->
+            Printf.eprintf "mrm2 call: cannot reach service: %s\n"
+              (Unix.error_message err);
+            3
+        | Error (Sys_error msg) ->
+            Printf.eprintf "mrm2 call: %s\n" msg;
+            2
+        | Error e -> raise e)
+  in
+  let term = Term.(const run $ socket_arg $ connect $ input) in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send a JSONL job stream to a running $(b,mrm2 serve) and print \
+          the responses, one JSON object per line, in request order. \
+          Exits 0 when every response is $(b,status: ok), 1 on solver or \
+          service errors, 3 when the service is unreachable.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 
 let info_cmd =
@@ -884,7 +1107,8 @@ let info_cmd =
 let () =
   let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
-      [ moments_cmd; batch_cmd; bounds_cmd; distribution_cmd; simulate_cmd;
-        path_cmd; mtta_cmd; fluid_cmd; info_cmd; lint_cmd; lint_src_cmd ]
+      [ moments_cmd; batch_cmd; serve_cmd; call_cmd; bounds_cmd;
+        distribution_cmd; simulate_cmd; path_cmd; mtta_cmd; fluid_cmd;
+        info_cmd; lint_cmd; lint_src_cmd ]
   in
   exit (Cmd.eval' root)

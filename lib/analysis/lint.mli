@@ -22,7 +22,7 @@
       [Out_of_memory], [Stack_overflow], and every bug.
     - [SRC005] (error) — inside a closure passed to a parallel runner
       ([run], [parallel_for], [map_array], [for_ranges]) in
-      [lib/engine]/[lib/obs]: a write ([:=], [incr], field mutation,
+      [lib/engine]/[lib/obs]/[lib/server]: a write ([:=], [incr], field mutation,
       array store) to state not bound inside the job, unless the array
       index mentions only job-bound names (the range-disjoint
       convention). [Atomic.*] operations never match.

@@ -22,7 +22,15 @@
     - [pool.runs], [pool.jobs] (tasks executed by the domain pool),
       [partition.imbalance] (gauge: worst observed
       [parts * max_part_nnz / total_nnz], 1.0 = perfectly balanced);
-    - [batch.jobs], [batch.dedup_hits]. *)
+    - [batch.jobs], [batch.dedup_hits];
+    - the solver service ([mrm2 serve]): [server.connections],
+      [server.requests], [server.parse_errors],
+      [server.validation_failures], [server.rejected] (queue-full
+      backpressure), [server.timeouts] (deadline expiries),
+      [server.cache_hits], [server.cache_misses],
+      [server.cache_evictions], [server.drains]; gauges
+      [server.queue_peak] (high-watermark request-queue depth) and
+      [server.cache_entries]. *)
 
 type counter
 type gauge

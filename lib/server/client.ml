@@ -1,0 +1,100 @@
+module Json = Mrm_util.Json
+
+type endpoint = Server.endpoint
+
+exception Disconnected of string
+
+let connect endpoint =
+  match (endpoint : endpoint) with
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | `Tcp (host, port) ->
+      let addr =
+        if host = "" || host = "localhost" then Unix.inet_addr_loopback
+        else begin
+          match Unix.inet_addr_of_string host with
+          | addr -> addr
+          | exception Failure _ ->
+              (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        end
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+
+type summary = { sent : int; errors : int; cache_hits : int }
+
+let session ~fd ~input ~on_response =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let summary = ref { sent = 0; errors = 0; cache_hits = 0 } in
+  let request_id line lineno =
+    match Json.parse line with
+    | Ok json -> begin
+        match Option.bind (Json.member "id" json) Json.to_str with
+        | Some id -> id
+        | None -> Printf.sprintf "req-%d" lineno
+      end
+    | Error _ -> Printf.sprintf "req-%d" lineno
+  in
+  let exchange line lineno =
+    let id = request_id line lineno in
+    (match
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with
+    | () -> ()
+    | exception Sys_error msg ->
+        raise (Disconnected (Printf.sprintf "%s: %s" id msg)));
+    match input_line ic with
+    | exception End_of_file ->
+        raise (Disconnected (Printf.sprintf "%s: connection closed" id))
+    | exception Sys_error msg ->
+        raise (Disconnected (Printf.sprintf "%s: %s" id msg))
+    | response ->
+        let s = !summary in
+        let is_error, cached =
+          match Json.parse response with
+          | Error _ -> (true, false)
+          | Ok json ->
+              ( (match Protocol.response_status json with
+                | Some "error" -> true
+                | Some _ -> false
+                | None -> true),
+                Protocol.response_cached json )
+        in
+        summary :=
+          {
+            sent = s.sent + 1;
+            errors = (s.errors + if is_error then 1 else 0);
+            cache_hits = (s.cache_hits + if cached then 1 else 0);
+          };
+        on_response response
+  in
+  let lineno = ref 0 in
+  let rec loop () =
+    match input_line input with
+    | exception End_of_file -> ()
+    | line ->
+        incr lineno;
+        let trimmed = String.trim line in
+        if trimmed <> "" then exchange trimmed !lineno;
+        loop ()
+  in
+  loop ();
+  !summary
+
+let call endpoint ~input ~on_response =
+  let fd = connect endpoint in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> session ~fd ~input ~on_response)

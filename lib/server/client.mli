@@ -1,0 +1,36 @@
+(** Thin synchronous client for the solver service — the engine behind
+    [mrm2 call].
+
+    The client streams job-spec lines to a running [mrm2 serve], in
+    lockstep: send one line, read one response line, hand it to the
+    caller's callback (output policy stays with the front end — this
+    library never prints). Blank input lines are skipped, mirroring the
+    [mrm2 batch] reader. *)
+
+type endpoint = Server.endpoint
+
+val connect : endpoint -> Unix.file_descr
+(** Open a connection to the service.
+    @raise Unix.Unix_error when the endpoint is unreachable. *)
+
+type summary = {
+  sent : int;  (** requests sent (nonblank lines) *)
+  errors : int;  (** responses with [status = "error"] *)
+  cache_hits : int;  (** responses with [cached = true] *)
+}
+
+exception Disconnected of string
+(** The server closed the connection (or the transport failed) before
+    answering a sent request; the payload names the failed request id. *)
+
+val session :
+  fd:Unix.file_descr -> input:in_channel ->
+  on_response:(string -> unit) -> summary
+(** Drive one request/response session over an open connection, reading
+    job specs from [input] until EOF. The connection is left open —
+    callers close [fd]. Responses that are not valid JSON count as
+    errors (the wire guarantees one JSON object per line). *)
+
+val call :
+  endpoint -> input:in_channel -> on_response:(string -> unit) -> summary
+(** {!connect}, {!session}, close. *)

@@ -1,0 +1,102 @@
+module Json = Mrm_util.Json
+module Batch = Mrm_batch.Batch
+module Check = Mrm_check.Check
+module Diagnostics = Mrm_check.Diagnostics
+module Generator = Mrm_ctmc.Generator
+module Model = Mrm_core.Model
+
+type request = { job : Batch.job; digest : string; expires : float option }
+
+let error_table =
+  [
+    ("SRV001", "malformed request line (bad JSON or bad job spec)");
+    ("SRV002", "request queue full — retry later (backpressure)");
+    ("SRV003", "deadline exceeded before the solve started");
+    ("SRV004", "server is draining and no longer accepts requests");
+    ("SRV005", "model failed server-side validation (see diagnostics)");
+  ]
+
+let deadline_of_json json =
+  match Json.member "deadline_s" json with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_float v with
+      | Some s when s > 0. && Float.is_finite s -> Ok (Some s)
+      | _ -> Error "field \"deadline_s\": expected a positive number")
+
+let parse_request ?default_eps ~now ~default_id line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> (
+      match deadline_of_json json with
+      | Error e -> Error e
+      | Ok deadline -> (
+          match Batch.job_of_json ~default_id ?default_eps json with
+          | Error e -> Error e
+          | Ok job ->
+              Ok
+                {
+                  job;
+                  digest = Batch.digest job;
+                  expires = Option.map (fun s -> now +. s) deadline;
+                }))
+
+let validate (job : Batch.job) =
+  let model = job.Batch.model in
+  let data =
+    Check.data
+      ~q_matrix:(Generator.matrix model.Model.generator)
+      ~rates:model.Model.rates ~variances:model.Model.variances
+      ~initial:model.Model.initial
+  in
+  let t =
+    if Array.length job.Batch.times = 0 then 1. else job.Batch.times.(0)
+  in
+  let config =
+    {
+      Check.default_config with
+      Check.t;
+      order = job.Batch.order;
+      eps = job.Batch.eps;
+    }
+  in
+  Diagnostics.errors (Check.check ~config data)
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let response_of_outcome ~cached outcome =
+  let json =
+    match Batch.outcome_to_json outcome with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("cached", Json.Bool cached) ])
+    | other -> other
+  in
+  Json.to_string json
+
+let error_response ~id ~code ?diagnostics message =
+  let diagnostics_field =
+    match diagnostics with
+    | None | Some [] -> []
+    | Some report ->
+        (* Diagnostics renders its own JSON; round-trip through the
+           parser to embed it as a subtree of the response object. *)
+        [ ("diagnostics",
+           Json.parse_exn (Diagnostics.report_to_json report)) ]
+  in
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", Json.Str id);
+          ("status", Json.Str "error");
+          ("code", Json.Str code);
+          ("error", Json.Str message);
+        ]
+       @ diagnostics_field))
+
+let response_status json =
+  Option.bind (Json.member "status" json) Json.to_str
+
+let response_cached json =
+  match Option.bind (Json.member "cached" json) Json.to_bool with
+  | Some b -> b
+  | None -> false

@@ -1,0 +1,57 @@
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;  (* an element arrived, or the queue closed *)
+  items : 'a Queue.t;
+  cap : int;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Rqueue.create: capacity %d" capacity);
+  {
+    mutex = Mutex.create ();
+    not_empty = Condition.create ();
+    items = Queue.create ();
+    cap = capacity;
+    is_closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t x =
+  locked t @@ fun () ->
+  if t.is_closed then `Closed
+  else if Queue.length t.items >= t.cap then `Full
+  else begin
+    Queue.add x t.items;
+    Condition.signal t.not_empty;
+    `Ok
+  end
+
+let pop t =
+  locked t @@ fun () ->
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some x -> Some x
+    | None ->
+        if t.is_closed then None
+        else begin
+          Condition.wait t.not_empty t.mutex;
+          wait ()
+        end
+  in
+  wait ()
+
+let close t =
+  locked t @@ fun () ->
+  if not t.is_closed then begin
+    t.is_closed <- true;
+    Condition.broadcast t.not_empty
+  end
+
+let closed t = locked t @@ fun () -> t.is_closed
+let length t = locked t @@ fun () -> Queue.length t.items
+let capacity t = t.cap

@@ -1,0 +1,31 @@
+(** Bounded multi-producer / multi-consumer request queue — the
+    backpressure point between connection handlers and solver workers.
+
+    {!push} never blocks: a full queue answers [`Full] so the producer
+    can reject the request with a structured error instead of letting an
+    unbounded backlog build up, and a closed (draining) queue answers
+    [`Closed]. {!pop} blocks until an element, or until the queue is
+    closed {e and} drained — consumers therefore finish every request
+    that was accepted before the drain started, which is exactly the
+    graceful-shutdown contract of [mrm2 serve]. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+(** Enqueue without blocking. [`Closed] wins over [`Full]. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue in FIFO order, blocking while the queue is empty and open.
+    [None] once the queue is closed and every accepted element has been
+    consumed. *)
+
+val close : 'a t -> unit
+(** Refuse further {!push}es and wake blocked consumers; already-queued
+    elements are still delivered. Idempotent. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

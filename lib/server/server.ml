@@ -1,0 +1,408 @@
+module Batch = Mrm_batch.Batch
+module Pool = Mrm_engine.Pool
+module Metrics = Mrm_obs.Metrics
+module Trace = Mrm_obs.Trace
+module Diagnostics = Mrm_check.Diagnostics
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  endpoint : endpoint;
+  queue_capacity : int;
+  cache_entries : int;
+  cache_bytes : int;
+  workers : int;
+  pool_jobs : int;
+  default_eps : float;
+  validate : bool;
+}
+
+let default_config endpoint =
+  {
+    endpoint;
+    queue_capacity = 64;
+    cache_entries = 256;
+    cache_bytes = 64 * 1024 * 1024;
+    workers = 1;
+    pool_jobs = 1;
+    default_eps = 1e-9;
+    validate = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let m_connections = Metrics.counter "server.connections"
+let m_requests = Metrics.counter "server.requests"
+let m_parse_errors = Metrics.counter "server.parse_errors"
+let m_validation_failures = Metrics.counter "server.validation_failures"
+let m_rejected = Metrics.counter "server.rejected"
+let m_timeouts = Metrics.counter "server.timeouts"
+let m_cache_hits = Metrics.counter "server.cache_hits"
+let m_cache_misses = Metrics.counter "server.cache_misses"
+let m_cache_evictions = Metrics.counter "server.cache_evictions"
+let m_drains = Metrics.counter "server.drains"
+let g_queue_peak = Metrics.gauge "server.queue_peak"
+let g_cache_entries = Metrics.gauge "server.cache_entries"
+
+(* ------------------------------------------------------------------ *)
+(* Requests in flight: a reply cell each handler blocks on *)
+
+type reply = {
+  rmutex : Mutex.t;
+  rcond : Condition.t;
+  mutable answer : string option;
+}
+
+type work = { request : Protocol.request; reply : reply }
+
+let resolve reply response =
+  Mutex.lock reply.rmutex;
+  reply.answer <- Some response;
+  Condition.signal reply.rcond;
+  Mutex.unlock reply.rmutex
+
+let await reply =
+  Mutex.lock reply.rmutex;
+  while Option.is_none reply.answer do
+    Condition.wait reply.rcond reply.rmutex
+  done;
+  let response = Option.get reply.answer in
+  Mutex.unlock reply.rmutex;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* Handle *)
+
+type conn = { conn_id : int; fd : Unix.file_descr }
+
+type handle = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  listen_addr : Unix.sockaddr;
+  wake_r : Unix.file_descr;  (* self-pipe: drain wakes the acceptor *)
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  queue : work Rqueue.t;
+  cache : Batch.outcome Lru_cache.t;
+  pool : Pool.t option;
+  registry : (int, conn) Hashtbl.t;  (* open connections, under reg_mutex *)
+  reg_mutex : Mutex.t;
+  handler_done : Condition.t;  (* a handler thread exited *)
+  mutable active_handlers : int;  (* under reg_mutex *)
+  mutable next_conn_id : int;  (* under reg_mutex *)
+  mutable acceptor : Thread.t option;
+  mutable worker_threads : Thread.t list;
+}
+
+let listen_address h = h.listen_addr
+
+(* Approximate heap footprint of a cached outcome, for the byte cap. *)
+let outcome_weight (o : Batch.outcome) =
+  let base = 96 + String.length o.Batch.id + String.length o.Batch.digest in
+  match o.Batch.result with
+  | Error message -> base + String.length message
+  | Ok points ->
+      Array.fold_left
+        (fun acc (p : Batch.point) -> acc + 48 + (8 * Array.length p.Batch.values))
+        base points
+
+(* ------------------------------------------------------------------ *)
+(* Request processing *)
+
+(* Runs on a solver worker thread; everything here is sequential per
+   worker, so the per-request span nests correctly (workers = 1) or at
+   worst interleaves emission (workers > 1). *)
+let serve_request h (request : Protocol.request) =
+  let job = request.Protocol.job in
+  let id = job.Batch.id in
+  Trace.with_span "server.request"
+    ~attrs:
+      [ ("id", Trace.Str id); ("digest", Trace.Str request.Protocol.digest) ]
+  @@ fun () ->
+  let expired =
+    match request.Protocol.expires with
+    | Some e -> Unix.gettimeofday () > e
+    | None -> false
+  in
+  if expired then begin
+    Metrics.incr m_timeouts;
+    Trace.add_attr "outcome" (Trace.Str "timeout");
+    Protocol.error_response ~id ~code:"SRV003"
+      "deadline exceeded before the solve started"
+  end
+  else
+    match Lru_cache.find_opt h.cache request.Protocol.digest with
+    | Some stored ->
+        Metrics.incr m_cache_hits;
+        Trace.add_attr "cached" (Trace.Bool true);
+        (* Bit-for-bit the stored outcome — only the id is the caller's. *)
+        Protocol.response_of_outcome ~cached:true { stored with Batch.id = id }
+    | None ->
+        Metrics.incr m_cache_misses;
+        Trace.add_attr "cached" (Trace.Bool false);
+        let outcome = (Batch.run ?pool:h.pool [| job |]).(0) in
+        (match outcome.Batch.result with
+        | Ok _ ->
+            Lru_cache.add h.cache request.Protocol.digest outcome;
+            Metrics.set g_cache_entries
+              (float_of_int (Lru_cache.length h.cache))
+        | Error _ -> ());
+        Protocol.response_of_outcome ~cached:false outcome
+
+let worker_loop h =
+  let rec loop () =
+    match Rqueue.pop h.queue with
+    | None -> ()
+    | Some { request; reply } ->
+        resolve reply (serve_request h request);
+        loop ()
+  in
+  loop ()
+
+(* Runs on the connection-handler thread: parse, validate, enqueue,
+   block until the worker resolves the reply. *)
+let process h ~lineno line =
+  Metrics.incr m_requests;
+  let now = Unix.gettimeofday () in
+  let default_id = Printf.sprintf "req-%d" lineno in
+  match
+    Protocol.parse_request ~default_eps:h.cfg.default_eps ~now ~default_id
+      line
+  with
+  | Error msg ->
+      Metrics.incr m_parse_errors;
+      Protocol.error_response ~id:default_id ~code:"SRV001" msg
+  | Ok request -> begin
+      let id = request.Protocol.job.Batch.id in
+      match
+        if h.cfg.validate then Protocol.validate request.Protocol.job else []
+      with
+      | _ :: _ as report ->
+          Metrics.incr m_validation_failures;
+          Protocol.error_response ~id ~code:"SRV005" ~diagnostics:report
+            (Printf.sprintf "model failed validation: %s"
+               (String.concat ", " (Diagnostics.codes report)))
+      | [] -> begin
+          let reply =
+            { rmutex = Mutex.create (); rcond = Condition.create ();
+              answer = None }
+          in
+          match Rqueue.push h.queue { request; reply } with
+          | `Full ->
+              Metrics.incr m_rejected;
+              Protocol.error_response ~id ~code:"SRV002"
+                (Printf.sprintf
+                   "request queue full (capacity %d) — retry later"
+                   (Rqueue.capacity h.queue))
+          | `Closed ->
+              Protocol.error_response ~id ~code:"SRV004"
+                "server is draining and no longer accepts requests"
+          | `Ok ->
+              Metrics.observe_max g_queue_peak
+                (float_of_int (Rqueue.length h.queue));
+              await reply
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+let unregister h conn =
+  Mutex.lock h.reg_mutex;
+  Hashtbl.remove h.registry conn.conn_id;
+  h.active_handlers <- h.active_handlers - 1;
+  Condition.broadcast h.handler_done;
+  Mutex.unlock h.reg_mutex;
+  (* Off the registry: drain can no longer race this close. *)
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let handle_connection h conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let oc = Unix.out_channel_of_descr conn.fd in
+  let lineno = ref 0 in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        incr lineno;
+        if String.trim line = "" then loop ()
+        else begin
+          let response = process h ~lineno:!lineno (String.trim line) in
+          match
+            output_string oc response;
+            output_char oc '\n';
+            flush oc
+          with
+          | () -> if Atomic.get h.stop then () else loop ()
+          | exception Sys_error _ -> ()
+        end
+  in
+  Fun.protect ~finally:(fun () -> unregister h conn) loop
+
+let spawn_connection h fd =
+  Metrics.incr m_connections;
+  Mutex.lock h.reg_mutex;
+  let conn = { conn_id = h.next_conn_id; fd } in
+  h.next_conn_id <- h.next_conn_id + 1;
+  h.active_handlers <- h.active_handlers + 1;
+  Hashtbl.replace h.registry conn.conn_id conn;
+  Mutex.unlock h.reg_mutex;
+  (* A drain that iterated the registry before we registered would miss
+     this connection; re-check the stop flag so the handler still sees
+     EOF promptly. *)
+  if Atomic.get h.stop then begin
+    try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+    with Unix.Unix_error _ -> ()
+  end;
+  ignore (Thread.create (fun () -> handle_connection h conn) ())
+
+let accept_loop h =
+  let rec loop () =
+    if Atomic.get h.stop then ()
+    else begin
+      match Unix.select [ h.listen_fd; h.wake_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+          if Atomic.get h.stop then ()
+          else if List.memq h.listen_fd ready then begin
+            (match Unix.accept h.listen_fd with
+            | fd, _ -> spawn_connection h fd
+            | exception Unix.Unix_error _ -> ());
+            loop ()
+          end
+          else loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let bind_listen endpoint =
+  match endpoint with
+  | `Unix path ->
+      (* A previous instance that crashed leaves a stale socket file;
+         binding over it is the standard daemon move. *)
+      if Sys.file_exists path then
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (host, port) ->
+      let addr =
+        if host = "" || host = "*" then Unix.inet_addr_any
+        else if host = "localhost" then Unix.inet_addr_loopback
+        else begin
+          match Unix.inet_addr_of_string host with
+          | addr -> addr
+          | exception Failure _ ->
+              (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        end
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let start cfg =
+  if cfg.workers < 1 then
+    invalid_arg (Printf.sprintf "Server.start: workers %d" cfg.workers);
+  let listen_fd = bind_listen cfg.endpoint in
+  let wake_r, wake_w = Unix.pipe () in
+  let h =
+    {
+      cfg;
+      listen_fd;
+      listen_addr = Unix.getsockname listen_fd;
+      wake_r;
+      wake_w;
+      stop = Atomic.make false;
+      queue = Rqueue.create ~capacity:cfg.queue_capacity;
+      cache =
+        Lru_cache.create ~max_entries:cfg.cache_entries
+          ~max_weight:cfg.cache_bytes
+          ~on_evict:(fun _key -> Metrics.incr m_cache_evictions)
+          ~weight:outcome_weight ();
+      pool =
+        (if cfg.pool_jobs > 1 then Some (Pool.create ~jobs:cfg.pool_jobs ())
+         else None);
+      registry = Hashtbl.create 16;
+      reg_mutex = Mutex.create ();
+      handler_done = Condition.create ();
+      active_handlers = 0;
+      next_conn_id = 0;
+      acceptor = None;
+      worker_threads = [];
+    }
+  in
+  h.worker_threads <-
+    List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop h) ());
+  h.acceptor <- Some (Thread.create (fun () -> accept_loop h) ());
+  h
+
+let drain h =
+  if not (Atomic.exchange h.stop true) then begin
+    Metrics.incr m_drains;
+    (* Wake the acceptor's select. *)
+    (try ignore (Unix.write h.wake_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    (* Half-close every open connection: handlers blocked in input_line
+       see EOF and exit; handlers mid-request finish the solve, flush
+       the response, then exit on the stop flag. *)
+    Mutex.lock h.reg_mutex;
+    Hashtbl.iter
+      (fun _ conn ->
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      h.registry;
+    Mutex.unlock h.reg_mutex
+  end
+
+let wait h =
+  (match h.acceptor with Some t -> Thread.join t | None -> ());
+  (* Every accepted request is finished before the queue closes. *)
+  Mutex.lock h.reg_mutex;
+  while h.active_handlers > 0 do
+    Condition.wait h.handler_done h.reg_mutex
+  done;
+  Mutex.unlock h.reg_mutex;
+  Rqueue.close h.queue;
+  List.iter Thread.join h.worker_threads;
+  (match h.pool with Some pool -> Pool.shutdown pool | None -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ h.listen_fd; h.wake_r; h.wake_w ];
+  match h.cfg.endpoint with
+  | `Unix path ->
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | `Tcp _ -> ()
+
+let run ?(on_ready = ignore) cfg =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let signals = [ Sys.sigterm; Sys.sigint ] in
+  (* Block the shutdown signals BEFORE spawning any thread (threads
+     inherit the mask), then consume them from a dedicated watcher: the
+     classic threaded-daemon pattern — no async-signal-unsafe work in a
+     signal handler, no thread left with the default disposition, and
+     repeated signals stay graceful. *)
+  ignore (Thread.sigmask Unix.SIG_BLOCK signals);
+  let h = start cfg in
+  on_ready h.listen_addr;
+  let (_ : Thread.t) =
+    Thread.create
+      (fun () ->
+        let rec watch () =
+          (match Thread.wait_signal signals with
+          | _ -> drain h
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          watch ()
+        in
+        watch ())
+      ()
+  in
+  wait h;
+  0

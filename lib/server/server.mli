@@ -1,0 +1,87 @@
+(** The resident solver service behind [mrm2 serve].
+
+    A server listens on a Unix-domain socket or a TCP address, speaks
+    the {!Protocol} JSONL wire format over any number of concurrent
+    connections, and funnels every request through
+
+    - server-side model validation ({!Protocol.validate}, [SRV005] with
+      MRM0xx diagnostics over the wire instead of a crashed connection),
+    - a bounded {!Rqueue} (explicit [SRV002] backpressure when full),
+    - an {!Lru_cache} of solved outcomes keyed by
+      {!Mrm_batch.Batch.digest} (a repeat job is answered bit-for-bit
+      from the cache without re-solving), and
+    - solver worker threads that run cache misses as one-job
+      {!Mrm_batch.Batch.run}s on the shared {!Mrm_engine.Pool}.
+
+    {2 Threading model}
+
+    One acceptor thread, one handler thread per connection, [workers]
+    solver threads, and [pool_jobs - 1] pool domains shared by all
+    solves ({!Mrm_engine.Pool} serializes concurrent runs, so extra
+    workers overlap cache hits and deadline rejections with a running
+    solve rather than oversubscribing cores). With [workers = 1] the
+    per-request trace spans ([server.request]) nest correctly; more
+    workers keep metrics exact but interleave span emission.
+
+    {2 Graceful drain}
+
+    {!drain} (hooked to SIGTERM/SIGINT by {!run}) stops the acceptor,
+    half-closes idle connections, lets in-flight solves finish, flushes
+    every pending response, and only then lets {!wait} return — the
+    [mrm2 serve] process exits 0.
+
+    {2 Metrics}
+
+    [server.connections], [server.requests], [server.parse_errors],
+    [server.validation_failures], [server.rejected] (queue-full
+    backpressure), [server.timeouts] (deadline expiries),
+    [server.cache_hits], [server.cache_misses],
+    [server.cache_evictions], [server.drains]; gauges
+    [server.queue_peak] (high-watermark queue depth) and
+    [server.cache_entries]. *)
+
+type endpoint = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  endpoint : endpoint;
+  queue_capacity : int;  (** bounded request queue (backpressure point) *)
+  cache_entries : int;  (** LRU result-cache entry cap *)
+  cache_bytes : int;  (** LRU result-cache (approximate) byte cap *)
+  workers : int;  (** solver worker threads *)
+  pool_jobs : int;  (** domains of the shared solve pool (1 = sequential) *)
+  default_eps : float;  (** [eps] for jobs that do not set one *)
+  validate : bool;  (** run {!Protocol.validate} before solving *)
+}
+
+val default_config : endpoint -> config
+(** [queue_capacity = 64], [cache_entries = 256], [cache_bytes =
+    64 MiB], [workers = 1], [pool_jobs = 1], [default_eps = 1e-9],
+    [validate = true]. *)
+
+type handle
+
+val start : config -> handle
+(** Bind, listen and spawn the acceptor/worker threads, then return.
+    @raise Unix.Unix_error when the endpoint cannot be bound (a stale
+    Unix socket path from a previous run is unlinked first). *)
+
+val listen_address : handle -> Unix.sockaddr
+(** The bound address — for [`Tcp (host, 0)] this carries the actual
+    port. *)
+
+val drain : handle -> unit
+(** Begin graceful shutdown (idempotent, callable from any thread or
+    from a signal context): stop accepting, finish accepted work, wake
+    {!wait}. *)
+
+val wait : handle -> unit
+(** Block until the server has fully drained: acceptor and every
+    connection handler joined, queue empty, workers joined, sockets
+    closed (and the Unix socket path unlinked). *)
+
+val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> int
+(** Block SIGTERM/SIGINT into a watcher thread that triggers {!drain}
+    (the mask is installed {e before} {!start} so every spawned thread
+    inherits it), ignore SIGPIPE, {!start}, call [on_ready] with the
+    bound address, and {!wait}. Returns 0 — the [mrm2 serve] exit code
+    for a graceful shutdown. *)

@@ -544,6 +544,100 @@ let test_batch_cli_fixture () =
           expected_value)
     expected
 
+(* Default ids and diagnostics must be numbered by the *original* input
+   line: blank (and whitespace-only) lines advance the counter without
+   producing a job, so "job-N" always points back at line N of the
+   file the user can open. *)
+let test_batch_blank_line_ids () =
+  let out = Filename.temp_file "mrm2_blank" ".out" in
+  let command =
+    Printf.sprintf "%s batch --jobs 1 fixtures/batch_blank_lines.jsonl > %s 2>/dev/null"
+      mrm2 out
+  in
+  let status = Sys.command command in
+  let ids =
+    let ic = open_in out in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line ->
+              let id =
+                Option.bind (Json.member "id" (Json.parse_exn line))
+                  Json.to_str
+                |> Option.value ~default:"?"
+              in
+              loop (id :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  in
+  Sys.remove out;
+  Alcotest.(check int) "exit code" 0 status;
+  (* fixture: jobs on lines 1, 3, 6; lines 2, 4 empty, line 5 spaces *)
+  Alcotest.(check (list string))
+    "ids numbered by original line" [ "job-1"; "job-3"; "named" ] ids
+
+let test_batch_blank_line_error_lineno () =
+  let err = Filename.temp_file "mrm2_blank" ".err" in
+  let command =
+    Printf.sprintf
+      "printf '{\"model\":\"onoff\",\"sigma2\":1,\"size\":4,\"t\":1}\\n\\n\\nnot json\\n' \
+       | %s batch --jobs 1 - > /dev/null 2> %s"
+      mrm2 err
+  in
+  let status = Sys.command command in
+  let err_text =
+    let ic = open_in err in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove err;
+  Alcotest.(check int) "exit code" 1 status;
+  let contains sub s =
+    let n = String.length sub in
+    let rec at i =
+      i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+    in
+    at 0
+  in
+  if not (contains "line 4 (job-4)" err_text) then
+    Alcotest.failf
+      "bad line after blanks must be reported as line 4 (job-4), got: %s"
+      err_text
+
+(* The structural digest must survive a Model_io save -> parse round
+   trip: the writer prints floats with %.17g, so a job rebuilt from the
+   serialized model dedups against the original (this is also what
+   makes the server's cache key stable across clients that ship the
+   same model file). *)
+let test_batch_digest_model_io_round_trip () =
+  let module Model_io = Mrm_core.Model_io in
+  List.iter
+    (fun sigma2 ->
+      let model =
+        Onoff.model { (Onoff.table1 ~sigma2) with sources = 6; capacity = 6. }
+      in
+      let job =
+        {
+          Batch.id = "orig";
+          model;
+          times = [| 0.25; 1.0 |];
+          order = 3;
+          eps = 1e-9;
+          meth = Batch.Randomization;
+        }
+      in
+      let reparsed = (Model_io.parse_string (Model_io.to_string model)).Model_io.model in
+      let job' = { job with Batch.id = "reparsed"; model = reparsed } in
+      Alcotest.(check string)
+        (Printf.sprintf "digest stable across Model_io round trip (sigma2=%g)"
+           sigma2)
+        (Batch.digest job) (Batch.digest job'))
+    [ 1.; 10.; 0.3 ]
+
 (* ------------------------------------------------------------------ *)
 (* Dynamic race checker                                                 *)
 
@@ -706,5 +800,11 @@ let () =
           Alcotest.test_case "outcome JSON round trip" `Quick
             test_batch_outcome_json_round_trip;
           Alcotest.test_case "CLI fixture" `Quick test_batch_cli_fixture;
+          Alcotest.test_case "CLI blank-line ids" `Quick
+            test_batch_blank_line_ids;
+          Alcotest.test_case "CLI blank-line error lineno" `Quick
+            test_batch_blank_line_error_lineno;
+          Alcotest.test_case "digest stable across Model_io" `Quick
+            test_batch_digest_model_io_round_trip;
         ] );
     ]

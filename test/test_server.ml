@@ -1,0 +1,447 @@
+(* Tests for the solver service: the LRU result cache (promotion,
+   entry/weight eviction, statistics), the bounded request queue
+   (backpressure, close semantics, blocking pop), the wire protocol
+   (deadline_s parsing, SRV error rendering, cached flag), and the
+   server itself end to end — in-process Server.start / Client.call /
+   Server.drain on TCP and Unix-domain endpoints, including the
+   cache-hit bit-for-bit guarantee and concurrent clients. *)
+
+module Lru_cache = Mrm_server.Lru_cache
+module Rqueue = Mrm_server.Rqueue
+module Protocol = Mrm_server.Protocol
+module Server = Mrm_server.Server
+module Client = Mrm_server.Client
+module Batch = Mrm_batch.Batch
+module Json = Mrm_util.Json
+module Diagnostics = Mrm_check.Diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache *)
+
+let test_lru_promotion () =
+  let evicted = ref [] in
+  let cache =
+    Lru_cache.create ~max_entries:2
+      ~on_evict:(fun k -> evicted := k :: !evicted)
+      ~weight:(fun _ -> 1) ()
+  in
+  Lru_cache.add cache "a" 1;
+  Lru_cache.add cache "b" 2;
+  (* promote "a": the next eviction must take "b" *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru_cache.find_opt cache "a");
+  Lru_cache.add cache "c" 3;
+  Alcotest.(check (list string)) "b evicted" [ "b" ] !evicted;
+  Alcotest.(check bool) "a survives" true (Lru_cache.mem cache "a");
+  Alcotest.(check bool) "c present" true (Lru_cache.mem cache "c");
+  Alcotest.(check (option int)) "miss b" None (Lru_cache.find_opt cache "b");
+  let stats = Lru_cache.stats cache in
+  Alcotest.(check int) "hits" 1 stats.Lru_cache.hits;
+  Alcotest.(check int) "misses" 1 stats.Lru_cache.misses;
+  Alcotest.(check int) "evictions" 1 stats.Lru_cache.evictions
+
+let test_lru_weight_eviction () =
+  let cache =
+    Lru_cache.create ~max_entries:100 ~max_weight:10
+      ~weight:String.length ()
+  in
+  Lru_cache.add cache "a" "xxxx";
+  (* 4 *)
+  Lru_cache.add cache "b" "yyyy";
+  (* 8 *)
+  Alcotest.(check int) "weight before" 8 (Lru_cache.total_weight cache);
+  Lru_cache.add cache "c" "zzzz";
+  (* 12 > 10: evict LRU "a" *)
+  Alcotest.(check int) "weight after" 8 (Lru_cache.total_weight cache);
+  Alcotest.(check bool) "a evicted by weight" false (Lru_cache.mem cache "a");
+  (* a value heavier than the whole cache is never stored *)
+  Lru_cache.add cache "huge" (String.make 11 'h');
+  Alcotest.(check bool) "oversized never stored" false
+    (Lru_cache.mem cache "huge");
+  Alcotest.(check int) "length" 2 (Lru_cache.length cache)
+
+let test_lru_replace_and_clear () =
+  let cache = Lru_cache.create ~max_entries:2 ~weight:(fun _ -> 1) () in
+  Lru_cache.add cache "a" 1;
+  Lru_cache.add cache "b" 2;
+  (* replacing promotes: "a" becomes MRU, so adding "c" evicts "b" *)
+  Lru_cache.add cache "a" 10;
+  Alcotest.(check int) "replace keeps length" 2 (Lru_cache.length cache);
+  Lru_cache.add cache "c" 3;
+  Alcotest.(check (option int))
+    "replaced value" (Some 10)
+    (Lru_cache.find_opt cache "a");
+  Alcotest.(check bool) "b evicted after replace-promote" false
+    (Lru_cache.mem cache "b");
+  Lru_cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Lru_cache.length cache);
+  Alcotest.(check int) "cleared weight" 0 (Lru_cache.total_weight cache)
+
+let test_lru_invalid_caps () =
+  List.iter
+    (fun f ->
+      match f () with
+      | (_ : int Lru_cache.t) ->
+          Alcotest.fail "cap < 1 must raise Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Lru_cache.create ~max_entries:0 ~weight:(fun _ -> 1) ());
+      (fun () -> Lru_cache.create ~max_weight:0 ~weight:(fun _ -> 1) ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded request queue *)
+
+let test_rqueue_fifo_and_full () =
+  let q = Rqueue.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Rqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Rqueue.push q 1 = `Ok);
+  Alcotest.(check bool) "push 2" true (Rqueue.push q 2 = `Ok);
+  Alcotest.(check bool) "push 3 full" true (Rqueue.push q 3 = `Full);
+  Alcotest.(check int) "length" 2 (Rqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Rqueue.pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Rqueue.pop q)
+
+let test_rqueue_close_semantics () =
+  let q = Rqueue.create ~capacity:1 in
+  Alcotest.(check bool) "push" true (Rqueue.push q 7 = `Ok);
+  Rqueue.close q;
+  Rqueue.close q;
+  (* idempotent *)
+  Alcotest.(check bool) "closed" true (Rqueue.closed q);
+  (* Closed wins over Full *)
+  Alcotest.(check bool) "push after close" true (Rqueue.push q 8 = `Closed);
+  (* already-accepted work is still delivered, then None *)
+  Alcotest.(check (option int)) "drain accepted" (Some 7) (Rqueue.pop q);
+  Alcotest.(check (option int)) "drained" None (Rqueue.pop q)
+
+let test_rqueue_blocking_pop () =
+  let q = Rqueue.create ~capacity:4 in
+  let got = ref None in
+  let consumer = Thread.create (fun () -> got := Rqueue.pop q) () in
+  Thread.delay 0.05;
+  Alcotest.(check (option int)) "consumer still blocked" None !got;
+  Alcotest.(check bool) "push wakes" true (Rqueue.push q 42 = `Ok);
+  Thread.join consumer;
+  Alcotest.(check (option int)) "woken with value" (Some 42) !got;
+  (* close wakes a blocked consumer with None *)
+  let got2 = ref (Some 0) in
+  let consumer2 = Thread.create (fun () -> got2 := Rqueue.pop q) () in
+  Thread.delay 0.05;
+  Rqueue.close q;
+  Thread.join consumer2;
+  Alcotest.(check (option int)) "close wakes with None" None !got2
+
+let test_rqueue_invalid_capacity () =
+  match Rqueue.create ~capacity:0 with
+  | (_ : int Rqueue.t) ->
+      Alcotest.fail "capacity < 1 must raise Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol *)
+
+let job_line ?(id = "j1") ?(t = 1.) ?extra () =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"model\":\"onoff\",\"sigma2\":1,\"size\":4,\"t\":%g,\"order\":2%s}"
+    id t
+    (match extra with None -> "" | Some e -> "," ^ e)
+
+let test_protocol_deadline_parsing () =
+  let now = 1000. in
+  (* no deadline *)
+  (match Protocol.parse_request ~now ~default_id:"d" (job_line ()) with
+  | Ok req ->
+      Alcotest.(check (option (float 0.))) "no deadline" None
+        req.Protocol.expires;
+      Alcotest.(check string) "digest is the cache key"
+        (Batch.digest req.Protocol.job)
+        req.Protocol.digest
+  | Error e -> Alcotest.failf "plain job rejected: %s" e);
+  (* deadline_s anchored at [now] *)
+  (match
+     Protocol.parse_request ~now ~default_id:"d"
+       (job_line ~extra:"\"deadline_s\":2.5" ())
+   with
+  | Ok req ->
+      Alcotest.(check (option (float 1e-9))) "expires = now + s"
+        (Some 1002.5) req.Protocol.expires
+  | Error e -> Alcotest.failf "deadline job rejected: %s" e);
+  (* bad deadlines are SRV001 material *)
+  List.iter
+    (fun bad ->
+      match
+        Protocol.parse_request ~now ~default_id:"d"
+          (job_line ~extra:(Printf.sprintf "\"deadline_s\":%s" bad) ())
+      with
+      | Ok _ -> Alcotest.failf "deadline_s %s must be rejected" bad
+      | Error e ->
+          if not (String.length e > 0) then Alcotest.fail "empty error")
+    [ "0"; "-1"; "\"soon\"" ]
+
+let test_protocol_responses () =
+  let job =
+    match
+      Protocol.parse_request ~now:0. ~default_id:"d" (job_line ~id:"r1" ())
+    with
+    | Ok req -> req.Protocol.job
+    | Error e -> Alcotest.failf "job: %s" e
+  in
+  let outcome = (Batch.run [| job |]).(0) in
+  let fresh = Json.parse_exn (Protocol.response_of_outcome ~cached:false outcome) in
+  let hit = Json.parse_exn (Protocol.response_of_outcome ~cached:true outcome) in
+  Alcotest.(check (option string)) "status ok" (Some "ok")
+    (Protocol.response_status fresh);
+  Alcotest.(check bool) "fresh not cached" false
+    (Protocol.response_cached fresh);
+  Alcotest.(check bool) "hit cached" true (Protocol.response_cached hit);
+  (* the cached flag is the only difference *)
+  let strip_cached = function
+    | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+    | other -> other
+  in
+  Alcotest.(check string) "hit is the stored outcome bit for bit"
+    (Json.to_string (strip_cached fresh))
+    (Json.to_string (strip_cached hit))
+
+let test_protocol_error_response () =
+  let diagnostics =
+    [ Diagnostics.error ~code:"MRM004" "initial distribution does not sum to 1" ]
+  in
+  let line =
+    Protocol.error_response ~id:"bad-1" ~code:"SRV005" ~diagnostics
+      "model failed validation"
+  in
+  let json = Json.parse_exn line in
+  Alcotest.(check (option string)) "status" (Some "error")
+    (Protocol.response_status json);
+  Alcotest.(check (option string)) "code" (Some "SRV005")
+    (Option.bind (Json.member "code" json) Json.to_str);
+  Alcotest.(check (option string)) "id" (Some "bad-1")
+    (Option.bind (Json.member "id" json) Json.to_str);
+  Alcotest.(check bool) "diagnostics embedded" true
+    (Json.member "diagnostics" json <> None);
+  (* every SRV code the server can emit is registered *)
+  Alcotest.(check (list string)) "error table"
+    [ "SRV001"; "SRV002"; "SRV003"; "SRV004"; "SRV005" ]
+    (List.map fst Protocol.error_table)
+
+let test_protocol_validate_clean_model () =
+  match Protocol.parse_request ~now:0. ~default_id:"d" (job_line ()) with
+  | Error e -> Alcotest.failf "job: %s" e
+  | Ok req ->
+      Alcotest.(check (list string)) "built-in model validates" []
+        (Diagnostics.codes (Protocol.validate req.Protocol.job))
+
+(* ------------------------------------------------------------------ *)
+(* Server end to end (in-process) *)
+
+let with_input_lines lines f =
+  let path = Filename.temp_file "mrm2_server_in" ".jsonl" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+
+let with_server config f =
+  let handle = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain handle;
+      Server.wait handle)
+    (fun () -> f handle)
+
+let tcp_endpoint handle =
+  match Server.listen_address handle with
+  | Unix.ADDR_INET (_, port) -> `Tcp ("127.0.0.1", port)
+  | Unix.ADDR_UNIX path -> `Unix path
+
+let test_server_cache_and_deadline_tcp () =
+  let config = Server.default_config (`Tcp ("127.0.0.1", 0)) in
+  with_server config @@ fun handle ->
+  let responses = ref [] in
+  let summary =
+    with_input_lines
+      [
+        job_line ~id:"first" ();
+        job_line ~id:"again" ();
+        (* same digest, new id *)
+        job_line ~id:"late" ~extra:"\"deadline_s\":1e-9" ();
+      ]
+      (fun ic ->
+        Client.call (tcp_endpoint handle) ~input:ic ~on_response:(fun l ->
+            responses := l :: !responses))
+  in
+  let responses = List.rev_map Json.parse_exn !responses in
+  Alcotest.(check int) "sent" 3 summary.Client.sent;
+  Alcotest.(check int) "one cache hit" 1 summary.Client.cache_hits;
+  Alcotest.(check int) "deadline rejected" 1 summary.Client.errors;
+  match responses with
+  | [ fresh; hit; late ] ->
+      Alcotest.(check (option string)) "fresh ok" (Some "ok")
+        (Protocol.response_status fresh);
+      Alcotest.(check bool) "fresh not cached" false
+        (Protocol.response_cached fresh);
+      Alcotest.(check bool) "repeat served from cache" true
+        (Protocol.response_cached hit);
+      (* bit-for-bit: identical except the requester's id and the flag *)
+      let strip json =
+        match json with
+        | Json.Obj fields ->
+            Json.Obj
+              (List.filter (fun (k, _) -> k <> "id" && k <> "cached") fields)
+        | other -> other
+      in
+      Alcotest.(check string) "cache hit bit-for-bit"
+        (Json.to_string (strip fresh))
+        (Json.to_string (strip hit));
+      Alcotest.(check (option string)) "hit keeps requester id"
+        (Some "again")
+        (Option.bind (Json.member "id" hit) Json.to_str);
+      Alcotest.(check (option string)) "expired deadline -> SRV003"
+        (Some "SRV003")
+        (Option.bind (Json.member "code" late) Json.to_str)
+  | other -> Alcotest.failf "expected 3 responses, got %d" (List.length other)
+
+let test_server_malformed_line_keeps_connection () =
+  let config = Server.default_config (`Tcp ("127.0.0.1", 0)) in
+  with_server config @@ fun handle ->
+  let responses = ref [] in
+  let summary =
+    with_input_lines
+      [ "this is not json"; job_line ~id:"after-garbage" () ]
+      (fun ic ->
+        Client.call (tcp_endpoint handle) ~input:ic ~on_response:(fun l ->
+            responses := l :: !responses))
+  in
+  Alcotest.(check int) "both answered" 2 summary.Client.sent;
+  Alcotest.(check int) "one error" 1 summary.Client.errors;
+  match List.rev_map Json.parse_exn !responses with
+  | [ bad; good ] ->
+      Alcotest.(check (option string)) "SRV001" (Some "SRV001")
+        (Option.bind (Json.member "code" bad) Json.to_str);
+      Alcotest.(check (option string)) "connection survives" (Some "ok")
+        (Protocol.response_status good)
+  | _ -> Alcotest.fail "expected 2 responses"
+
+let test_server_unix_socket_lifecycle () =
+  let path = Filename.temp_file "mrm2_serve" ".sock" in
+  Sys.remove path;
+  let config = Server.default_config (`Unix path) in
+  let handle = Server.start config in
+  Alcotest.(check bool) "socket bound" true (Sys.file_exists path);
+  let summary =
+    with_input_lines
+      [ job_line ~id:"u1" () ]
+      (fun ic ->
+        Client.call (`Unix path) ~input:ic ~on_response:(fun _ -> ()))
+  in
+  Alcotest.(check int) "answered over unix socket" 1 summary.Client.sent;
+  Alcotest.(check int) "no errors" 0 summary.Client.errors;
+  Server.drain handle;
+  Server.drain handle;
+  (* idempotent *)
+  Server.wait handle;
+  Alcotest.(check bool) "socket path unlinked on drain" false
+    (Sys.file_exists path)
+
+let test_server_concurrent_clients () =
+  let config =
+    { (Server.default_config (`Tcp ("127.0.0.1", 0))) with
+      Server.workers = 2 }
+  in
+  with_server config @@ fun handle ->
+  let endpoint = tcp_endpoint handle in
+  let lines i =
+    [ job_line ~id:(Printf.sprintf "c%d-a" i) ~t:(0.5 +. float_of_int i) ();
+      job_line ~id:(Printf.sprintf "c%d-b" i) ~t:(1.5 +. float_of_int i) () ]
+  in
+  let run i =
+    let responses = ref [] in
+    let summary =
+      with_input_lines (lines i) (fun ic ->
+          Client.call endpoint ~input:ic ~on_response:(fun l ->
+              responses := l :: !responses))
+    in
+    (summary, List.rev !responses)
+  in
+  let results = Array.make 2 None in
+  let threads =
+    List.init 2 (fun i ->
+        Thread.create (fun () -> results.(i) <- Some (run i)) ())
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i result ->
+      match result with
+      | None -> Alcotest.failf "client %d never finished" i
+      | Some (summary, responses) ->
+          Alcotest.(check int)
+            (Printf.sprintf "client %d: complete JSONL" i)
+            2 summary.Client.sent;
+          Alcotest.(check int)
+            (Printf.sprintf "client %d: no errors" i)
+            0 summary.Client.errors;
+          List.iteri
+            (fun j line ->
+              let json = Json.parse_exn line in
+              Alcotest.(check (option string))
+                (Printf.sprintf "client %d response %d well-formed" i j)
+                (Some "ok")
+                (Protocol.response_status json);
+              Alcotest.(check (option string))
+                (Printf.sprintf "client %d response %d in order" i j)
+                (Some
+                   (Printf.sprintf "c%d-%s" i (if j = 0 then "a" else "b")))
+                (Option.bind (Json.member "id" json) Json.to_str))
+            responses)
+    results
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "lru-cache",
+        [
+          Alcotest.test_case "promotion + stats" `Quick test_lru_promotion;
+          Alcotest.test_case "weight eviction" `Quick
+            test_lru_weight_eviction;
+          Alcotest.test_case "replace + clear" `Quick
+            test_lru_replace_and_clear;
+          Alcotest.test_case "invalid caps" `Quick test_lru_invalid_caps;
+        ] );
+      ( "rqueue",
+        [
+          Alcotest.test_case "fifo + backpressure" `Quick
+            test_rqueue_fifo_and_full;
+          Alcotest.test_case "close semantics" `Quick
+            test_rqueue_close_semantics;
+          Alcotest.test_case "blocking pop" `Quick test_rqueue_blocking_pop;
+          Alcotest.test_case "invalid capacity" `Quick
+            test_rqueue_invalid_capacity;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "deadline_s parsing" `Quick
+            test_protocol_deadline_parsing;
+          Alcotest.test_case "cached flag" `Quick test_protocol_responses;
+          Alcotest.test_case "error responses" `Quick
+            test_protocol_error_response;
+          Alcotest.test_case "validate clean model" `Quick
+            test_protocol_validate_clean_model;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache hit + deadline over TCP" `Quick
+            test_server_cache_and_deadline_tcp;
+          Alcotest.test_case "malformed line keeps connection" `Quick
+            test_server_malformed_line_keeps_connection;
+          Alcotest.test_case "unix socket lifecycle" `Quick
+            test_server_unix_socket_lifecycle;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_server_concurrent_clients;
+        ] );
+    ]
