@@ -667,7 +667,16 @@ let lint_src_cmd =
             "Exit non-zero on fresh warnings, not just fresh errors \
              (baselined findings never fail).")
   in
-  let run paths baseline_path update strict format =
+  let blocking_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "blocking" ] ~docv:"NAME"
+          ~doc:
+            "Treat calls to $(docv) (module-qualified, e.g. \
+             $(b,Db.query)) as blocking for SRC011, in addition to the \
+             built-in frontier. Repeatable.")
+  in
+  let run paths baseline_path update strict format jobs blocking =
     let paths =
       match paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
     in
@@ -678,13 +687,39 @@ let lint_src_cmd =
       2
     end
     else begin
-      let findings = Lint.lint_paths paths in
+      let t0 = Unix.gettimeofday () in
+      let files = Lint.discover paths in
+      (* The lexer's global state makes parsing sequential; the
+         per-file rules are pure parsetree functions, so they fan out
+         across the pool. The whole-program pass stays on the caller. *)
+      let parsed = Lint.parse_files files in
+      let per_file =
+        if jobs > 1 then
+          Mrm_engine.Pool.with_pool ~jobs (fun pool ->
+              Mrm_engine.Pool.map_array pool Lint.analyze_parsed
+                (Array.of_list parsed))
+          |> Array.to_list |> List.concat
+        else List.concat_map Lint.analyze_parsed parsed
+      in
+      let findings =
+        List.sort Lint.compare_finding
+          (per_file @ Lint.interprocedural ~extra_blocking:blocking parsed)
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
       if update then begin
         match baseline_path with
         | None ->
             prerr_endline "mrm2 lint-src: --update-baseline needs --baseline";
             2
         | Some path ->
+            let previous =
+              if Sys.file_exists path then
+                match Baseline.load path with Ok b -> b | Error _ -> []
+              else []
+            in
+            let { Baseline.fresh; waived; stale } =
+              Baseline.apply previous findings
+            in
             Baseline.save path (Baseline.of_findings findings);
             Printf.printf "baseline: %d finding(s) across %d file(s) -> %s\n"
               (List.length findings)
@@ -692,6 +727,10 @@ let lint_src_cmd =
                  (List.sort_uniq compare
                     (List.map (fun f -> f.Lint.file) findings)))
               path;
+            Printf.printf
+              "baseline delta: %d newly waived, %d carried over, %d stale \
+               allowance(s) dropped\n"
+              (List.length fresh) (List.length waived) (List.length stale);
             0
       end
       else begin
@@ -723,7 +762,10 @@ let lint_src_cmd =
                   "note: stale baseline allowance %s %s %d (finding gone — \
                    regenerate with --update-baseline)@."
                   e.code e.file e.count)
-              stale
+              stale;
+            if strict then
+              Format.printf "lint-src: %d file(s) in %.2fs (%d job(s))@."
+                (List.length files) elapsed jobs
         | Sexp -> print_endline (Diagnostics.report_to_sexp report)
         | Json -> print_endline (Diagnostics.report_to_json report)
         | Github ->
@@ -738,7 +780,9 @@ let lint_src_cmd =
   in
   let term =
     Term.(
-      const run $ paths $ baseline_arg $ update_arg $ strict $ lint_format_arg)
+      const run $ paths $ baseline_arg $ update_arg $ strict $ lint_format_arg
+      $ jobs_arg ~default:sequential_default
+      $ blocking_arg)
   in
   Cmd.v
     (Cmd.info "lint-src"
@@ -746,9 +790,12 @@ let lint_src_cmd =
          "Statically analyze the project's own OCaml sources (SRC0xx \
           diagnostics): float equality, polymorphic comparison in hot \
           paths, unsafe escapes, exception swallowing, non-atomic shared \
-          writes in parallel jobs, and stray terminal output. Deliberate \
-          exceptions are waived with (* mrm:ignore SRC001 -- reason *) \
-          comments or a checked-in baseline.")
+          writes in parallel jobs, stray terminal output, and the \
+          interprocedural concurrency rules (lock leaks, blocking under \
+          a lock, lock-order cycles, unguarded shared state, condition \
+          discipline). Deliberate exceptions are waived with (* \
+          mrm:ignore SRC001 -- reason *) comments or a checked-in \
+          baseline.")
     term
 
 (* ------------------------------------------------------------------ *)

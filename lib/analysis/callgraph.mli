@@ -1,0 +1,31 @@
+(** Module-qualified call graph over the analyzed tree, with the
+    configurable blocking frontier used by SRC011.
+
+    Resolution is syntactic: a qualified callee matches by its last
+    two dot-components (so [Mrm_engine.Pool.run] finds ["Pool.run"]);
+    an unqualified callee resolves in its own module first, then
+    program-wide when the bare name is unambiguous. *)
+
+type t
+
+val default_blocking : string list
+(** Calls considered blocking: [Unix.read]/[write]/[select]/[accept]/
+    [sleepf], [Thread.delay]/[join]/[wait_signal], [Condition.wait],
+    [Rqueue.pop], the solver entry points ([Randomization.moments*],
+    [Batch.run]) and the pool barriers. *)
+
+val build : Cfg.t list -> t
+
+val resolve : t -> current_module:string -> string -> Cfg.t option
+(** Resolve a callee as written to a function graph of the program,
+    or [None] for external / unresolvable calls. *)
+
+val is_blocking : ?frontier:string list -> string -> bool
+(** Whether a callee as written is on the blocking frontier
+    ([frontier] defaults to {!default_blocking}; pass a larger list to
+    extend it). *)
+
+val callees : Cfg.t -> (string * Cfg.node) list
+(** Every [Call] node of one graph, with the callee as written. *)
+
+val all : t -> Cfg.t list

@@ -55,6 +55,26 @@ let rule_table =
       Diagnostics.Warning,
       "direct terminal output from library code (everything goes through \
        sinks)" );
+    ( "SRC010",
+      Diagnostics.Error,
+      "lock acquired but not released on some path (exception paths \
+       included); wrap the critical section in Mutex.protect" );
+    ( "SRC011",
+      Diagnostics.Warning,
+      "blocking call (Unix I/O, Thread.join, Condition.wait, queue pop, \
+       solver entry) reachable while a mutex is held" );
+    ( "SRC012",
+      Diagnostics.Error,
+      "lock-order cycle across the program-wide acquisition graph \
+       (deadlock potential)" );
+    ( "SRC013",
+      Diagnostics.Error,
+      "module-level mutable state written from a thread closure without \
+       an Atomic or a held lock" );
+    ( "SRC014",
+      Diagnostics.Warning,
+      "Condition.wait without a re-check loop, or signal/broadcast \
+       without the associated mutex held" );
     ("SRC090", Diagnostics.Error, "file does not parse");
   ]
 
@@ -542,45 +562,146 @@ let iterator st =
   in
   { default with expr }
 
-let lint_source ~path contents =
-  let st = { path; cls = classify path; findings = []; job_locals = None } in
+(* ------------------------------------------------------------------ *)
+(* Staged pipeline
+
+   Parsing runs sequentially (the compiler-libs lexer keeps global
+   state), but the per-file syntactic pass is a pure function of the
+   parsetree, so callers may fan [analyze_parsed] out across a domain
+   pool. The interprocedural pass (Cfg + Callgraph + Lockcheck) then
+   runs once over every implementation in the program. *)
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type parsed = {
+  p_path : string;
+  p_contents : string;
+  p_ast : ast option;  (* None: did not parse; see p_parse_findings *)
+  p_parse_findings : finding list;
+}
+
+let parse_source ~path contents =
   let lexbuf = Lexing.from_string contents in
   Lexing.set_filename lexbuf path;
-  let parse () =
-    if Filename.check_suffix path ".mli" then begin
-      let sg = Parse.interface lexbuf in
-      let it = iterator st in
-      it.signature it sg
-    end
-    else begin
-      let str = Parse.implementation lexbuf in
-      let it = iterator st in
-      it.structure it str
-    end
+  let error loc context =
+    let pos = loc.Location.loc_start in
+    {
+      p_path = path;
+      p_contents = contents;
+      p_ast = None;
+      p_parse_findings =
+        [
+          {
+            code = "SRC090";
+            severity = severity_of "SRC090";
+            file = path;
+            line = pos.Lexing.pos_lnum;
+            col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+            message = "file does not parse";
+            context;
+          };
+        ];
+    }
   in
-  (try parse () with
-  | Syntaxerr.Error _ as exn ->
-      let loc =
-        match exn with
-        | Syntaxerr.Error err -> Syntaxerr.location_of_error err
-        | _ -> Location.none
-      in
-      report st ~loc ~code:"SRC090" "file does not parse"
-  | exn ->
-      report st ~loc:Location.none ~code:"SRC090"
-        ~context:[ ("exn", Printexc.to_string exn) ]
-        "file does not parse");
-  let suppressions = Suppress.scan contents in
-  List.filter
-    (fun f ->
-      not (Suppress.suppressed suppressions ~code:f.code ~line:f.line))
-    (List.sort compare_finding st.findings)
+  try
+    let ast =
+      if Filename.check_suffix path ".mli" then
+        Intf (Parse.interface lexbuf)
+      else Impl (Parse.implementation lexbuf)
+    in
+    { p_path = path; p_contents = contents; p_ast = Some ast;
+      p_parse_findings = [] }
+  with
+  | Syntaxerr.Error err -> error (Syntaxerr.location_of_error err) []
+  | exn -> error Location.none [ ("exn", Printexc.to_string exn) ]
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_files paths =
+  List.map (fun path -> parse_source ~path (read_file path)) paths
+
+let apply_suppressions ~contents findings =
+  let suppressions = Suppress.scan contents in
+  List.filter
+    (fun f ->
+      not (Suppress.suppressed suppressions ~code:f.code ~line:f.line))
+    findings
+
+let analyze_parsed p =
+  let st =
+    { path = p.p_path; cls = classify p.p_path; findings = [];
+      job_locals = None }
+  in
+  (match p.p_ast with
+  | Some (Impl str) ->
+      let it = iterator st in
+      it.structure it str
+  | Some (Intf sg) ->
+      let it = iterator st in
+      it.signature it sg
+  | None -> ());
+  apply_suppressions ~contents:p.p_contents
+    (List.sort compare_finding (p.p_parse_findings @ st.findings))
+
+let interprocedural ?(extra_blocking = []) parsed =
+  let impls =
+    List.filter_map
+      (fun p ->
+        match p.p_ast with
+        | Some (Impl str) -> Some (p, str)
+        | _ -> None)
+      parsed
+  in
+  let all_wrappers =
+    List.concat_map
+      (fun (p, str) ->
+        let module_name = Cfg.module_of_path p.p_path in
+        (Cfg.scan_module ~module_name str).Cfg.wrappers)
+      impls
+  in
+  let cfgs =
+    List.concat_map
+      (fun (p, str) ->
+        snd (Cfg.build ~file:p.p_path ~all_wrappers str))
+      impls
+  in
+  let contents_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace tbl p.p_path p.p_contents) parsed;
+    fun path -> Hashtbl.find_opt tbl path
+  in
+  Lockcheck.check ~frontier:(Callgraph.default_blocking @ extra_blocking) cfgs
+  |> List.map (fun (f : Lockcheck.finding) ->
+         {
+           code = f.Lockcheck.code;
+           severity = severity_of f.Lockcheck.code;
+           file = f.Lockcheck.file;
+           line = f.Lockcheck.line;
+           col = f.Lockcheck.col;
+           message = f.Lockcheck.message;
+           context = f.Lockcheck.context;
+         })
+  |> List.filter (fun f ->
+         match contents_of f.file with
+         | Some contents -> begin
+             match apply_suppressions ~contents [ f ] with
+             | [] -> false
+             | _ -> true
+           end
+         | None -> true)
+  |> List.sort compare_finding
+
+let lint_parsed ?extra_blocking parsed =
+  List.sort compare_finding
+    (List.concat_map analyze_parsed parsed
+    @ interprocedural ?extra_blocking parsed)
+
+let lint_source ~path contents =
+  lint_parsed [ parse_source ~path contents ]
 
 let lint_file path = lint_source ~path (read_file path)
 
@@ -613,6 +734,5 @@ let discover paths =
     paths;
   List.rev !acc
 
-let lint_paths paths =
-  List.sort compare_finding
-    (List.concat_map lint_file (discover paths))
+let lint_paths ?extra_blocking paths =
+  lint_parsed ?extra_blocking (parse_files (discover paths))

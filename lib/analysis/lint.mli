@@ -28,7 +28,32 @@
       convention). [Atomic.*] operations never match.
     - [SRC006] (warning) — [print_*]/[Printf.printf]/[Format.printf]
       and friends in library code; output must go through sinks.
-    - [SRC090] (error) — the file does not parse. *)
+    - [SRC010] (error) — a mutex acquired in a function may still be
+      held when it returns or raises (exception paths included);
+      interprocedural lock-set dataflow over {!Cfg}, fix hint:
+      [Mutex.protect].
+    - [SRC011] (warning) — a blocking call (Unix I/O, [Thread.join],
+      [Condition.wait], [Rqueue.pop], solver entry points — see
+      {!Callgraph.default_blocking}) reachable while a mutex is held,
+      one level through the call graph.
+    - [SRC012] (error) — lock-order cycle across the program-wide
+      acquisition graph: deadlock potential.
+    - [SRC013] (error) — module-level mutable state ([ref],
+      [Hashtbl], [Queue], [Buffer]) written from a thread-root
+      closure ([Thread.create], [Domain.spawn], pool runners) — or a
+      function it calls directly — without an Atomic or a held lock;
+      the interprocedural generalization of SRC005.
+    - [SRC014] (warning) — [Condition.wait] not wrapped in a re-check
+      loop ([while]/recursive), or [Condition.signal]/[broadcast]
+      without the associated mutex held.
+    - [SRC090] (error) — the file does not parse.
+
+    SRC010–SRC014 come from {!Lockcheck} and run over the whole
+    analyzed program at once ({!interprocedural}); the per-file rules
+    are pure parsetree functions ({!analyze_parsed}) that callers may
+    fan out across domains after the sequential parse stage
+    ({!parse_files} — the compiler-libs lexer keeps global state, so
+    parsing itself must not run concurrently). *)
 
 type finding = {
   code : string;
@@ -50,6 +75,40 @@ val to_diagnostic : finding -> Mrm_check.Diagnostics.t
 val rule_table : (string * Mrm_check.Diagnostics.severity * string) list
 (** (code, severity, one-line description) registry. *)
 
+(** {2 Staged pipeline} *)
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type parsed = {
+  p_path : string;
+  p_contents : string;
+  p_ast : ast option;  (** [None] when the file does not parse *)
+  p_parse_findings : finding list;  (** SRC090, when [p_ast = None] *)
+}
+
+val parse_source : path:string -> string -> parsed
+(** Parse one source text. Not thread-safe (compiler-libs lexer
+    state); call sequentially. *)
+
+val parse_files : string list -> parsed list
+(** {!parse_source} over each file's contents, sequentially. *)
+
+val analyze_parsed : parsed -> finding list
+(** The per-file syntactic rules (SRC001–SRC006, SRC090) with inline
+    suppressions applied, sorted. Pure function of the parsetree —
+    safe to run concurrently across files. *)
+
+val interprocedural : ?extra_blocking:string list -> parsed list -> finding list
+(** The whole-program pass: builds {!Cfg} graphs for every
+    implementation (sharing lock-wrapper summaries across modules),
+    then runs {!Lockcheck} — SRC010–SRC014 — with inline suppressions
+    applied, sorted. [extra_blocking] extends
+    {!Callgraph.default_blocking}. *)
+
+val lint_parsed : ?extra_blocking:string list -> parsed list -> finding list
+(** [analyze_parsed] on each file plus [interprocedural] over the
+    program, merged and sorted. *)
+
 val lint_source : path:string -> string -> finding list
 (** Analyze one source text. [path] determines the rule set ([.mli] vs
     [.ml]; hot-path / library / parallel-host classification by
@@ -65,5 +124,5 @@ val discover : string list -> string list
     recursively and skipping [_build], [fixtures], [figures],
     [related] and dot-directories. Sorted traversal, stable output. *)
 
-val lint_paths : string list -> finding list
-(** {!discover} then {!lint_file}, merged and sorted. *)
+val lint_paths : ?extra_blocking:string list -> string list -> finding list
+(** {!discover}, {!parse_files}, then {!lint_parsed}. *)

@@ -1,0 +1,409 @@
+(* Forward lock-set dataflow on the per-function CFGs, propagated one
+   level through the call graph.
+
+   The analysis is a may-analysis with union merge: a lock in a node's
+   in-set means some path reaches the node with the lock held. That is
+   exactly the right polarity for every rule here — a lock held at
+   [Exit]/[Exn_exit] on some path is a leak (SRC010), a blocking call
+   possibly under a lock is a stall (SRC011), and so on. Locks are
+   syntactic names, so the usual caveats apply (DESIGN.md §9): aliased
+   mutexes, first-class functions and calls deeper than one level are
+   outside the model. *)
+
+module S = Set.Make (String)
+
+type finding = {
+  code : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  context : (string * string) list;
+}
+
+type analyzed = {
+  cfg : Cfg.t;
+  ins : S.t array;  (* in-set per node id *)
+  reached : bool array;
+}
+
+let analyze (cfg : Cfg.t) =
+  let n = Array.length cfg.Cfg.nodes in
+  let ins = Array.make n S.empty in
+  let reached = Array.make n false in
+  let transfer i s =
+    match cfg.Cfg.nodes.(i).Cfg.event with
+    | Cfg.Lock l -> S.add l s
+    | Cfg.Unlock l -> S.remove l s
+    | _ -> s
+  in
+  let queue = Queue.create () in
+  reached.(0) <- true;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    let out = transfer i ins.(i) in
+    List.iter
+      (fun (succ, _) ->
+        let updated = S.union ins.(succ) out in
+        if (not reached.(succ)) || not (S.equal updated ins.(succ)) then begin
+          ins.(succ) <- (if reached.(succ) then updated else out);
+          reached.(succ) <- true;
+          Queue.add succ queue
+        end)
+      cfg.Cfg.succs.(i)
+  done;
+  { cfg; ins; reached }
+
+(* one-level summary of a function, computed from its own dataflow *)
+type summary = {
+  blocking : (string * Cfg.node) list;  (* blocking calls it contains *)
+  acquires : Cfg.lock list;
+  unguarded_writes : (string * Cfg.node) list;
+}
+
+let summarize ~frontier a =
+  let blocking = ref [] and acquires = ref [] and writes = ref [] in
+  Array.iteri
+    (fun i (node : Cfg.node) ->
+      if a.reached.(i) then
+        match node.Cfg.event with
+        | Cfg.Call callee when Callgraph.is_blocking ~frontier callee ->
+            blocking := (callee, node) :: !blocking
+        | Cfg.Cond_wait _ -> blocking := ("Condition.wait", node) :: !blocking
+        | Cfg.Lock l -> acquires := l :: !acquires
+        | Cfg.Write { target; _ } when S.is_empty a.ins.(i) ->
+            writes := (target, node) :: !writes
+        | _ -> ())
+    a.cfg.Cfg.nodes;
+  {
+    blocking = List.rev !blocking;
+    acquires = List.sort_uniq compare !acquires;
+    unguarded_writes = List.rev !writes;
+  }
+
+let module_of_name name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let finding ~(cfg : Cfg.t) ~(node : Cfg.node) ~code ?(context = []) message =
+  {
+    code;
+    file = cfg.Cfg.file;
+    line = node.Cfg.line;
+    col = node.Cfg.col;
+    message;
+    context = ("function", cfg.Cfg.name) :: context;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lock-order graph and cycle detection (SRC012) *)
+
+type order_edge = {
+  held : Cfg.lock;
+  acquired : Cfg.lock;
+  o_file : string;
+  o_line : int;
+  o_col : int;
+  o_fn : string;
+}
+
+(* Tarjan SCC over the lock graph; every SCC with >1 lock (or a
+   self-loop) is a deadlock-capable cycle. *)
+let cycles edges =
+  let succ = Hashtbl.create 16 in
+  let locks = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace locks e.held ();
+      Hashtbl.replace locks e.acquired ();
+      Hashtbl.replace succ e.held
+        (e.acquired
+        :: Option.value ~default:[] (Hashtbl.find_opt succ e.held)))
+    edges;
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Option.value ~default:[] (Hashtbl.find_opt succ v));
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  Hashtbl.iter (fun v () -> if not (Hashtbl.mem index v) then strongconnect v)
+    locks;
+  let self_loop v =
+    List.mem v (Option.value ~default:[] (Hashtbl.find_opt succ v))
+  in
+  List.filter
+    (fun scc -> List.length scc > 1 || List.exists self_loop scc)
+    !sccs
+  |> List.map (List.sort compare)
+
+(* ------------------------------------------------------------------ *)
+(* Check *)
+
+let check ?(frontier = Callgraph.default_blocking) cfgs =
+  let analyzed = List.map analyze cfgs in
+  let cg = Callgraph.build cfgs in
+  let summaries = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace summaries a.cfg.Cfg.name (summarize ~frontier a))
+    analyzed;
+  let summary_of (cfg : Cfg.t) = Hashtbl.find_opt summaries cfg.Cfg.name in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let order_edges = ref [] in
+  let add_order_edges (cfg : Cfg.t) (node : Cfg.node) held acquired_locks =
+    S.iter
+      (fun h ->
+        List.iter
+          (fun acq ->
+            if h <> acq then
+              order_edges :=
+                {
+                  held = h;
+                  acquired = acq;
+                  o_file = cfg.Cfg.file;
+                  o_line = node.Cfg.line;
+                  o_col = node.Cfg.col;
+                  o_fn = cfg.Cfg.name;
+                }
+                :: !order_edges)
+          acquired_locks)
+      held
+  in
+  List.iter
+    (fun a ->
+      let cfg = a.cfg in
+      let current_module = module_of_name cfg.Cfg.name in
+      (* --- SRC010: lock held at Exit / Exn_exit on some path --- *)
+      let leaked = Hashtbl.create 4 in
+      Array.iteri
+        (fun i (node : Cfg.node) ->
+          if a.reached.(i) then
+            match node.Cfg.event with
+            | Cfg.Exit | Cfg.Exn_exit ->
+                S.iter
+                  (fun l ->
+                    let via_exn = node.Cfg.event = Cfg.Exn_exit in
+                    match Hashtbl.find_opt leaked l with
+                    | Some prior_exn ->
+                        Hashtbl.replace leaked l (prior_exn || via_exn)
+                    | None -> Hashtbl.replace leaked l via_exn)
+                  a.ins.(i)
+            | _ -> ())
+        cfg.Cfg.nodes;
+      Hashtbl.iter
+        (fun l via_exn ->
+          (* report at the acquisition site *)
+          let lock_node =
+            Array.fold_left
+              (fun acc (n : Cfg.node) ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if n.Cfg.event = Cfg.Lock l && a.reached.(n.Cfg.id) then
+                      Some n
+                    else None)
+              None cfg.Cfg.nodes
+          in
+          match lock_node with
+          | Some node ->
+              emit
+                (finding ~cfg ~node ~code:"SRC010"
+                   ~context:[ ("lock", l) ]
+                   (Printf.sprintf
+                      "%s is not released on %s path out of %s; wrap the \
+                       critical section in Mutex.protect (or Fun.protect \
+                       ~finally)"
+                      l
+                      (if via_exn then "an exception" else "some")
+                      cfg.Cfg.name))
+          | None -> ())
+        leaked;
+      (* --- per-node rules --- *)
+      Array.iteri
+        (fun i (node : Cfg.node) ->
+          if a.reached.(i) then
+            let held = a.ins.(i) in
+            match node.Cfg.event with
+            | Cfg.Call callee ->
+                let resolved =
+                  Callgraph.resolve cg ~current_module callee
+                in
+                (* SRC011: blocking while a mutex is held *)
+                if not (S.is_empty held) then begin
+                  if Callgraph.is_blocking ~frontier callee then
+                    emit
+                      (finding ~cfg ~node ~code:"SRC011"
+                         ~context:
+                           [ ("callee", callee);
+                             ("held", String.concat " " (S.elements held)) ]
+                         (Printf.sprintf
+                            "blocking call %s while holding %s; move it \
+                             outside the critical section"
+                            callee
+                            (String.concat ", " (S.elements held))))
+                  else
+                    match Option.bind resolved summary_of with
+                    | Some s when s.blocking <> [] ->
+                        let via, _ = List.hd s.blocking in
+                        emit
+                          (finding ~cfg ~node ~code:"SRC011"
+                             ~context:
+                               [ ("callee", callee); ("via", via);
+                                 ("held",
+                                  String.concat " " (S.elements held)) ]
+                             (Printf.sprintf
+                                "call to %s may block (it reaches %s) while \
+                                 holding %s; move it outside the critical \
+                                 section"
+                                callee via
+                                (String.concat ", " (S.elements held))))
+                    | _ -> ()
+                end;
+                (* SRC012 edges via one-level callee acquisitions *)
+                if not (S.is_empty held) then begin
+                  match Option.bind resolved summary_of with
+                  | Some s when s.acquires <> [] ->
+                      add_order_edges cfg node held s.acquires
+                  | _ -> ()
+                end;
+                (* SRC013 one level into the callee from a thread root *)
+                if
+                  cfg.Cfg.is_thread_root && S.is_empty held
+                then begin
+                  match Option.bind resolved summary_of with
+                  | Some s when s.unguarded_writes <> [] ->
+                      let target, _ = List.hd s.unguarded_writes in
+                      emit
+                        (finding ~cfg ~node ~code:"SRC013"
+                           ~context:
+                             [ ("callee", callee); ("target", target) ]
+                           (Printf.sprintf
+                              "thread entry calls %s, which writes \
+                               module-level mutable state (%s) without an \
+                               Atomic or a held lock"
+                              callee target))
+                  | _ -> ()
+                end
+            | Cfg.Lock l -> add_order_edges cfg node held [ l ]
+            | Cfg.Cond_wait { cond; mutex; looped } ->
+                (* SRC011: waiting releases only its own mutex *)
+                let other =
+                  match mutex with
+                  | Some m -> S.remove m held
+                  | None -> held
+                in
+                if not (S.is_empty other) then
+                  emit
+                    (finding ~cfg ~node ~code:"SRC011"
+                       ~context:
+                         [ ("callee", "Condition.wait");
+                           ("held", String.concat " " (S.elements other)) ]
+                       (Printf.sprintf
+                          "Condition.wait on %s releases only its own \
+                           mutex; %s stays held while blocked"
+                          cond
+                          (String.concat ", " (S.elements other))));
+                (* SRC014: wait must sit in a re-check loop *)
+                if not looped then
+                  emit
+                    (finding ~cfg ~node ~code:"SRC014"
+                       ~context:[ ("cond", cond) ]
+                       (Printf.sprintf
+                          "Condition.wait on %s is not wrapped in a \
+                           re-check loop; spurious wakeups make the \
+                           predicate unreliable — use `while not P do \
+                           Condition.wait c m done`"
+                          cond))
+            | Cfg.Cond_notify { cond; kind } ->
+                (* SRC014: notify without the associated mutex held *)
+                if S.is_empty held then
+                  emit
+                    (finding ~cfg ~node ~code:"SRC014"
+                       ~context:[ ("cond", cond) ]
+                       (Printf.sprintf
+                          "Condition.%s on %s without the associated mutex \
+                           held; a waiter can miss the wakeup between its \
+                           predicate check and its wait"
+                          (match kind with
+                          | Cfg.Signal -> "signal"
+                          | Cfg.Broadcast -> "broadcast")
+                          cond))
+            | Cfg.Write { target; what } ->
+                (* SRC013: unguarded shared write on a handler/pool thread *)
+                if cfg.Cfg.is_thread_root && S.is_empty held then
+                  emit
+                    (finding ~cfg ~node ~code:"SRC013"
+                       ~context:[ ("target", target); ("write", what) ]
+                       (Printf.sprintf
+                          "%s to module-level mutable state %s from a \
+                           thread closure without an Atomic or a held \
+                           lock"
+                          what target))
+            | _ -> ())
+        cfg.Cfg.nodes)
+    analyzed;
+  (* --- SRC012: cycles in the program-wide acquisition order graph --- *)
+  let edges = !order_edges in
+  List.iter
+    (fun cycle_locks ->
+      let in_cycle l = List.mem l cycle_locks in
+      let witness =
+        List.filter (fun e -> in_cycle e.held && in_cycle e.acquired) edges
+        |> List.sort (fun a b ->
+               match compare a.o_file b.o_file with
+               | 0 -> compare a.o_line b.o_line
+               | c -> c)
+      in
+      match witness with
+      | e :: _ ->
+          emit
+            {
+              code = "SRC012";
+              file = e.o_file;
+              line = e.o_line;
+              col = e.o_col;
+              message =
+                Printf.sprintf
+                  "lock-order cycle between %s: these mutexes are acquired \
+                   in conflicting orders across the program, so two \
+                   threads can deadlock"
+                  (String.concat ", " cycle_locks);
+              context =
+                [ ("function", e.o_fn);
+                  ("cycle", String.concat " " cycle_locks) ];
+            }
+      | [] -> ())
+    (cycles edges);
+  !findings

@@ -1,0 +1,38 @@
+(** Forward lock-set dataflow on {!Cfg} graphs, propagated one level
+    through the {!Callgraph}, emitting the SRC010–SRC014 findings.
+
+    - [SRC010] — a mutex acquired in a function may still be held when
+      the function returns or raises (exception paths included);
+      reported at the acquisition site with a [Mutex.protect] hint.
+    - [SRC011] — a call on the blocking frontier (or a one-level
+      callee that reaches one) executes while a mutex is held;
+      [Condition.wait] is exempt for its own mutex only.
+    - [SRC012] — the program-wide lock acquisition graph (held ->
+      acquired edges, including one-level callee acquisitions) has a
+      cycle: deadlock potential.
+    - [SRC013] — module-level mutable state ([ref]/[Hashtbl]/[Queue]/
+      [Buffer]) written from a thread-root closure (or a function it
+      calls directly) without an Atomic or a held lock — the
+      interprocedural generalization of SRC005.
+    - [SRC014] — [Condition.wait] not wrapped in a re-check loop, or
+      [Condition.signal]/[broadcast] without the associated mutex
+      held.
+
+    The analysis is a union (may) dataflow: findings mean "on some
+    path", not "on all paths". Known unsoundness limits — aliased
+    mutexes, first-class functions, call depth beyond one level — are
+    documented in DESIGN.md §9. *)
+
+type finding = {
+  code : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  context : (string * string) list;
+}
+
+val check : ?frontier:string list -> Cfg.t list -> finding list
+(** Run the dataflow over every graph of the program and report.
+    [frontier] overrides {!Callgraph.default_blocking}. Order is
+    unspecified; the caller sorts. *)

@@ -10,6 +10,10 @@
 type t = {
   line : int;  (** 1-based line the comment starts on *)
   end_line : int;  (** 1-based line the comment closes on *)
+  target : int;
+      (** 1-based line a standalone comment covers: the first
+          non-blank line after it closes (equals [end_line + 1] when
+          the code follows directly) *)
   codes : string list;  (** empty = suppress every code *)
   standalone : bool;  (** nothing but whitespace before the comment *)
   reason : string option;
@@ -131,18 +135,27 @@ let scan text =
                      (fun c -> is_space c || c = '(' || c = '*')
                      before
                  in
-                 {
-                   line = k + 1;
-                   end_line = close_line k (i + String.length marker) + 1;
-                   codes;
-                   standalone;
-                   reason;
-                 })
+                 let end_line = close_line k (i + String.length marker) + 1 in
+                 (* a standalone comment covers the next line holding
+                    anything at all — blank lines in between (a common
+                    layout before a guarded definition) do not break
+                    the association *)
+                 let target =
+                   let n = Array.length line_arr in
+                   let rec first_code j =
+                     if j >= n then n + 1
+                     else if String.trim line_arr.(j) = "" then
+                       first_code (j + 1)
+                     else j + 1
+                   in
+                   first_code end_line
+                 in
+                 { line = k + 1; end_line; target; codes; standalone; reason })
                occurrences)
        lines)
 
 let covers s ~code ~line =
-  (line = s.line || (s.standalone && line = s.end_line + 1))
+  (line = s.line || (s.standalone && line = s.target))
   && (s.codes = [] || List.mem code s.codes)
 
 let suppressed suppressions ~code ~line =

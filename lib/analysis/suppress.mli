@@ -5,13 +5,18 @@
     empty (suppress everything on the covered lines); the reason after
     the dash ([-], en or em dash) is free text kept for reporting. A
     suppression covers its own starting line, plus — when the comment
-    stands alone on its line — the line following the one the comment
-    closes on (so a multi-line standalone comment covers the line of
-    code right after it). *)
+    stands alone on its line — the first non-blank line after the one
+    the comment closes on (so a multi-line standalone comment covers
+    the definition right after it, even across a blank line). The
+    scanner works on raw text, so it applies equally to [.ml] and
+    [.mli] files and does not require a trailing newline. *)
 
 type t = {
   line : int;  (** 1-based line the comment starts on *)
   end_line : int;  (** 1-based line the comment closes on *)
+  target : int;
+      (** 1-based line a standalone comment covers: the first
+          non-blank line after [end_line] *)
   codes : string list;  (** empty = suppress every code *)
   standalone : bool;  (** nothing but whitespace before the comment *)
   reason : string option;

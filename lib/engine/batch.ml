@@ -137,7 +137,7 @@ let run ?pool jobs =
   let unique =
     Array.of_seq
       (Seq.filter
-         (fun i -> representative.(i) = i)
+         (fun i -> Int.equal representative.(i) i)
          (Seq.init n (fun i -> i)))
   in
   Metrics.incr ~by:n m_jobs;
@@ -161,8 +161,8 @@ let run ?pool jobs =
       {
         id = job.id;
         digest = digests.(i);
-        duplicate_of = (if rep = i then None else Some jobs.(rep).id);
-        elapsed = (if rep = i then elapsed else 0.);
+        duplicate_of = (if Int.equal rep i then None else Some jobs.(rep).id);
+        elapsed = (if Int.equal rep i then elapsed else 0.);
         result;
       })
     jobs

@@ -11,7 +11,7 @@ let for_ranges pool partition f =
       if hi > lo then f lo hi)
 
 let mv_into pool partition matrix x y =
-  if Partition.rows partition <> Sparse.rows matrix then
+  if not (Int.equal (Partition.rows partition) (Sparse.rows matrix)) then
     invalid_arg "Kernel.mv_into: partition does not match the matrix";
   for_ranges pool partition (fun lo hi ->
       Sparse.mv_into_range matrix x y ~lo ~hi)

@@ -28,7 +28,7 @@ let by_nnz ~parts matrix =
        offsets is non-decreasing, so a binary search per boundary. *)
     let boundary k =
       if k = 0 then 0
-      else if k = parts then rows
+      else if Int.equal k parts then rows
       else begin
         let target = k * total / parts in
         let lo = ref 0 and hi = ref rows in

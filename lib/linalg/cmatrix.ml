@@ -38,7 +38,7 @@ let set m i j x =
   m.data.((i * m.cols) + j) <- x
 
 let check_same_shape name a b =
-  if a.rows <> b.rows || a.cols <> b.cols then
+  if not (Int.equal a.rows b.rows && Int.equal a.cols b.cols) then
     invalid_arg (Printf.sprintf "Cmatrix.%s: shape mismatch" name)
 
 let add a b =
@@ -63,7 +63,7 @@ let mv a x =
 
 let solve a b =
   let n = a.rows in
-  if a.cols <> n then invalid_arg "Cmatrix.solve: non-square matrix";
+  if not (Int.equal a.cols n) then invalid_arg "Cmatrix.solve: non-square matrix";
   if Array.length b <> n then invalid_arg "Cmatrix.solve: dimension mismatch";
   let m = Array.init n (fun i -> Array.init n (fun j -> get a i j)) in
   let x = Array.copy b in
@@ -73,7 +73,7 @@ let solve a b =
       if Complex.norm m.(i).(k) > Complex.norm m.(!pivot_row).(k) then
         pivot_row := i
     done;
-    if !pivot_row <> k then begin
+    if not (Int.equal !pivot_row k) then begin
       let tmp = m.(k) in
       m.(k) <- m.(!pivot_row);
       m.(!pivot_row) <- tmp;
@@ -82,9 +82,12 @@ let solve a b =
       x.(!pivot_row) <- tb
     end;
     let pivot = m.(k).(k) in
+    (* mrm:ignore SRC001 -- sentinel: exact zero norm means a structurally
+       singular pivot; a tolerance would reject valid stiff systems *)
     if Complex.norm pivot = 0. then failwith "Cmatrix.solve: singular matrix";
     for i = k + 1 to n - 1 do
       let factor = Complex.div m.(i).(k) pivot in
+      (* mrm:ignore SRC001 -- sentinel: skip exactly-zero elimination factors *)
       if Complex.norm factor <> 0. then begin
         for j = k to n - 1 do
           m.(i).(j) <- Complex.sub m.(i).(j) (Complex.mul factor m.(k).(j))

@@ -61,7 +61,7 @@ let diagonal d =
   m
 
 let check_same_shape name a b =
-  if a.rows <> b.rows || a.cols <> b.cols then
+  if not (Int.equal a.rows b.rows && Int.equal a.cols b.cols) then
     invalid_arg
       (Printf.sprintf "Dense.%s: shape mismatch (%dx%d vs %dx%d)" name a.rows
          a.cols b.rows b.cols)
@@ -77,13 +77,14 @@ let sub a b =
 let scale alpha a = { a with data = Array.map (fun x -> alpha *. x) a.data }
 
 let mul a b =
-  if a.cols <> b.rows then
+  if not (Int.equal a.cols b.rows) then
     invalid_arg
       (Printf.sprintf "Dense.mul: %dx%d by %dx%d" a.rows a.cols b.rows b.cols);
   let c = zeros ~rows:a.rows ~cols:b.cols in
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
+      (* mrm:ignore SRC001 -- sentinel: exact-zero skip in the inner product *)
       if aik <> 0. then
         for j = 0 to b.cols - 1 do
           c.data.((i * c.cols) + j) <-
@@ -116,7 +117,7 @@ let vm x a =
 let transpose a = init ~rows:a.cols ~cols:a.rows (fun i j -> get a j i)
 
 let trace a =
-  let n = min a.rows a.cols in
+  let n = Int.min a.rows a.cols in
   let acc = ref 0. in
   for i = 0 to n - 1 do
     acc := !acc +. a.data.((i * a.cols) + i)
@@ -138,7 +139,7 @@ let row a i = Array.init a.cols (fun j -> get a i j)
 let col a j = Array.init a.rows (fun i -> get a i j)
 
 let approx_equal ?(tol = 1e-9) a b =
-  a.rows = b.rows && a.cols = b.cols
+  Int.equal a.rows b.rows && Int.equal a.cols b.cols
   && Vec.approx_equal ~tol a.data b.data
 
 let pp ppf a =

@@ -3,7 +3,8 @@
 
 let hessenberg a =
   let n = Dense.rows a in
-  if Dense.cols a <> n then invalid_arg "Eigen.hessenberg: non-square matrix";
+  if not (Int.equal (Dense.cols a) n) then
+    invalid_arg "Eigen.hessenberg: non-square matrix";
   let m = Dense.to_arrays a in
   for k = 0 to n - 3 do
     (* Householder vector annihilating column k below row k+1. *)
@@ -60,7 +61,7 @@ let sign_with magnitude reference =
 
 let eigenvalues matrix =
   let n = Dense.rows matrix in
-  if Dense.cols matrix <> n then
+  if not (Int.equal (Dense.cols matrix) n) then
     invalid_arg "Eigen.eigenvalues: non-square matrix";
   if n = 0 then [||]
   else begin
@@ -87,6 +88,8 @@ let eigenvalues matrix =
                abs_float a.(candidate - 1).(candidate - 1)
                +. abs_float a.(candidate).(candidate)
              in
+             (* mrm:ignore SRC001 -- sentinel: guard the exactly-zero scale
+                before dividing *)
              let s = if s = 0. then !anorm else s in
              if abs_float a.(candidate).(candidate - 1) <= eps *. s then begin
                a.(candidate).(candidate - 1) <- 0.;
@@ -97,7 +100,7 @@ let eigenvalues matrix =
          with Exit -> ());
         let l = !l in
         let x = a.(!nn).(!nn) in
-        if l = !nn then begin
+        if Int.equal l !nn then begin
           (* One real root. *)
           wr.(!nn) <- x +. !t;
           wi.(!nn) <- 0.;
@@ -116,6 +119,7 @@ let eigenvalues matrix =
             if q >= 0. then begin
               let z = p +. sign_with z p in
               wr.(!nn - 1) <- x +. z;
+              (* mrm:ignore SRC001 -- sentinel: division guard on exactly-zero z *)
               wr.(!nn) <- (if z <> 0. then x -. (w /. z) else x +. z);
               wi.(!nn - 1) <- 0.;
               wi.(!nn) <- 0.
@@ -165,7 +169,7 @@ let eigenvalues matrix =
                  p := !p /. scale;
                  q := !q /. scale;
                  r := !r /. scale;
-                 if !m = l then raise Exit;
+                 if Int.equal !m l then raise Exit;
                  let u =
                    abs_float a.(!m).(!m - 1)
                    *. (abs_float !q +. abs_float !r)
@@ -188,12 +192,14 @@ let eigenvalues matrix =
               a.(i).(i - 3) <- 0.
             done;
             for k = m to !nn - 1 do
-              if k <> m then begin
+              if not (Int.equal k m) then begin
                 p := a.(k).(k - 1);
                 q := a.(k + 1).(k - 1);
-                r := (if k <> !nn - 1 then a.(k + 2).(k - 1) else 0.);
+                r := (if Int.equal k (!nn - 1) then 0. else a.(k + 2).(k - 1));
                 let scale = abs_float !p +. abs_float !q +. abs_float !r in
                 x := scale;
+                (* mrm:ignore SRC001 -- sentinel: division guard on exactly-zero
+                   scale *)
                 if scale <> 0. then begin
                   p := !p /. scale;
                   q := !q /. scale;
@@ -203,9 +209,11 @@ let eigenvalues matrix =
               let s =
                 sign_with (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p
               in
+              (* mrm:ignore SRC001 -- sentinel: a Householder step with exactly
+                 zero norm is a no-op *)
               if s <> 0. then begin
-                if k = m then begin
-                  if l <> m then a.(k).(k - 1) <- -.a.(k).(k - 1)
+                if Int.equal k m then begin
+                  if not (Int.equal l m) then a.(k).(k - 1) <- -.a.(k).(k - 1)
                 end
                 else a.(k).(k - 1) <- -.s *. !x;
                 p := !p +. s;

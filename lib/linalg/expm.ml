@@ -10,7 +10,8 @@ let pade13_coefficients =
 
 let expm a =
   let n = Dense.rows a in
-  if Dense.cols a <> n then invalid_arg "Expm.expm: non-square matrix";
+  if not (Int.equal (Dense.cols a) n) then
+    invalid_arg "Expm.expm: non-square matrix";
   if n = 0 then Dense.identity 0
   else begin
     (* Scale so that the 1-norm-ish bound is below the Pade13 radius. *)

@@ -10,7 +10,8 @@ exception Singular of int
 
 let factorize a =
   let n = Dense.rows a in
-  if Dense.cols a <> n then invalid_arg "Lu.factorize: non-square matrix";
+  if not (Int.equal (Dense.cols a) n) then
+    invalid_arg "Lu.factorize: non-square matrix";
   let lu = Dense.to_arrays a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1. in
@@ -21,7 +22,7 @@ let factorize a =
       if abs_float lu.(i).(k) > abs_float lu.(!pivot_row).(k) then
         pivot_row := i
     done;
-    if !pivot_row <> k then begin
+    if not (Int.equal !pivot_row k) then begin
       let tmp = lu.(k) in
       lu.(k) <- lu.(!pivot_row);
       lu.(!pivot_row) <- tmp;
@@ -31,10 +32,13 @@ let factorize a =
       sign := -. !sign
     end;
     let pivot = lu.(k).(k) in
+    (* mrm:ignore SRC001 -- sentinel: an exactly-zero pivot after partial
+       pivoting is structural singularity *)
     if pivot = 0. then raise (Singular k);
     for i = k + 1 to n - 1 do
       let factor = lu.(i).(k) /. pivot in
       lu.(i).(k) <- factor;
+      (* mrm:ignore SRC001 -- sentinel: skip exactly-zero elimination factors *)
       if factor <> 0. then
         for j = k + 1 to n - 1 do
           lu.(i).(j) <- lu.(i).(j) -. (factor *. lu.(k).(j))
@@ -65,7 +69,7 @@ let solve f b =
   x
 
 let solve_matrix f b =
-  if Dense.rows b <> f.n then
+  if not (Int.equal (Dense.rows b) f.n) then
     invalid_arg "Lu.solve_matrix: dimension mismatch";
   let cols = Dense.cols b in
   let out = Dense.zeros ~rows:f.n ~cols in

@@ -23,12 +23,15 @@ let of_triplets ~rows ~cols triplets =
     triplets;
   let sorted =
     List.sort
-      (fun (i1, j1, _) (i2, j2, _) -> compare (i1, j1) (i2, j2))
+      (fun (i1, j1, _) (i2, j2, _) ->
+        let c = Int.compare i1 i2 in
+        if c <> 0 then c else Int.compare j1 j2)
       triplets
   in
   (* Merge duplicates, drop exact zeros. *)
   let merged = ref [] and count = ref 0 in
   let flush (i, j, v) =
+    (* mrm:ignore SRC001 -- sentinel: exact zeros carry no structure *)
     if v <> 0. then begin
       merged := (i, j, v) :: !merged;
       incr count
@@ -38,7 +41,7 @@ let of_triplets ~rows ~cols triplets =
     | [] -> Option.iter flush pending
     | (i, j, v) :: rest -> begin
         match pending with
-        | Some (pi, pj, pv) when pi = i && pj = j ->
+        | Some (pi, pj, pv) when Int.equal pi i && Int.equal pj j ->
             go (Some (i, j, pv +. v)) rest
         | Some p ->
             flush p;
@@ -69,6 +72,7 @@ let of_dense d =
   for i = Dense.rows d - 1 downto 0 do
     for j = Dense.cols d - 1 downto 0 do
       let v = Dense.get d i j in
+      (* mrm:ignore SRC001 -- sentinel: exact zeros carry no structure *)
       if v <> 0. then triplets := (i, j, v) :: !triplets
     done
   done;
@@ -95,6 +99,7 @@ let identity n =
 let diagonal d =
   let n = Array.length d in
   of_triplets ~rows:n ~cols:n
+    (* mrm:ignore SRC001 -- sentinel: exact zeros carry no structure *)
     (List.filteri (fun _ (_, _, v) -> v <> 0.)
        (List.init n (fun i -> (i, i, d.(i)))))
 
@@ -106,7 +111,7 @@ let get m i j =
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
     let c = m.col_index.(mid) in
-    if c = j then begin
+    if Int.equal c j then begin
       result := m.values.(mid);
       lo := !hi + 1
     end
@@ -154,6 +159,7 @@ let vm x m =
   let y = Array.make m.cols 0. in
   for i = 0 to m.rows - 1 do
     let xi = x.(i) in
+    (* mrm:ignore SRC001 -- sentinel: skip exactly-zero vector entries *)
     if xi <> 0. then
       for k = m.row_start.(i) to m.row_start.(i + 1) - 1 do
         y.(m.col_index.(k)) <- y.(m.col_index.(k)) +. (xi *. m.values.(k))
@@ -173,6 +179,8 @@ let map_values f m =
   of_triplets ~rows:m.rows ~cols:m.cols !triplets
 
 let scale alpha m =
+  (* mrm:ignore SRC001 -- sentinel: scaling by exactly zero empties the
+     structure *)
   if alpha = 0. then of_triplets ~rows:m.rows ~cols:m.cols []
   else { m with values = Array.map (fun v -> alpha *. v) m.values }
 
@@ -189,12 +197,12 @@ let triplets_of m =
   !acc
 
 let add a b =
-  if a.rows <> b.rows || a.cols <> b.cols then
+  if not (Int.equal a.rows b.rows && Int.equal a.cols b.cols) then
     invalid_arg "Sparse.add: shape mismatch";
   of_triplets ~rows:a.rows ~cols:a.cols (triplets_of a @ triplets_of b)
 
 let add_scaled_identity c a =
-  if a.rows <> a.cols then
+  if not (Int.equal a.rows a.cols) then
     invalid_arg "Sparse.add_scaled_identity: non-square matrix";
   let diag = List.init a.rows (fun i -> (i, i, c)) in
   of_triplets ~rows:a.rows ~cols:a.cols (diag @ triplets_of a)

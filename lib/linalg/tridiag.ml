@@ -20,7 +20,7 @@ let ql_implicit d e z =
            incr m
          done
        with Exit -> ());
-      if !m = l then continue := false
+      if Int.equal !m l then continue := false
       else begin
         incr iter;
         if !iter > 50 then
@@ -41,6 +41,8 @@ let ql_implicit d e z =
              let b = !c *. e.(i) in
              let r = hypot !f !g in
              e.(i + 1) <- r;
+             (* mrm:ignore SRC001 -- sentinel: exactly-zero rotation radius
+                means the off-diagonal is already annihilated *)
              if r = 0. then begin
                d.(i + 1) <- d.(i + 1) -. !p;
                e.(m) <- 0.;
@@ -77,7 +79,7 @@ let eigen ~diag ~offdiag =
   if n > 1 then ql_implicit d e z;
   (* Sort ascending, carrying first components along. *)
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun i j -> compare d.(i) d.(j)) order;
+  Array.sort (fun i j -> Float.compare d.(i) d.(j)) order;
   {
     eigenvalues = Array.map (fun i -> d.(i)) order;
     first_components = Array.map (fun i -> z.(i)) order;

@@ -56,20 +56,21 @@ type reply = {
 
 type work = { request : Protocol.request; reply : reply }
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let resolve reply response =
-  Mutex.lock reply.rmutex;
+  with_lock reply.rmutex @@ fun () ->
   reply.answer <- Some response;
-  Condition.signal reply.rcond;
-  Mutex.unlock reply.rmutex
+  Condition.signal reply.rcond
 
 let await reply =
-  Mutex.lock reply.rmutex;
+  with_lock reply.rmutex @@ fun () ->
   while Option.is_none reply.answer do
     Condition.wait reply.rcond reply.rmutex
   done;
-  let response = Option.get reply.answer in
-  Mutex.unlock reply.rmutex;
-  response
+  Option.get reply.answer
 
 (* ------------------------------------------------------------------ *)
 (* Handle *)
@@ -209,11 +210,10 @@ let process h ~lineno line =
 (* Connections *)
 
 let unregister h conn =
-  Mutex.lock h.reg_mutex;
-  Hashtbl.remove h.registry conn.conn_id;
-  h.active_handlers <- h.active_handlers - 1;
-  Condition.broadcast h.handler_done;
-  Mutex.unlock h.reg_mutex;
+  (with_lock h.reg_mutex @@ fun () ->
+   Hashtbl.remove h.registry conn.conn_id;
+   h.active_handlers <- h.active_handlers - 1;
+   Condition.broadcast h.handler_done);
   (* Off the registry: drain can no longer race this close. *)
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
@@ -243,12 +243,14 @@ let handle_connection h conn =
 
 let spawn_connection h fd =
   Metrics.incr m_connections;
-  Mutex.lock h.reg_mutex;
-  let conn = { conn_id = h.next_conn_id; fd } in
-  h.next_conn_id <- h.next_conn_id + 1;
-  h.active_handlers <- h.active_handlers + 1;
-  Hashtbl.replace h.registry conn.conn_id conn;
-  Mutex.unlock h.reg_mutex;
+  let conn =
+    with_lock h.reg_mutex @@ fun () ->
+    let conn = { conn_id = h.next_conn_id; fd } in
+    h.next_conn_id <- h.next_conn_id + 1;
+    h.active_handlers <- h.active_handlers + 1;
+    Hashtbl.replace h.registry conn.conn_id conn;
+    conn
+  in
   (* A drain that iterated the registry before we registered would miss
      this connection; re-check the stop flag so the handler still sees
      EOF promptly. *)
@@ -352,24 +354,28 @@ let drain h =
      with Unix.Unix_error _ -> ());
     (* Half-close every open connection: handlers blocked in input_line
        see EOF and exit; handlers mid-request finish the solve, flush
-       the response, then exit on the stop flag. *)
-    Mutex.lock h.reg_mutex;
-    Hashtbl.iter
-      (fun _ conn ->
+       the response, then exit on the stop flag. Snapshot the registry
+       under the lock, shut down outside it: shutdown is a syscall that
+       can fail arbitrarily, and a handler unregistering concurrently
+       only makes its fd's shutdown a caught no-op. *)
+    let conns =
+      with_lock h.reg_mutex @@ fun () ->
+      Hashtbl.fold (fun _ conn acc -> conn :: acc) h.registry []
+    in
+    List.iter
+      (fun conn ->
         try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
         with Unix.Unix_error _ -> ())
-      h.registry;
-    Mutex.unlock h.reg_mutex
+      conns
   end
 
 let wait h =
   (match h.acceptor with Some t -> Thread.join t | None -> ());
   (* Every accepted request is finished before the queue closes. *)
-  Mutex.lock h.reg_mutex;
-  while h.active_handlers > 0 do
-    Condition.wait h.handler_done h.reg_mutex
-  done;
-  Mutex.unlock h.reg_mutex;
+  (with_lock h.reg_mutex @@ fun () ->
+   while h.active_handlers > 0 do
+     Condition.wait h.handler_done h.reg_mutex
+   done);
   Rqueue.close h.queue;
   List.iter Thread.join h.worker_threads;
   (match h.pool with Some pool -> Pool.shutdown pool | None -> ());

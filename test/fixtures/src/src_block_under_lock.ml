@@ -1,0 +1,6 @@
+(* SRC011 seed: a Unix read blocks while [m] is held. *)
+
+let m = Mutex.create ()
+
+let poll fd buf =
+  Mutex.protect m (fun () -> Unix.read fd buf 0 1)

@@ -1,0 +1,10 @@
+(* SRC011 clean pair: the blocking read happens outside the critical
+   section; the lock only guards the bookkeeping. *)
+
+let m = Mutex.create ()
+let bytes_in = ref 0
+
+let poll fd buf =
+  let n = Unix.read fd buf 0 1 in
+  Mutex.protect m (fun () -> bytes_in := !bytes_in + n);
+  n

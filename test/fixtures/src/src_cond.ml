@@ -1,0 +1,14 @@
+(* SRC014 seed, twice: the wait has no re-check loop (a spurious
+   wakeup falls through), and the signal runs without the mutex (a
+   waiter can miss it between its check and its wait). *)
+
+let m = Mutex.create ()
+let c = Condition.create ()
+let ready = ref false
+
+let await_ready () =
+  Mutex.protect m (fun () -> if not !ready then Condition.wait c m)
+
+let notify () =
+  ready := true;
+  Condition.signal c

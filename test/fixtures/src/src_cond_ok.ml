@@ -1,0 +1,17 @@
+(* SRC014 clean pair: while-loop re-check around the wait, signal
+   under the same mutex as the predicate write. *)
+
+let m = Mutex.create ()
+let c = Condition.create ()
+let ready = ref false
+
+let await_ready () =
+  Mutex.protect m (fun () ->
+      while not !ready do
+        Condition.wait c m
+      done)
+
+let notify () =
+  Mutex.protect m (fun () ->
+      ready := true;
+      Condition.signal c)

@@ -1,0 +1,10 @@
+(* SRC010 seed: the failwith path leaves [m] locked. *)
+
+let m = Mutex.create ()
+let count = ref 0
+
+let bump () =
+  Mutex.lock m;
+  incr count;
+  if !count > 10 then failwith "overflow";
+  Mutex.unlock m

@@ -1,0 +1,9 @@
+(* SRC010 clean pair: Mutex.protect releases on the failwith path too. *)
+
+let m = Mutex.create ()
+let count = ref 0
+
+let bump () =
+  Mutex.protect m (fun () ->
+      incr count;
+      if !count > 10 then failwith "overflow")

@@ -1,0 +1,11 @@
+(* SRC012 seed: [a] then [b] in one function, [b] then [a] in the
+   other — two threads running them concurrently can deadlock. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let forward f =
+  Mutex.protect a (fun () -> Mutex.protect b f)
+
+let backward f =
+  Mutex.protect b (fun () -> Mutex.protect a f)

@@ -1,0 +1,10 @@
+(* SRC012 clean pair: both paths take [a] before [b]. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let forward f =
+  Mutex.protect a (fun () -> Mutex.protect b f)
+
+let also_forward f =
+  Mutex.protect a (fun () -> Mutex.protect b f)

@@ -1,0 +1,7 @@
+(* SRC013 seed: a handler thread bumps a module-level ref with no
+   Atomic and no lock held. *)
+
+let total = ref 0
+
+let start () =
+  Thread.create (fun () -> total := !total + 1) ()

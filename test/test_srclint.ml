@@ -100,10 +100,94 @@ let test_rule_table_registry () =
     (fun code ->
       Alcotest.(check bool) (code ^ " registered") true
         (List.mem code registered))
-    [ "SRC001"; "SRC002"; "SRC003"; "SRC004"; "SRC005"; "SRC006"; "SRC090" ];
+    [ "SRC001"; "SRC002"; "SRC003"; "SRC004"; "SRC005"; "SRC006";
+      "SRC010"; "SRC011"; "SRC012"; "SRC013"; "SRC014"; "SRC090" ];
   Alcotest.(check int) "codes unique"
     (List.length registered)
     (List.length (List.sort_uniq compare registered))
+
+(* ------------------------------------------------------------------ *)
+(* SRC010–SRC014: one defective/clean fixture pair per rule             *)
+
+(* Each defective fixture must produce exactly its own rule (at the
+   pinned lines) and its clean twin must be silent — same path, so any
+   difference comes from the code, not the classification. *)
+let check_pair ~code ~lines defective clean =
+  let got = lint_fixture ~path:("lib/util/" ^ defective) defective in
+  Alcotest.(check (list string))
+    (defective ^ " codes")
+    (List.map (fun _ -> code) lines)
+    (codes got);
+  Alcotest.(check (list int))
+    (defective ^ " lines") lines
+    (List.map (fun (f : Lint.finding) -> f.Lint.line) got);
+  Alcotest.(check (list string))
+    (clean ^ " is silent") []
+    (codes (lint_fixture ~path:("lib/util/" ^ clean) clean))
+
+let test_src010_lock_leak () =
+  check_pair ~code:"SRC010" ~lines:[ 7 ] "src_lock_leak.ml"
+    "src_lock_leak_ok.ml"
+
+let test_src011_block_under_lock () =
+  check_pair ~code:"SRC011" ~lines:[ 6 ] "src_block_under_lock.ml"
+    "src_block_under_lock_ok.ml"
+
+let test_src012_lock_order () =
+  check_pair ~code:"SRC012" ~lines:[ 8 ] "src_lock_order.ml"
+    "src_lock_order_ok.ml"
+
+let test_src013_shared_state () =
+  check_pair ~code:"SRC013" ~lines:[ 7 ] "src_shared_state.ml"
+    "src_shared_state_ok.ml"
+
+let test_src014_condition () =
+  check_pair ~code:"SRC014" ~lines:[ 10; 14 ] "src_cond.ml" "src_cond_ok.ml"
+
+let test_src01x_severities () =
+  let severity code =
+    let _, s, _ = List.find (fun (c, _, _) -> c = code) Lint.rule_table in
+    s
+  in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " is an error") true
+        (severity code = Diagnostics.Error))
+    [ "SRC010"; "SRC012"; "SRC013" ];
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " is a warning") true
+        (severity code = Diagnostics.Warning))
+    [ "SRC011"; "SRC014" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cfg round-trip: node/edge counts survive Pprintast pretty-printing   *)
+
+let cfg_fixture_names =
+  [ "src_lock_leak.ml"; "src_lock_leak_ok.ml"; "src_block_under_lock.ml";
+    "src_block_under_lock_ok.ml"; "src_lock_order.ml"; "src_lock_order_ok.ml";
+    "src_shared_state.ml"; "src_shared_state_ok.ml"; "src_cond.ml";
+    "src_cond_ok.ml"; "src_race.ml" ]
+
+let cfg_counts name contents =
+  let str = Parse.implementation (Lexing.from_string contents) in
+  let _, cfgs = Mrm_analysis.Cfg.build ~file:name str in
+  Mrm_analysis.Cfg.counts cfgs
+
+let cfg_round_trip_property =
+  (* The CFG is a function of program structure, not of layout: pretty
+     printing with Pprintast and re-parsing must preserve the total
+     node and edge counts. QCheck2 draws fixtures so failures shrink
+     to a single named file. *)
+  QCheck2.Test.make ~count:50 ~name:"Cfg counts stable under Pprintast"
+    (QCheck2.Gen.oneofl cfg_fixture_names)
+    (fun name ->
+      let contents = fixture name in
+      let printed =
+        Pprintast.string_of_structure
+          (Parse.implementation (Lexing.from_string contents))
+      in
+      cfg_counts name contents = cfg_counts name printed)
 
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                         *)
@@ -147,6 +231,50 @@ let test_suppress_scan () =
       Alcotest.(check bool) "s3 does not cover past that" false
         (Suppress.covers s3 ~code:"SRC001" ~line:8)
   | ss -> Alcotest.failf "expected 3 suppressions, got %d" (List.length ss)
+
+let test_suppress_mli () =
+  (* suppressions are a raw-text scan, so they apply to interface
+     files exactly as to implementations *)
+  Alcotest.(check (list string))
+    "unsuppressed .mli finding" [ "SRC090" ]
+    (codes
+       (Lint.lint_source ~path:"lib/util/fake.mli"
+          "val 3 : int\nval ok : int\n"));
+  Alcotest.(check (list string))
+    "suppressed .mli finding" []
+    (codes
+       (Lint.lint_source ~path:"lib/util/fake.mli"
+          "val 3 : int (* mrm:ignore SRC090 -- fixture *)\nval ok : int\n"))
+
+let test_suppress_last_line () =
+  (* the scanner must not require a trailing newline: a trailing
+     suppression on the very last line, and a standalone one whose
+     covered code line is the unterminated last line *)
+  Alcotest.(check (list string))
+    "trailing comment on last line, no newline" []
+    (codes
+       (Lint.lint_source ~path:"lib/util/fake.ml"
+          "let f x = x = 1.0 (* mrm:ignore SRC001 -- fixture *)"));
+  Alcotest.(check (list string))
+    "standalone comment covering the last line, no newline" []
+    (codes
+       (Lint.lint_source ~path:"lib/util/fake.ml"
+          "(* mrm:ignore SRC001 -- fixture *)\nlet f x = x = 1.0"));
+  Alcotest.(check (list string))
+    "without the suppression the finding is live" [ "SRC001" ]
+    (codes (Lint.lint_source ~path:"lib/util/fake.ml" "let f x = x = 1.0"))
+
+let test_suppress_blank_line_gap () =
+  (* a standalone suppression stays attached to the next definition
+     across blank lines *)
+  match
+    Suppress.scan "(* mrm:ignore SRC001 -- fixture *)\n\n\nlet f x = x = 1.0\n"
+  with
+  | [ s ] ->
+      Alcotest.(check int) "target skips blanks" 4 s.Suppress.target;
+      Alcotest.(check bool) "covers the definition" true
+        (Suppress.covers s ~code:"SRC001" ~line:4)
+  | ss -> Alcotest.failf "expected 1 suppression, got %d" (List.length ss)
 
 (* ------------------------------------------------------------------ *)
 (* Baseline                                                             *)
@@ -258,6 +386,31 @@ let test_repo_self_check () =
                     f.Lint.file f.Lint.line f.Lint.message)
                 applied.Baseline.fresh)
 
+let test_concurrency_self_check () =
+  (* the threaded subsystems must be clean under the SRC01x rules
+     outright — no baseline allowance, no suppressions expected *)
+  match find_repo_root () with
+  | None -> print_endline "self-check skipped: repository root not found"
+  | Some root ->
+      let cwd = Sys.getcwd () in
+      Fun.protect
+        ~finally:(fun () -> Sys.chdir cwd)
+        (fun () ->
+          Sys.chdir root;
+          let findings = Lint.lint_paths [ "lib/server"; "lib/engine" ] in
+          let concurrency =
+            List.filter
+              (fun (f : Lint.finding) ->
+                List.mem f.Lint.code
+                  [ "SRC010"; "SRC011"; "SRC012"; "SRC013"; "SRC014" ])
+              findings
+          in
+          List.iter
+            (fun (f : Lint.finding) ->
+              Alcotest.failf "concurrency finding: %s %s:%d %s" f.Lint.code
+                f.Lint.file f.Lint.line f.Lint.message)
+            concurrency)
+
 let () =
   Alcotest.run "srclint"
     [
@@ -277,11 +430,30 @@ let () =
           Alcotest.test_case "rule table registry" `Quick
             test_rule_table_registry;
         ] );
+      ( "concurrency rules",
+        [
+          Alcotest.test_case "SRC010 lock leak" `Quick test_src010_lock_leak;
+          Alcotest.test_case "SRC011 blocking under lock" `Quick
+            test_src011_block_under_lock;
+          Alcotest.test_case "SRC012 lock-order cycle" `Quick
+            test_src012_lock_order;
+          Alcotest.test_case "SRC013 unguarded shared state" `Quick
+            test_src013_shared_state;
+          Alcotest.test_case "SRC014 condition discipline" `Quick
+            test_src014_condition;
+          Alcotest.test_case "SRC01x severities" `Quick test_src01x_severities;
+          QCheck_alcotest.to_alcotest cfg_round_trip_property;
+        ] );
       ( "suppressions",
         [
           Alcotest.test_case "suppressed fixture is clean" `Quick
             test_suppressed_fixture;
           Alcotest.test_case "scan and coverage" `Quick test_suppress_scan;
+          Alcotest.test_case "mli files" `Quick test_suppress_mli;
+          Alcotest.test_case "last line without newline" `Quick
+            test_suppress_last_line;
+          Alcotest.test_case "blank-line gap after standalone" `Quick
+            test_suppress_blank_line_gap;
         ] );
       ( "baseline",
         [
@@ -291,6 +463,9 @@ let () =
       ( "output",
         [ Alcotest.test_case "github commands" `Quick test_github_rendering ] );
       ( "self-check",
-        [ Alcotest.test_case "repo modulo baseline" `Quick test_repo_self_check ]
-      );
+        [
+          Alcotest.test_case "repo modulo baseline" `Quick test_repo_self_check;
+          Alcotest.test_case "threaded subsystems pass SRC01x" `Quick
+            test_concurrency_self_check;
+        ] );
     ]
