@@ -1033,9 +1033,16 @@ let serve_cmd =
                 (Unix.string_of_inet_addr addr)
                 port
         in
-        let code = Server.run ~on_ready config in
-        Printf.eprintf "mrm2 serve: drained, exiting\n%!";
-        code
+        match Server.run ~on_ready config with
+        | code ->
+            Printf.eprintf "mrm2 serve: drained, exiting\n%!";
+            code
+        | exception Unix.Unix_error (Unix.EADDRINUSE, _, what) ->
+            Printf.eprintf
+              "mrm2 serve: %s is in use by a live listener (or is not a \
+               socket) — refusing to clobber it\n"
+              (if what = "" then "the address" else what);
+            1
   in
   let term =
     Term.(
@@ -1076,14 +1083,38 @@ let call_cmd =
              read standard input). Same fields as $(b,mrm2 batch), plus \
              optional $(b,deadline_s).")
   in
-  let run socket connect input =
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Reconnect up to $(docv) consecutive times on a refused \
+             connect or a connection cut mid-session, with capped \
+             exponential backoff and jitter, resuming from the first \
+             unanswered request.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-exchange send/receive budget; an expired wait counts \
+             as a disconnect (and is retried under $(b,--retries)). \
+             $(b,0) waits forever.")
+  in
+  let run socket connect retries timeout input =
     match endpoint_of ~tcp_flag:"connect" socket connect with
     | Error msg ->
         Printf.eprintf "mrm2 call: %s\n" msg;
         2
     | Ok endpoint -> (
+        let on_retry ~attempt ~delay what =
+          Printf.eprintf "mrm2 call: retry %d in %.2fs (%s)\n%!" attempt
+            delay what
+        in
         let session ic =
-          Client.call endpoint ~input:ic ~on_response:print_endline
+          Client.call ~retries ~timeout ~on_retry endpoint ~input:ic
+            ~on_response:print_endline
         in
         let result =
           match input with
@@ -1105,11 +1136,12 @@ let call_cmd =
             end
         in
         match result with
-        | Ok { Client.sent; errors; cache_hits } ->
+        | Ok { Client.sent; errors; srv_errors; cache_hits; retries } ->
             Printf.eprintf
-              "# call: %d request(s), %d cached, %d error(s)\n" sent
-              cache_hits errors;
-            if errors = 0 then 0 else 1
+              "# call: %d request(s), %d cached, %d error(s), %d service \
+               error(s), %d retry(ies)\n"
+              sent cache_hits errors srv_errors retries;
+            if srv_errors > 0 then 4 else if errors > 0 then 1 else 0
         | Error (Client.Disconnected what) ->
             Printf.eprintf "mrm2 call: server disconnected (%s)\n" what;
             3
@@ -1122,14 +1154,299 @@ let call_cmd =
             2
         | Error e -> raise e)
   in
-  let term = Term.(const run $ socket_arg $ connect $ input) in
+  let term =
+    Term.(const run $ socket_arg $ connect $ retries $ timeout $ input)
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:
-         "Send a JSONL job stream to a running $(b,mrm2 serve) and print \
-          the responses, one JSON object per line, in request order. \
-          Exits 0 when every response is $(b,status: ok), 1 on solver or \
-          service errors, 3 when the service is unreachable.")
+         "Send a JSONL job stream to a running $(b,mrm2 serve) (or \
+          $(b,mrm2 route)) and print the responses, one JSON object per \
+          line, in request order. Transient transport failures are \
+          retried under $(b,--retries) with capped exponential backoff \
+          and jitter. Exits 0 when every response is $(b,status: ok), 1 \
+          on solver errors, 3 when the service is unreachable (after \
+          retries), 4 when any response is a structured $(b,SRV00x) \
+          service error.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* route / loadgen — the distributed serving tier                      *)
+
+(* A backend/target address is either HOST:PORT (TCP) or a Unix socket
+   path; the raw spec string doubles as the stable ring identity. *)
+let addr_conv =
+  let parse spec =
+    if spec = "" then Error (`Msg "empty address")
+    else
+      match parse_host_port spec with
+      | Ok (host, port) -> Ok (spec, `Tcp (host, port))
+      | Error _ -> Ok (spec, `Unix spec)
+  in
+  let print ppf (spec, _) = Format.pp_print_string ppf spec in
+  Arg.conv ~docv:"ADDR" (parse, print)
+
+let route_cmd =
+  let module Router = Mrm_cluster.Router in
+  let listen =
+    Arg.(
+      value
+      & opt (some host_port_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen on TCP instead of a Unix socket (port $(b,0) picks a \
+             free port, printed on startup).")
+  in
+  let backends =
+    Arg.(
+      non_empty & opt_all addr_conv []
+      & info [ "backend" ] ~docv:"ADDR"
+          ~doc:
+            "A replica $(b,mrm2 serve) to route to: $(b,HOST:PORT) or a \
+             Unix socket path. Repeatable; the address string is the \
+             replica's identity on the hash ring, so keep it stable \
+             across restarts to keep cache placement stable.")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"V"
+          ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let probe_interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "probe-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between health-probe rounds.")
+  in
+  let probe_timeout =
+    Arg.(
+      value & opt float 1.0
+      & info [ "probe-timeout" ] ~docv:"SECONDS"
+          ~doc:"Connect/read budget of a single health probe.")
+  in
+  let readmit_after =
+    Arg.(
+      value & opt int 2
+      & info [ "readmit-after" ] ~docv:"N"
+          ~doc:
+            "Consecutive healthy probes before a downed replica rejoins \
+             the ring.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Per-replica in-flight cap; requests beyond it are shed with \
+             the structured $(b,SRV002) error instead of queueing.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Forward attempts per request (failover hops) before \
+             answering $(b,SRV006).")
+  in
+  let io_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-forward send/receive budget against a backend.")
+  in
+  let run socket listen backends vnodes probe_interval probe_timeout
+      readmit_after max_inflight max_attempts io_timeout eps obs =
+    obs @@ fun () ->
+    match endpoint_of ~tcp_flag:"listen" socket listen with
+    | Error msg ->
+        Printf.eprintf "mrm2 route: %s\n" msg;
+        2
+    | Ok listen_endpoint -> (
+        let config =
+          {
+            (Router.default_config ~listen:listen_endpoint
+               ~backends:(List.map (fun (spec, ep) -> (spec, ep)) backends))
+            with
+            Router.vnodes;
+            probe_interval;
+            probe_timeout;
+            readmit_after;
+            max_inflight;
+            max_attempts;
+            io_timeout;
+            default_eps = eps;
+          }
+        in
+        let on_ready = function
+          | Unix.ADDR_UNIX path ->
+              Printf.eprintf "mrm2 route: listening on %s (%d backends)\n%!"
+                path (List.length backends)
+          | Unix.ADDR_INET (addr, port) ->
+              Printf.eprintf
+                "mrm2 route: listening on %s:%d (%d backends)\n%!"
+                (Unix.string_of_inet_addr addr)
+                port (List.length backends)
+        in
+        match Router.run ~on_ready config with
+        | code ->
+            Printf.eprintf "mrm2 route: drained, exiting\n%!";
+            code
+        | exception Invalid_argument msg ->
+            Printf.eprintf "mrm2 route: %s\n" msg;
+            2
+        | exception Unix.Unix_error (Unix.EADDRINUSE, _, what) ->
+            Printf.eprintf
+              "mrm2 route: %s is in use by a live listener (or is not a \
+               socket) — refusing to clobber it\n"
+              (if what = "" then "the address" else what);
+            1)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ listen $ backends $ vnodes $ probe_interval
+      $ probe_timeout $ readmit_after $ max_inflight $ max_attempts
+      $ io_timeout $ eps_arg $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster routing front-end over replica $(b,mrm2 serve) \
+          backends: requests are placed by consistent hashing on the \
+          structural job digest (so the per-replica result caches \
+          compose into one sharded cache), failed or draining replicas \
+          are failed over to ring successors and re-admitted after \
+          consecutive healthy probes, and per-replica overload is shed \
+          with structured $(b,SRV002) errors. Clients connect exactly as \
+          they would to a single server; $(b,'{\"cluster\":\"stats\"}') \
+          answers with router-side counters.")
+    term
+
+let loadgen_cmd =
+  let module Loadgen = Mrm_cluster.Loadgen in
+  let connect =
+    Arg.(
+      value
+      & opt (some host_port_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Target a TCP service instead of a Unix socket.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Total requests across all workers.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Concurrent closed-loop client sessions.")
+  in
+  let keys =
+    Arg.(
+      value & opt int 50
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Distinct job specs in the workload's key pool.")
+  in
+  let skew =
+    Arg.(
+      value & opt float 1.0
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Key-popularity skew: key $(b,k) is drawn with weight \
+             $(b,1/(k+1)^S); $(b,0) is uniform, larger is hotter.")
+  in
+  let size =
+    Arg.(
+      value & opt int 6
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Model size ($(b,onoff) built-in) of every job.")
+  in
+  let order =
+    Arg.(
+      value & opt int 3
+      & info [ "order" ] ~docv:"R" ~doc:"Highest moment order per job.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 60.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-exchange send/receive budget of each worker.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the benchmark record to $(docv) (e.g. \
+             $(b,figures/BENCH_serve.json)); it is always printed to \
+             standard output.")
+  in
+  let run socket connect requests workers keys skew size order seed timeout
+      out obs =
+    obs @@ fun () ->
+    match endpoint_of ~tcp_flag:"connect" socket connect with
+    | Error msg ->
+        Printf.eprintf "mrm2 loadgen: %s\n" msg;
+        2
+    | Ok endpoint -> (
+        let config =
+          {
+            (Loadgen.default_config endpoint) with
+            Loadgen.requests;
+            workers;
+            keys;
+            skew;
+            size;
+            order;
+            seed;
+            io_timeout = timeout;
+          }
+        in
+        match Loadgen.run config with
+        | exception Invalid_argument msg ->
+            Printf.eprintf "mrm2 loadgen: %s\n" msg;
+            2
+        | report ->
+            let rendered = Mrm_util.Json.to_string report in
+            print_endline rendered;
+            (match out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc rendered;
+                    output_char oc '\n'));
+            let field name =
+              match
+                Option.bind
+                  (Mrm_util.Json.member name report)
+                  Mrm_util.Json.to_float
+              with
+              | Some v -> v
+              | None -> 0.
+            in
+            if field "ok" > 0. && field "dropped" <= 0. then 0 else 1)
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ connect $ requests $ workers $ keys $ skew
+      $ size $ order $ seed_arg $ timeout $ out $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay thousands of concurrent $(b,mrm2 call)-style closed-loop \
+          sessions against a running $(b,mrm2 route) (or a single \
+          $(b,mrm2 serve)) with configurable key skew, and print a \
+          benchmark record: throughput, ok-latency percentiles \
+          (p50/p95/p99), cache hit rate, shed rate — plus the router's \
+          failover counters when the target is a router. Exits 0 when \
+          every request was answered, 1 when any was dropped.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1154,8 +1471,8 @@ let info_cmd =
 let () =
   let doc = "second-order Markov reward model analysis (DSN 2004 methods)" in
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
-      [ moments_cmd; batch_cmd; serve_cmd; call_cmd; bounds_cmd;
-        distribution_cmd; simulate_cmd; path_cmd; mtta_cmd; fluid_cmd;
-        info_cmd; lint_cmd; lint_src_cmd ]
+      [ moments_cmd; batch_cmd; serve_cmd; call_cmd; route_cmd;
+        loadgen_cmd; bounds_cmd; distribution_cmd; simulate_cmd; path_cmd;
+        mtta_cmd; fluid_cmd; info_cmd; lint_cmd; lint_src_cmd ]
   in
   exit (Cmd.eval' root)

@@ -97,9 +97,9 @@ type file_class = {
   hot : bool;  (** lib/linalg, lib/core, lib/engine: SRC002 applies *)
   library : bool;  (** under lib/: SRC006 applies *)
   parallel_host : bool;
-      (** lib/engine, lib/obs, lib/server: SRC005 applies — code that
-          hands closures to the domain pool (or runs them from handler
-          threads) *)
+      (** lib/engine, lib/obs, lib/server, lib/cluster: SRC005 applies —
+          code that hands closures to the domain pool (or runs them from
+          handler threads) *)
 }
 
 let classify path =
@@ -108,7 +108,9 @@ let classify path =
   {
     hot = has "lib/linalg/" || has "lib/core/" || has "lib/engine/";
     library = has "lib/";
-    parallel_host = has "lib/engine/" || has "lib/obs/" || has "lib/server/";
+    parallel_host =
+      has "lib/engine/" || has "lib/obs/" || has "lib/server/"
+      || has "lib/cluster/";
   }
 
 (* ------------------------------------------------------------------ *)

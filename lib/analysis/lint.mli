@@ -22,10 +22,11 @@
       [Out_of_memory], [Stack_overflow], and every bug.
     - [SRC005] (error) — inside a closure passed to a parallel runner
       ([run], [parallel_for], [map_array], [for_ranges]) in
-      [lib/engine]/[lib/obs]/[lib/server]: a write ([:=], [incr], field mutation,
-      array store) to state not bound inside the job, unless the array
-      index mentions only job-bound names (the range-disjoint
-      convention). [Atomic.*] operations never match.
+      [lib/engine]/[lib/obs]/[lib/server]/[lib/cluster]: a write
+      ([:=], [incr], field mutation, array store) to state not bound
+      inside the job, unless the array index mentions only job-bound
+      names (the range-disjoint convention). [Atomic.*] operations
+      never match.
     - [SRC006] (warning) — [print_*]/[Printf.printf]/[Format.printf]
       and friends in library code; output must go through sinks.
     - [SRC010] (error) — a mutex acquired in a function may still be

@@ -1,0 +1,324 @@
+(* Closed-loop load generator behind `mrm2 loadgen`.
+
+   [workers] threads each hold one persistent connection to the target
+   (router or a single replica — both speak the same JSONL protocol)
+   and replay `mrm2 call`-style lockstep sessions: draw a key from a
+   skewed distribution over [keys] distinct job specs, send the job
+   line, block on the response, classify it, repeat. The total request
+   count is a shared countdown, so workers that hit a slow replica
+   naturally do fewer requests (closed-loop back-pressure, like real
+   clients).
+
+   Determinism: the workload (which worker sends which key in which
+   order) is a pure function of [seed] — each worker owns an Rng.split
+   stream. What varies run-to-run is only timing.
+
+   Every worker accumulates into its own local record and the merge
+   happens after Thread.join — no shared mutable aggregation state. *)
+
+module Json = Mrm_util.Json
+module Rng = Mrm_util.Rng
+
+type config = {
+  endpoint : Mrm_server.Server.endpoint;
+  requests : int;  (** total requests across all workers *)
+  workers : int;  (** concurrent closed-loop sessions *)
+  keys : int;  (** distinct job specs in the key pool *)
+  skew : float;  (** 0 = uniform; larger = hotter head keys *)
+  size : int;  (** model size of every job ([onoff] built-in) *)
+  order : int;  (** highest moment order per job *)
+  seed : int64;  (** workload RNG seed *)
+  io_timeout : float;  (** per-exchange send/receive budget, seconds *)
+}
+
+let default_config endpoint =
+  {
+    endpoint;
+    requests = 1000;
+    workers = 8;
+    keys = 50;
+    skew = 1.0;
+    size = 6;
+    order = 3;
+    seed = 42L;
+    io_timeout = 60.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Key distribution: zipf-like weights 1/(k+1)^skew over [0, keys).    *)
+
+let key_weights ~keys ~skew =
+  if keys < 1 then invalid_arg (Printf.sprintf "Loadgen: keys %d" keys);
+  if skew < 0. then invalid_arg (Printf.sprintf "Loadgen: skew %g" skew);
+  Array.init keys (fun k -> (1. /. float_of_int (k + 1)) ** skew)
+
+let key_sampler ~keys ~skew rng =
+  let cumulative = key_weights ~keys ~skew in
+  let total = ref 0. in
+  Array.iteri
+    (fun i w ->
+      total := !total +. w;
+      cumulative.(i) <- !total)
+    cumulative;
+  let total = !total in
+  fun () ->
+    let u = Rng.uniform rng *. total in
+    (* first index whose cumulative weight exceeds u *)
+    let lo = ref 0 and hi = ref (keys - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+(* Key [k] maps to a deterministic spot on a parameter grid: three
+   reward-variance levels crossed with a ladder of horizons. Distinct
+   keys are distinct Batch.digests (distinct cache entries / ring
+   positions); a repeated key is a cache hit on its owning replica. *)
+let job_line cfg k =
+  let sigma2 = [| 0.; 1.; 10. |].(k mod 3) in
+  let t = 0.1 +. (0.01 *. float_of_int (k / 3)) in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Str (Printf.sprintf "k%d" k));
+         ("model", Json.Str "onoff");
+         ("sigma2", Json.Num sigma2);
+         ("size", Json.Num (float_of_int cfg.size));
+         ("t", Json.Num t);
+         ("order", Json.Num (float_of_int cfg.order));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker tally (merged after join)                                 *)
+
+type tally = {
+  mutable sent : int;
+  mutable ok : int;
+  mutable cached : int;
+  mutable shed : int;  (** SRV002 rejections *)
+  mutable srv_errors : int;  (** other SRV00x error responses *)
+  mutable disconnects : int;  (** transport failures (reconnected) *)
+  mutable dropped : int;  (** requests abandoned unanswered *)
+  mutable latencies_ms : float list;  (** ok responses only *)
+}
+
+let fresh_tally () =
+  {
+    sent = 0;
+    ok = 0;
+    cached = 0;
+    shed = 0;
+    srv_errors = 0;
+    disconnects = 0;
+    dropped = 0;
+    latencies_ms = [];
+  }
+
+let classify tally response =
+  match Json.parse response with
+  | Error _ -> tally.srv_errors <- tally.srv_errors + 1
+  | Ok json -> begin
+      match Mrm_server.Protocol.response_status json with
+      | Some "ok" ->
+          tally.ok <- tally.ok + 1;
+          if Mrm_server.Protocol.response_cached json then
+            tally.cached <- tally.cached + 1
+      | Some _ | None -> (
+          match Option.bind (Json.member "code" json) Json.to_str with
+          | Some "SRV002" -> tally.shed <- tally.shed + 1
+          | Some _ | None -> tally.srv_errors <- tally.srv_errors + 1)
+    end
+
+(* One worker: countdown-driven closed loop over a persistent
+   connection; a transport failure reconnects (bounded retries) and
+   re-sends the same request — solves are idempotent. *)
+let worker cfg ~remaining ~rng () =
+  let tally = fresh_tally () in
+  let sample = key_sampler ~keys:cfg.keys ~skew:cfg.skew rng in
+  let conn = ref None in
+  let close_conn () =
+    match !conn with
+    | Some c ->
+        conn := None;
+        Wire.close c
+    | None -> ()
+  in
+  let get_conn () =
+    match !conn with
+    | Some c -> Some c
+    | None -> (
+        match Wire.connect ~timeout:cfg.io_timeout cfg.endpoint with
+        | c ->
+            conn := Some c;
+            Some c
+        | exception Unix.Unix_error _ -> None)
+  in
+  let exchange line =
+    (* up to 5 transport retries per request; reconnect between them *)
+    let rec go attempt =
+      match get_conn () with
+      | None ->
+          if attempt >= 5 then None
+          else begin
+            tally.disconnects <- tally.disconnects + 1;
+            Thread.delay 0.05;
+            go (attempt + 1)
+          end
+      | Some c -> begin
+          match Wire.exchange c line with
+          | Ok response -> Some response
+          | Error _ ->
+              close_conn ();
+              if attempt >= 5 then None
+              else begin
+                tally.disconnects <- tally.disconnects + 1;
+                Thread.delay 0.05;
+                go (attempt + 1)
+              end
+        end
+    in
+    go 0
+  in
+  let rec loop () =
+    if Atomic.fetch_and_add remaining (-1) > 0 then begin
+      let line = job_line cfg (sample ()) in
+      tally.sent <- tally.sent + 1;
+      let t0 = Unix.gettimeofday () in
+      (match exchange line with
+      | None -> tally.dropped <- tally.dropped + 1
+      | Some response ->
+          let elapsed_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+          let ok_before = tally.ok in
+          classify tally response;
+          if tally.ok > ok_before then
+            tally.latencies_ms <- elapsed_ms :: tally.latencies_ms);
+      loop ()
+    end
+  in
+  loop ();
+  close_conn ();
+  tally
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+(* Ask the target for its router-side stats; a plain replica answers
+   the probe-style request with SRV001, in which case the report simply
+   omits the section. *)
+let router_stats cfg =
+  match Wire.connect ~timeout:cfg.io_timeout cfg.endpoint with
+  | exception Unix.Unix_error _ -> None
+  | conn ->
+      Fun.protect
+        ~finally:(fun () -> Wire.close conn)
+        (fun () ->
+          match Wire.exchange conn {|{"cluster":"stats"}|} with
+          | Error _ -> None
+          | Ok response -> (
+              match Json.parse response with
+              | Error _ -> None
+              | Ok json -> (
+                  match Mrm_server.Protocol.response_status json with
+                  | Some "ok" ->
+                      Some
+                        (Json.Obj
+                           (List.filter_map
+                              (fun key ->
+                                Option.map
+                                  (fun v -> (key, v))
+                                  (Json.member key json))
+                              [ "cluster"; "replicas" ]))
+                  | Some _ | None -> None)))
+
+let run cfg =
+  if cfg.requests < 1 then
+    invalid_arg (Printf.sprintf "Loadgen: requests %d" cfg.requests);
+  if cfg.workers < 1 then
+    invalid_arg (Printf.sprintf "Loadgen: workers %d" cfg.workers);
+  let remaining = Atomic.make cfg.requests in
+  let root = Rng.create ~seed:cfg.seed () in
+  let threads =
+    Array.init cfg.workers (fun _ ->
+        let rng = Rng.split root in
+        let result = ref (fresh_tally ()) in
+        let thread =
+          Thread.create (fun () -> result := worker cfg ~remaining ~rng ()) ()
+        in
+        (thread, result))
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun (thread, _) -> Thread.join thread) threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = fresh_tally () in
+  Array.iter
+    (fun (_, result) ->
+      let t = !result in
+      total.sent <- total.sent + t.sent;
+      total.ok <- total.ok + t.ok;
+      total.cached <- total.cached + t.cached;
+      total.shed <- total.shed + t.shed;
+      total.srv_errors <- total.srv_errors + t.srv_errors;
+      total.disconnects <- total.disconnects + t.disconnects;
+      total.dropped <- total.dropped + t.dropped;
+      total.latencies_ms <- List.rev_append t.latencies_ms total.latencies_ms)
+    threads;
+  let sorted = Array.of_list total.latencies_ms in
+  Array.sort Float.compare sorted;
+  let mean =
+    if Array.length sorted = 0 then nan
+    else Array.fold_left ( +. ) 0. sorted /. float_of_int (Array.length sorted)
+  in
+  let rate part = float_of_int part /. float_of_int (max 1 total.sent) in
+  let latency =
+    Json.Obj
+      [
+        ("p50_ms", Json.Num (percentile sorted 0.50));
+        ("p95_ms", Json.Num (percentile sorted 0.95));
+        ("p99_ms", Json.Num (percentile sorted 0.99));
+        ("mean_ms", Json.Num mean);
+        ("max_ms", Json.Num (percentile sorted 1.0));
+      ]
+  in
+  let base =
+    [
+      ("experiment", Json.Str "serve");
+      ("requests", Json.Num (float_of_int total.sent));
+      ("workers", Json.Num (float_of_int cfg.workers));
+      ("keys", Json.Num (float_of_int cfg.keys));
+      ("skew", Json.Num cfg.skew);
+      ("size", Json.Num (float_of_int cfg.size));
+      ("order", Json.Num (float_of_int cfg.order));
+      ("elapsed_s", Json.Num elapsed);
+      ( "throughput_rps",
+        Json.Num (float_of_int total.sent /. max 1e-9 elapsed) );
+      ("ok", Json.Num (float_of_int total.ok));
+      ("cached", Json.Num (float_of_int total.cached));
+      ("shed", Json.Num (float_of_int total.shed));
+      ("srv_errors", Json.Num (float_of_int total.srv_errors));
+      ("disconnects", Json.Num (float_of_int total.disconnects));
+      ("dropped", Json.Num (float_of_int total.dropped));
+      ( "cache_hit_rate",
+        Json.Num (float_of_int total.cached /. float_of_int (max 1 total.ok))
+      );
+      ("shed_rate", Json.Num (rate total.shed));
+      ("latency_ms", latency);
+    ]
+  in
+  let tail =
+    match router_stats cfg with
+    | Some stats -> [ ("router", stats) ]
+    | None -> []
+  in
+  Json.Obj (base @ tail)

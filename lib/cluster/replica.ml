@@ -1,0 +1,168 @@
+(* One backend `mrm2 serve` process as seen by the router: a pool of
+   persistent connections plus a health state machine.
+
+   Health transitions:
+   - [Up -> Down]: a forward fails (passive detection) or a periodic
+     probe fails / answers the SRV004 drain error;
+   - [Down -> Up]: [readmit_after] consecutive healthy probes — a
+     single lucky probe against a flapping backend is not enough.
+
+   Locking: the mutex guards the idle-connection list and the health
+   fields only. All socket I/O (connect, exchange, close) happens
+   outside the lock, so a stuck backend never wedges the router's other
+   handler threads. *)
+
+type state = Up | Down
+
+type t = {
+  name : string;
+  endpoint : Mrm_server.Server.endpoint;
+  io_timeout : float;
+  max_idle : int;
+  mutex : Mutex.t;
+  mutable idle : Wire.conn list;
+  mutable state : state;
+  mutable consecutive_ok : int;  (* healthy probes since going down *)
+}
+
+let create ?(io_timeout = 30.) ?(max_idle = 8) ~name endpoint =
+  {
+    name;
+    endpoint;
+    io_timeout;
+    max_idle;
+    mutex = Mutex.create ();
+    idle = [];
+    state = Up;
+    consecutive_ok = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let name t = t.name
+let endpoint t = t.endpoint
+
+let healthy t =
+  with_lock t @@ fun () -> match t.state with Up -> true | Down -> false
+
+(* Drop every pooled connection; they are closed outside the lock. *)
+let flush_idle t =
+  let conns =
+    with_lock t @@ fun () ->
+    let conns = t.idle in
+    t.idle <- [];
+    conns
+  in
+  List.iter Wire.close conns
+
+(* [true] when this call transitioned the replica Up -> Down. *)
+let mark_down t =
+  let transitioned =
+    with_lock t @@ fun () ->
+    match t.state with
+    | Down -> false
+    | Up ->
+        t.state <- Down;
+        t.consecutive_ok <- 0;
+        true
+  in
+  if transitioned then flush_idle t;
+  transitioned
+
+(* Probe bookkeeping; the caller reports one probe outcome. *)
+let record_probe t ~ok ~readmit_after =
+  with_lock t @@ fun () ->
+  match (t.state, ok) with
+  | Up, true -> `Still_up
+  | Up, false ->
+      t.state <- Down;
+      t.consecutive_ok <- 0;
+      `Went_down
+  | Down, false ->
+      t.consecutive_ok <- 0;
+      `Still_down
+  | Down, true ->
+      t.consecutive_ok <- t.consecutive_ok + 1;
+      if t.consecutive_ok >= readmit_after then begin
+        t.state <- Up;
+        t.consecutive_ok <- 0;
+        `Readmitted
+      end
+      else `Still_down
+
+let checkout t =
+  let pooled =
+    with_lock t @@ fun () ->
+    match t.idle with
+    | conn :: rest ->
+        t.idle <- rest;
+        Some conn
+    | [] -> None
+  in
+  match pooled with
+  | Some conn -> conn
+  | None -> Wire.connect ~timeout:t.io_timeout t.endpoint
+
+let checkin t conn =
+  let keep =
+    with_lock t @@ fun () ->
+    match t.state with
+    | Up when List.length t.idle < t.max_idle ->
+        t.idle <- conn :: t.idle;
+        true
+    | Up | Down -> false
+  in
+  if not keep then Wire.close conn
+
+(* One request/response forward. A transport failure closes the
+   connection and surfaces as [Error]; the caller decides whether that
+   marks the replica down. *)
+let call t line =
+  match checkout t with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error (Unix.error_message err)
+  | conn -> begin
+      match Wire.exchange conn line with
+      | Ok response ->
+          checkin t conn;
+          Ok response
+      | Error reason ->
+          Wire.close conn;
+          Error reason
+    end
+
+(* The health probe is a deliberately malformed request: a live backend
+   answers it SRV001 straight from the connection handler (no queue, no
+   solver), a draining one answers SRV004 or closes, a dead one refuses
+   the connect or times out. Probes use a dedicated short-lived
+   connection so a poisoned pooled descriptor cannot fake a failure. *)
+let probe_line = {|{"mrm2":"probe"}|}
+
+let probe_once t ~timeout =
+  match Wire.connect ~timeout t.endpoint with
+  | exception Unix.Unix_error _ -> false
+  | conn ->
+      Fun.protect
+        ~finally:(fun () -> Wire.close conn)
+        (fun () ->
+          match Wire.exchange conn probe_line with
+          | Error _ -> false
+          | Ok response -> begin
+              match Mrm_util.Json.parse response with
+              | Error _ -> false
+              | Ok json -> (
+                  match
+                    Option.bind
+                      (Mrm_util.Json.member "code" json)
+                      Mrm_util.Json.to_str
+                  with
+                  | Some "SRV004" -> false  (* draining: stop routing *)
+                  | Some _ | None -> true)
+            end)
+
+let probe t ~timeout ~readmit_after =
+  record_probe t ~ok:(probe_once t ~timeout) ~readmit_after
+
+let shutdown t = flush_idle t

@@ -1,0 +1,52 @@
+(** One backend [mrm2 serve] as seen by the router: pooled persistent
+    connections plus the health/failover state machine.
+
+    A replica is [Up] until a forward or probe fails (it is then marked
+    down, its pooled connections dropped, and the ring spills its keys
+    to successors) and [Down] until [readmit_after] {e consecutive}
+    healthy probes re-admit it. A backend answering the SRV004 drain
+    error counts as failed — drain-aware failover.
+
+    All socket I/O happens outside the internal mutex: a stuck backend
+    cannot wedge other handler threads. *)
+
+type t
+
+val create :
+  ?io_timeout:float -> ?max_idle:int -> name:string ->
+  Mrm_server.Server.endpoint -> t
+(** [io_timeout] (default 30s) bounds every send/receive on forwarded
+    calls; [max_idle] (default 8) caps the persistent-connection pool.
+    A fresh replica starts [Up] (optimistic: the first failure, not a
+    startup race, marks it down). *)
+
+val name : t -> string
+val endpoint : t -> Mrm_server.Server.endpoint
+
+val healthy : t -> bool
+
+val mark_down : t -> bool
+(** Passive failure detection (a forward failed). Returns [true] iff
+    this call transitioned the replica [Up -> Down]; pooled connections
+    are dropped on the transition. *)
+
+val record_probe :
+  t -> ok:bool -> readmit_after:int ->
+  [ `Still_up | `Went_down | `Still_down | `Readmitted ]
+(** Fold one probe outcome into the state machine. *)
+
+val probe :
+  t -> timeout:float -> readmit_after:int ->
+  [ `Still_up | `Went_down | `Still_down | `Readmitted ]
+(** Run one health probe (dedicated connection, deliberately malformed
+    request: SRV001 = alive, SRV004/close/timeout/refused = failed) and
+    {!record_probe} the outcome. *)
+
+val call : t -> string -> (string, string) result
+(** Forward one request line, lockstep, over a pooled (or fresh)
+    connection. [Error reason] on any transport failure — the failed
+    connection is closed, and the caller decides whether to
+    {!mark_down}. *)
+
+val shutdown : t -> unit
+(** Close every pooled connection. *)

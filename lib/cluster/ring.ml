@@ -1,0 +1,86 @@
+(* Consistent-hash ring with virtual nodes.
+
+   Each member contributes [vnodes] points on a 64-bit circle, placed by
+   hashing "name#k"; a key is owned by the first point clockwise from
+   the key's own hash. Placement is a pure function of the member names
+   and [vnodes], so every router instance over the same membership
+   agrees, and removing a member only remaps the keys that pointed at
+   its vnodes (they spill to the next point clockwise — the successor
+   member), leaving every other key where it was. *)
+
+type t = {
+  vnodes : int;
+  members : string array;  (* sorted, distinct *)
+  points : (int64 * int) array;  (* (position, member index), sorted *)
+}
+
+(* First 8 bytes of the MD5 of [s], as an unsigned 64-bit position. *)
+let position_of s = String.get_int64_be (Digest.string s) 0
+
+let compare_point (p1, m1) (p2, m2) =
+  match Int64.unsigned_compare p1 p2 with
+  | 0 -> Int.compare m1 m2  (* full-collision tiebreak: deterministic *)
+  | c -> c
+
+let create ?(vnodes = 64) members =
+  if vnodes < 1 then
+    invalid_arg (Printf.sprintf "Ring.create: vnodes %d" vnodes);
+  if members = [] then invalid_arg "Ring.create: no members";
+  let members = Array.of_list (List.sort_uniq String.compare members) in
+  let points =
+    Array.init
+      (Array.length members * vnodes)
+      (fun i ->
+        let m = i / vnodes and k = i mod vnodes in
+        (position_of (Printf.sprintf "%s#%d" members.(m) k), m))
+  in
+  Array.sort compare_point points;
+  { vnodes; members; points }
+
+let members t = Array.to_list t.members
+let vnodes t = t.vnodes
+
+(* Index of the first point at or clockwise-after [pos] (wrapping). *)
+let successor_index t pos =
+  let n = Array.length t.points in
+  (* binary search: smallest i with points.(i).pos >= pos *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let p, _ = t.points.(mid) in
+      if Int64.unsigned_compare p pos < 0 then search (mid + 1) hi
+      else search lo mid
+    end
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+(* Every member, in ring order starting from [key]'s owner: the
+   failover preference list. *)
+let successors t key =
+  let n = Array.length t.points in
+  let wanted = Array.length t.members in
+  let seen = Array.make wanted false in
+  let start = successor_index t (position_of key) in
+  let rec collect i found acc =
+    if found = wanted then List.rev acc
+    else begin
+      let _, m = t.points.((start + i) mod n) in
+      if seen.(m) then collect (i + 1) found acc
+      else begin
+        seen.(m) <- true;
+        collect (i + 1) (found + 1) (t.members.(m) :: acc)
+      end
+    end
+  in
+  collect 0 0 []
+
+let owner t key =
+  let _, m = t.points.(successor_index t (position_of key)) in
+  t.members.(m)
+
+(* First member in preference order that is not [down]; [None] when the
+   predicate rejects every member. *)
+let route t ?(down = fun (_ : string) -> false) key =
+  List.find_opt (fun name -> not (down name)) (successors t key)

@@ -1,0 +1,34 @@
+(** Consistent-hash ring with virtual nodes.
+
+    Placement is deterministic: a pure function of the member names and
+    the vnode count, so independent routers over the same membership
+    route identically. Each member owns [vnodes] points on a 64-bit
+    circle; a key belongs to the first point clockwise from the key's
+    hash. Removing a member remaps only the keys that pointed at its
+    vnodes (each spills to the next member clockwise); all other keys
+    keep their owner — the minimal-remapping property the router's
+    per-replica LRU caches rely on. *)
+
+type t
+
+val create : ?vnodes:int -> string list -> t
+(** [create ~vnodes members] builds the ring ([vnodes] defaults to 64;
+    duplicate names collapse).
+    @raise Invalid_argument on an empty member list or [vnodes < 1]. *)
+
+val members : t -> string list
+(** Sorted member names. *)
+
+val vnodes : t -> int
+
+val owner : t -> string -> string
+(** The member owning this key. *)
+
+val successors : t -> string -> string list
+(** Every member in ring order starting at the key's owner: the
+    failover preference list ([owner] first, each later entry the spill
+    target of the previous one). *)
+
+val route : t -> ?down:(string -> bool) -> string -> string option
+(** First member of {!successors} not rejected by [down] (default:
+    nothing is down); [None] when every member is down. *)

@@ -1,0 +1,49 @@
+(* Admission control: per-replica in-flight depth with a hard cap.
+
+   The router admits a request against its target replica before
+   forwarding and releases it when the response (or failure) comes
+   back. A replica at its cap sheds new work with the existing SRV002
+   backpressure error instead of queueing unboundedly — overload
+   degrades into fast, explicit rejections the client can retry,
+   and does NOT spill onto the other replicas (that would defeat the
+   digest-keyed cache placement and melt the survivors in a partial
+   outage). *)
+
+type t = {
+  limit : int;
+  mutex : Mutex.t;
+  counts : (string, int) Hashtbl.t;
+  mutable peak : int;  (* worst per-replica depth ever admitted *)
+}
+
+let create ~limit =
+  if limit < 1 then invalid_arg (Printf.sprintf "Shed.create: limit %d" limit);
+  { limit; mutex = Mutex.create (); counts = Hashtbl.create 8; peak = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let limit t = t.limit
+
+let inflight t name =
+  with_lock t @@ fun () ->
+  Option.value (Hashtbl.find_opt t.counts name) ~default:0
+
+let peak t = with_lock t @@ fun () -> t.peak
+
+let try_admit t name =
+  with_lock t @@ fun () ->
+  let depth = Option.value (Hashtbl.find_opt t.counts name) ~default:0 in
+  if depth >= t.limit then false
+  else begin
+    Hashtbl.replace t.counts name (depth + 1);
+    if depth + 1 > t.peak then t.peak <- depth + 1;
+    true
+  end
+
+let release t name =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.counts name with
+  | None | Some 0 -> ()  (* unbalanced release: keep the invariant *)
+  | Some depth -> Hashtbl.replace t.counts name (depth - 1)

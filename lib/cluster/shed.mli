@@ -1,0 +1,27 @@
+(** Load-shedding admission control: per-replica in-flight depth with a
+    hard cap.
+
+    The router calls {!try_admit} against the target replica before
+    forwarding and {!release} when the response (or failure) returns;
+    a replica at its cap sheds new requests with the existing SRV002
+    backpressure error instead of queueing unboundedly. Overload is
+    {e not} spilled to other replicas — that would break the
+    digest-keyed cache placement and cascade a partial outage. *)
+
+type t
+
+val create : limit:int -> t
+(** @raise Invalid_argument when [limit < 1]. *)
+
+val limit : t -> int
+
+val try_admit : t -> string -> bool
+(** Reserve one in-flight slot on the named replica; [false] = shed. *)
+
+val release : t -> string -> unit
+(** Return a slot. Unbalanced releases are ignored (the depth never
+    goes negative). *)
+
+val inflight : t -> string -> int
+val peak : t -> int
+(** Worst per-replica depth ever admitted (gauge material). *)

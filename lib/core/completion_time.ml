@@ -17,7 +17,8 @@ let dual_model model =
   (* Reward-clock generator R^{-1} Q: row i scaled by 1/r_i. *)
   let triplets = ref [] in
   Sparse.iter (Generator.matrix model.Model.generator) (fun i j v ->
-      if i <> j && v > 0. then triplets := (i, j, v /. rates.(i)) :: !triplets);
+      if (not (Int.equal i j)) && v > 0. then
+        triplets := (i, j, v /. rates.(i)) :: !triplets);
   let dual_generator = Generator.of_triplets ~states:n !triplets in
   Model.first_order ~generator:dual_generator
     ~rates:(Array.map (fun r -> 1. /. r) rates)

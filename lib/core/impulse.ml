@@ -13,7 +13,7 @@ let make base impulse_list =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (i, j, rho) ->
-      if i = j then
+      if Int.equal i j then
         invalid_arg "Impulse.make: impulses live on transitions (i <> j)";
       if rho < 0. || not (Float.is_finite rho) then
         invalid_arg

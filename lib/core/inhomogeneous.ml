@@ -16,7 +16,7 @@ let make ~states ~generator ~rates ~variances ~initial =
   Transient.validate_initial ~dim:states initial;
   (* Probe the callbacks once at t = 0 to catch dimension bugs early. *)
   let check_probe t =
-    if Generator.dim (generator t) <> states then
+    if not (Int.equal (Generator.dim (generator t)) states) then
       invalid_arg "Inhomogeneous.make: generator dimension mismatch";
     if Array.length (rates t) <> states then
       invalid_arg "Inhomogeneous.make: rates dimension mismatch";
@@ -89,7 +89,7 @@ let moments ?(tol = 1e-10) ?(breakpoints = [||]) model ~t ~order =
         Array.to_list breakpoints
         |> List.map (fun s -> horizon -. s)
         |> List.filter (fun u -> u > 0. && u < t)
-        |> List.sort_uniq compare
+        |> List.sort_uniq Float.compare
       in
       let segments =
         let rec build from = function

@@ -71,7 +71,7 @@ let matrices ?(eps = 1e-9) model ~t ~order =
     (* No transitions: Z(t) = Z(0) and B is per-state Brownian. *)
     Array.init (order + 1) (fun k ->
         Dense.init ~rows:n ~cols:n (fun i j ->
-            if i <> j then 0.
+            if not (Int.equal i j) then 0.
             else
               Mrm_brownian.Brownian.raw_moment
                 (Model.brownian_of_state model i)
@@ -149,7 +149,7 @@ let covariance ?eps model ~t1 ~t2 =
   let first = Randomization.moments ?eps model ~t:t1 ~order:2 in
   let m1_t1 = Vec.dot pi first.Randomization.moments.(1) in
   let m2_t1 = Vec.dot pi first.Randomization.moments.(2) in
-  if t2 = t1 then m2_t1 -. (m1_t1 *. m1_t1)
+  if Float.equal t2 t1 then m2_t1 -. (m1_t1 *. m1_t1)
   else begin
     (* E[B(t1) B(t2)] = E[B(t1)^2]
        + sum_j E[B(t1) 1(Z(t1)=j)] E[B(t2)-B(t1) | Z(t1)=j]. *)

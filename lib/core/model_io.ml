@@ -196,7 +196,8 @@ let to_string ?(impulses = []) model =
   let n = Model.dim model in
   out "states %d\n" n;
   Sparse.iter (Generator.matrix model.Model.generator) (fun i j v ->
-      if i <> j && v <> 0. then out "transition %d %d %.17g\n" i j v);
+      if (not (Int.equal i j)) && v <> 0. then
+        out "transition %d %d %.17g\n" i j v);
   for i = 0 to n - 1 do
     if model.Model.rates.(i) <> 0. || model.Model.variances.(i) <> 0. then
       out "reward %d %.17g %.17g\n" i model.Model.rates.(i)

@@ -32,7 +32,7 @@ let hankel_cholesky moments n =
          for k = 0 to i - 1 do
            acc := !acc -. (r.(k).(i) *. r.(k).(j))
          done;
-         if i = j then begin
+         if Int.equal i j then begin
            (* Require a pivot with margin: losing ~14 digits in the Hankel
               products means anything at round-off scale is noise. *)
            if !acc <= 1e-13 *. abs_float moments.(0) || not (Float.is_finite !acc)

@@ -25,7 +25,7 @@ let solve ?(x_margin = 8.) ?(cells = 400) model ~t =
      condition: a delta at x = 0, i.e. mass 1/dx in the nearest node. *)
   let zero_index =
     let j = int_of_float (Float.round ((0. -. x_min) /. dx)) in
-    max 0 (min cells j)
+    Int.max 0 (Int.min cells j)
   in
   let b = Array.init n (fun _ -> Array.make (cells + 1) 0.) in
   for i = 0 to n - 1 do

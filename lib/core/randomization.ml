@@ -392,7 +392,9 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
                 else Metrics.incr m_terms_skipped
               end)
             times;
-          if !terms <> [] then accumulate ~par ~u ~order !terms;
+          (match !terms with
+          | [] -> ()
+          | terms -> accumulate ~par ~u ~order terms);
           if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
         done);
     Array.mapi

@@ -13,7 +13,7 @@ let stehfest_coefficients stages =
       let k = k_minus_1 + 1 in
       let sign = if (k + half) mod 2 = 0 then 1. else -1. in
       let acc = ref 0. in
-      for j = (k + 1) / 2 to min k half do
+      for j = (k + 1) / 2 to Int.min k half do
         let jf = float_of_int j in
         acc :=
           !acc

@@ -30,7 +30,17 @@
       [server.cache_hits], [server.cache_misses],
       [server.cache_evictions], [server.drains]; gauges
       [server.queue_peak] (high-watermark request-queue depth) and
-      [server.cache_entries]. *)
+      [server.cache_entries];
+    - the sharding router ([mrm2 route]): [cluster.connections],
+      [cluster.requests], [cluster.parse_errors], [cluster.forwarded],
+      [cluster.failovers] (failed forward attempts retried on the next
+      ring successor), [cluster.shed] (SRV002 per-replica in-flight cap),
+      [cluster.unavailable] (SRV006: no healthy replica),
+      [cluster.probes], [cluster.probe_failures], [cluster.marked_down]
+      (up->down transitions, passive or probe-detected),
+      [cluster.readmitted]; gauges [cluster.replicas_up] and
+      [cluster.inflight_peak] (high-watermark forwarded requests in
+      flight across all replicas). *)
 
 type counter
 type gauge

@@ -14,6 +14,7 @@ let error_table =
     ("SRV003", "deadline exceeded before the solve started");
     ("SRV004", "server is draining and no longer accepts requests");
     ("SRV005", "model failed server-side validation (see diagnostics)");
+    ("SRV006", "no healthy replica available (cluster router)");
   ]
 
 let deadline_of_json json =
@@ -32,6 +33,11 @@ let parse_request ?default_eps ~now ~default_id line =
       | Error e -> Error e
       | Ok deadline -> (
           match Batch.job_of_json ~default_id ?default_eps json with
+          (* Model builders reject out-of-domain specs (negative
+             variance, bad dimensions) by raising — at the service
+             boundary that is a malformed request, not a dead handler
+             thread. *)
+          | exception Invalid_argument msg -> Error msg
           | Error e -> Error e
           | Ok job ->
               Ok

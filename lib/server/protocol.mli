@@ -52,9 +52,11 @@ val error_response :
 
 val error_table : (string * string) list
 (** Registry of stable service error codes:
-    [SRV001] malformed request line, [SRV002] queue full (backpressure),
-    [SRV003] deadline exceeded, [SRV004] server draining,
-    [SRV005] model failed validation. *)
+    [SRV001] malformed request line, [SRV002] queue full (backpressure)
+    — also issued by the cluster router when the owning replica is at
+    its in-flight cap, [SRV003] deadline exceeded, [SRV004] server
+    draining, [SRV005] model failed validation, [SRV006] no healthy
+    replica (cluster router, all failover candidates down). *)
 
 (* ------------------------------------------------------------------ *)
 (* Shared response accessors (used by the client and the tests)         *)

@@ -282,13 +282,42 @@ let accept_loop h =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
+(* A Unix socket path left behind by a crashed instance must be
+   unlinked before bind — but only after proving it is stale. A connect
+   probe decides: a live listener accepts (refuse to clobber a running
+   server: EADDRINUSE, exactly what bind would have said), a leftover
+   from a dead process refuses the connection. A path that is not a
+   socket at all is never touched. *)
+let remove_stale_socket path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | stats when stats.Unix.st_kind <> Unix.S_SOCK ->
+      raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+  | _ -> begin
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close probe with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> `Live
+            | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+            | exception Unix.Unix_error _ ->
+                (* Can't prove it stale (EACCES, ...): don't clobber. *)
+                `Live)
+      in
+      match verdict with
+      | `Gone -> ()
+      | `Stale -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | `Live -> raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+    end
+
 let bind_listen endpoint =
   match endpoint with
   | `Unix path ->
-      (* A previous instance that crashed leaves a stale socket file;
-         binding over it is the standard daemon move. *)
-      if Sys.file_exists path then
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
+      remove_stale_socket path;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 64;
@@ -309,6 +338,10 @@ let bind_listen endpoint =
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       Unix.listen fd 64;
       fd
+
+(* The cluster router front-end binds its listening socket exactly the
+   way the server does (same endpoint forms, same stale-socket rules). *)
+let bind_endpoint = bind_listen
 
 let start cfg =
   if cfg.workers < 1 then

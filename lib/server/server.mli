@@ -60,10 +60,20 @@ val default_config : endpoint -> config
 
 type handle
 
+val bind_endpoint : endpoint -> Unix.file_descr
+(** Bind and listen on an endpoint without starting a server — the
+    cluster router reuses the server's socket handling. A Unix socket
+    path already on disk is connect-probed first: a refused connection
+    marks it as the leftover of a crashed process and it is unlinked; a
+    live listener (or a path that is not a socket) raises
+    [Unix.Unix_error (EADDRINUSE, _, _)] instead of being clobbered. *)
+
 val start : config -> handle
 (** Bind, listen and spawn the acceptor/worker threads, then return.
-    @raise Unix.Unix_error when the endpoint cannot be bound (a stale
-    Unix socket path from a previous run is unlinked first). *)
+    @raise Unix.Unix_error when the endpoint cannot be bound. A stale
+    Unix socket path from a crashed previous run is detected (connect
+    probe) and unlinked; a path with a live listener is refused with
+    [EADDRINUSE]. *)
 
 val listen_address : handle -> Unix.sockaddr
 (** The bound address — for [`Tcp (host, 0)] this carries the actual

@@ -1,0 +1,462 @@
+(* Tests for the distributed serving tier (lib/cluster): consistent-hash
+   ring placement (determinism, balance, minimal remapping, failover
+   order), the shedding admission layer (cap semantics under
+   concurrency), the replica health state machine (passive mark-down,
+   consecutive-probe readmission), the load generator's key
+   distribution, and the router itself end to end — two in-process
+   Server.start replicas behind Router.start, with a cache hit routed
+   to the owning replica and a drained backend failed over mid-session
+   without a wrong answer. *)
+
+module Ring = Mrm_cluster.Ring
+module Shed = Mrm_cluster.Shed
+module Replica = Mrm_cluster.Replica
+module Router = Mrm_cluster.Router
+module Loadgen = Mrm_cluster.Loadgen
+module Server = Mrm_server.Server
+module Client = Mrm_server.Client
+module Protocol = Mrm_server.Protocol
+module Json = Mrm_util.Json
+module Rng = Mrm_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Ring *)
+
+let key i = Printf.sprintf "key-%d" i
+
+let test_ring_deterministic () =
+  let a = Ring.create ~vnodes:32 [ "r1"; "r2"; "r3" ] in
+  let b = Ring.create ~vnodes:32 [ "r3"; "r1"; "r2"; "r1" ] in
+  (* member order and duplicates don't matter *)
+  Alcotest.(check (list string))
+    "members" [ "r1"; "r2"; "r3" ] (Ring.members b);
+  for i = 0 to 199 do
+    Alcotest.(check string)
+      (Printf.sprintf "owner of %s" (key i))
+      (Ring.owner a (key i))
+      (Ring.owner b (key i))
+  done
+
+let test_ring_balance () =
+  let members = [ "r1"; "r2"; "r3" ] in
+  let ring = Ring.create ~vnodes:64 members in
+  let counts = Hashtbl.create 3 in
+  let n = 3000 in
+  for i = 0 to n - 1 do
+    let owner = Ring.owner ring (key i) in
+    Hashtbl.replace counts owner
+      (1 + Option.value (Hashtbl.find_opt counts owner) ~default:0)
+  done;
+  List.iter
+    (fun m ->
+      let share =
+        float_of_int (Option.value (Hashtbl.find_opt counts m) ~default:0)
+        /. float_of_int n
+      in
+      if share < 0.10 then
+        Alcotest.failf "member %s owns only %.1f%% of keys" m (100. *. share))
+    members
+
+let test_ring_minimal_remapping () =
+  let before = Ring.create ~vnodes:64 [ "r1"; "r2"; "r3" ] in
+  let after = Ring.create ~vnodes:64 [ "r1"; "r3" ] in
+  for i = 0 to 999 do
+    let owner = Ring.owner before (key i) in
+    if owner <> "r2" then
+      (* keys not owned by the removed member must not move *)
+      Alcotest.(check string)
+        (Printf.sprintf "%s stays on %s" (key i) owner)
+        owner
+        (Ring.owner after (key i))
+  done
+
+let test_ring_successors () =
+  let ring = Ring.create ~vnodes:16 [ "r1"; "r2"; "r3"; "r4" ] in
+  for i = 0 to 49 do
+    let prefs = Ring.successors ring (key i) in
+    Alcotest.(check int) "all members listed" 4 (List.length prefs);
+    Alcotest.(check (list string))
+      "distinct, complete"
+      [ "r1"; "r2"; "r3"; "r4" ]
+      (List.sort String.compare prefs);
+    Alcotest.(check string)
+      "owner first" (Ring.owner ring (key i)) (List.hd prefs)
+  done;
+  (* route skips members reported down, in preference order *)
+  let prefs = Ring.successors ring "k" in
+  let downed = List.hd prefs in
+  Alcotest.(check (option string))
+    "route skips the downed owner"
+    (Some (List.nth prefs 1))
+    (Ring.route ring ~down:(fun m -> m = downed) "k");
+  Alcotest.(check (option string))
+    "route with everything down" None
+    (Ring.route ring ~down:(fun _ -> true) "k")
+
+let test_ring_invalid () =
+  (match Ring.create [] with
+  | (_ : Ring.t) -> Alcotest.fail "empty member list must raise"
+  | exception Invalid_argument _ -> ());
+  match Ring.create ~vnodes:0 [ "r1" ] with
+  | (_ : Ring.t) -> Alcotest.fail "vnodes < 1 must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shed *)
+
+let test_shed_cap () =
+  let shed = Shed.create ~limit:2 in
+  Alcotest.(check bool) "admit 1" true (Shed.try_admit shed "r1");
+  Alcotest.(check bool) "admit 2" true (Shed.try_admit shed "r1");
+  Alcotest.(check bool) "admit 3 shed" false (Shed.try_admit shed "r1");
+  (* caps are per replica *)
+  Alcotest.(check bool) "other replica unaffected" true
+    (Shed.try_admit shed "r2");
+  Shed.release shed "r1";
+  Alcotest.(check bool) "slot freed" true (Shed.try_admit shed "r1");
+  Alcotest.(check int) "inflight" 2 (Shed.inflight shed "r1");
+  Alcotest.(check int) "peak" 2 (Shed.peak shed);
+  (* unbalanced releases never go negative *)
+  Shed.release shed "r3";
+  Alcotest.(check int) "unknown release ignored" 0 (Shed.inflight shed "r3");
+  match Shed.create ~limit:0 with
+  | (_ : Shed.t) -> Alcotest.fail "limit < 1 must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_shed_concurrent () =
+  let limit = 4 in
+  let shed = Shed.create ~limit in
+  let inflight = Atomic.make 0 in
+  let violated = Atomic.make false in
+  let admitted = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to 2000 do
+      if Shed.try_admit shed "r" then begin
+        Atomic.incr admitted;
+        if Atomic.fetch_and_add inflight 1 >= limit then
+          Atomic.set violated true;
+        ignore (Atomic.fetch_and_add inflight (-1));
+        Shed.release shed "r"
+      end
+    done
+  in
+  let threads = List.init 8 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check bool) "cap never exceeded" false (Atomic.get violated);
+  Alcotest.(check bool) "some admissions went through" true
+    (Atomic.get admitted > 0);
+  Alcotest.(check int) "all slots returned" 0 (Shed.inflight shed "r");
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d within limit" (Shed.peak shed))
+    true
+    (Shed.peak shed <= limit)
+
+(* ------------------------------------------------------------------ *)
+(* Replica health state machine (no I/O: record_probe only) *)
+
+let test_replica_state_machine () =
+  let r = Replica.create ~name:"r1" (`Unix "/nonexistent.sock") in
+  Alcotest.(check bool) "starts up" true (Replica.healthy r);
+  (* passive failure detection *)
+  Alcotest.(check bool) "mark_down transitions" true (Replica.mark_down r);
+  Alcotest.(check bool) "idempotent" false (Replica.mark_down r);
+  Alcotest.(check bool) "down" false (Replica.healthy r);
+  (* one healthy probe is not enough at readmit_after:2 *)
+  Alcotest.(check bool) "still down after 1 ok" true
+    (Replica.record_probe r ~ok:true ~readmit_after:2 = `Still_down);
+  (* a failure resets the consecutive-ok counter *)
+  Alcotest.(check bool) "failed probe resets" true
+    (Replica.record_probe r ~ok:false ~readmit_after:2 = `Still_down);
+  Alcotest.(check bool) "ok 1/2" true
+    (Replica.record_probe r ~ok:true ~readmit_after:2 = `Still_down);
+  Alcotest.(check bool) "ok 2/2 readmits" true
+    (Replica.record_probe r ~ok:true ~readmit_after:2 = `Readmitted);
+  Alcotest.(check bool) "up again" true (Replica.healthy r);
+  Alcotest.(check bool) "probe failure downs an up replica" true
+    (Replica.record_probe r ~ok:false ~readmit_after:2 = `Went_down);
+  (* a probe against a dead endpoint fails and stays down *)
+  Alcotest.(check bool) "dead endpoint probe" true
+    (Replica.probe r ~timeout:0.2 ~readmit_after:2 = `Still_down)
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen key distribution *)
+
+let test_loadgen_sampler () =
+  (match Loadgen.key_weights ~keys:0 ~skew:1. with
+  | (_ : float array) -> Alcotest.fail "keys < 1 must raise"
+  | exception Invalid_argument _ -> ());
+  let w = Loadgen.key_weights ~keys:5 ~skew:1. in
+  Alcotest.(check int) "one weight per key" 5 (Array.length w);
+  Alcotest.(check bool) "head heavier than tail" true (w.(0) > w.(4));
+  let draw seed =
+    let sampler = Loadgen.key_sampler ~keys:20 ~skew:1.2 (Rng.create ~seed ()) in
+    List.init 500 (fun _ -> sampler ())
+  in
+  let a = draw 7L and b = draw 7L in
+  Alcotest.(check (list int)) "deterministic for a seed" a b;
+  List.iter
+    (fun k ->
+      if k < 0 || k >= 20 then Alcotest.failf "sample %d out of range" k)
+    a;
+  (* skewed sampling must actually prefer the head of the key space *)
+  let head = List.length (List.filter (fun k -> k < 5) a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "head keys dominate (%d/500)" head)
+    true
+    (head > 250)
+
+let test_loadgen_distinct_digests () =
+  let cfg = Loadgen.default_config (`Unix "/unused.sock") in
+  let digest_of k =
+    match
+      Protocol.parse_request ~now:0. ~default_id:"d" (Loadgen.job_line cfg k)
+    with
+    | Ok req -> req.Protocol.digest
+    | Error e -> Alcotest.failf "job_line %d: %s" k e
+  in
+  let digests = List.init 12 digest_of in
+  Alcotest.(check int) "12 keys, 12 digests" 12
+    (List.length (List.sort_uniq String.compare digests))
+
+(* ------------------------------------------------------------------ *)
+(* Router end to end (in-process) *)
+
+let with_input_lines lines f =
+  let path = Filename.temp_file "mrm2_cluster_in" ".jsonl" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+
+let tcp_of_sockaddr = function
+  | Unix.ADDR_INET (_, port) -> `Tcp ("127.0.0.1", port)
+  | Unix.ADDR_UNIX path -> `Unix path
+
+let job_line ?(id = "j") ?(t = 0.5) () =
+  Printf.sprintf
+    {|{"id":%S,"model":"onoff","size":4,"t":%g,"order":2,"eps":1e-7}|} id t
+
+let start_replica () =
+  Server.start (Server.default_config (`Tcp ("127.0.0.1", 0)))
+
+let test_router_end_to_end () =
+  let b1 = start_replica () in
+  let b2 = start_replica () in
+  let stop_replica h =
+    Server.drain h;
+    Server.wait h
+  in
+  let router =
+    Router.start
+      {
+        (Router.default_config ~listen:(`Tcp ("127.0.0.1", 0))
+           ~backends:
+             [
+               ("b1", tcp_of_sockaddr (Server.listen_address b1));
+               ("b2", tcp_of_sockaddr (Server.listen_address b2));
+             ])
+        with
+        (* long interval: this test exercises PASSIVE failure detection
+           on the forward path, not the prober *)
+        Router.probe_interval = 60.;
+        io_timeout = 5.;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.drain router;
+      Router.wait router;
+      stop_replica b2)
+    (fun () ->
+      let endpoint = tcp_of_sockaddr (Router.listen_address router) in
+      let call lines =
+        let responses = ref [] in
+        let summary =
+          with_input_lines lines (fun ic ->
+              Client.call endpoint ~input:ic ~on_response:(fun l ->
+                  responses := l :: !responses))
+        in
+        (summary, List.rev !responses)
+      in
+      let lines =
+        List.init 8 (fun i ->
+            job_line
+              ~id:(Printf.sprintf "j%d" i)
+              ~t:(0.3 +. (0.1 *. float_of_int i))
+              ())
+      in
+      (* fresh solves through the router: all ok, none cached *)
+      let summary, first = call lines in
+      Alcotest.(check int) "all answered" 8 summary.Client.sent;
+      Alcotest.(check int) "no errors" 0 summary.Client.errors;
+      Alcotest.(check int) "no cache hits yet" 0 summary.Client.cache_hits;
+      (* repeat: every response must come from some replica's cache —
+         consistent hashing sent each digest back to its owner *)
+      let summary2, second = call lines in
+      Alcotest.(check int) "repeat answered" 8 summary2.Client.sent;
+      Alcotest.(check int) "all cache hits" 8 summary2.Client.cache_hits;
+      List.iter2
+        (fun a b ->
+          let strip line =
+            match Json.parse_exn line with
+            | Json.Obj fields ->
+                Json.to_string
+                  (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+            | other -> Json.to_string other
+          in
+          Alcotest.(check string) "cache hit bit-for-bit" (strip a) (strip b))
+        first second;
+      (* kill b1 (drain + full stop), then replay: the router must fail
+         over mid-session and still answer every request correctly *)
+      stop_replica b1;
+      let summary3, third = call lines in
+      Alcotest.(check int) "answered after backend loss" 8
+        summary3.Client.sent;
+      Alcotest.(check int) "no errors after backend loss" 0
+        summary3.Client.errors;
+      List.iter2
+        (fun a b ->
+          let points line =
+            Option.map Json.to_string (Json.member "points" (Json.parse_exn line))
+          in
+          Alcotest.(check (option string))
+            "failover answer bit-for-bit" (points a) (points b))
+        first third;
+      (* the stats control request reflects the mark-down *)
+      let _, stats = call [ {|{"cluster":"stats","id":"s"}|} ] in
+      match stats with
+      | [ line ] -> (
+          let json = Json.parse_exn line in
+          Alcotest.(check (option string))
+            "stats ok" (Some "ok")
+            (Protocol.response_status json);
+          match Option.bind (Json.member "replicas" json) Json.to_list with
+          | Some replicas ->
+              let healthy name =
+                List.exists
+                  (fun r ->
+                    Option.bind (Json.member "name" r) Json.to_str
+                      = Some name
+                    && Option.bind (Json.member "healthy" r) Json.to_bool
+                       = Some true)
+                  replicas
+              in
+              Alcotest.(check int) "two replicas listed" 2
+                (List.length replicas);
+              Alcotest.(check bool) "b1 marked down" false (healthy "b1");
+              Alcotest.(check bool) "b2 still up" true (healthy "b2")
+          | None -> Alcotest.fail "stats response lacks replicas")
+      | other ->
+          Alcotest.failf "expected 1 stats response, got %d"
+            (List.length other))
+
+let test_router_all_down_srv006 () =
+  (* a router whose only backend never existed: SRV006, not a hang *)
+  let router =
+    Router.start
+      {
+        (Router.default_config ~listen:(`Tcp ("127.0.0.1", 0))
+           ~backends:[ ("ghost", `Tcp ("127.0.0.1", 1)) ])
+        with
+        Router.probe_interval = 60.;
+        io_timeout = 2.;
+        max_attempts = 2;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.drain router;
+      Router.wait router)
+    (fun () ->
+      let endpoint = tcp_of_sockaddr (Router.listen_address router) in
+      let responses = ref [] in
+      let summary =
+        with_input_lines
+          [ job_line ~id:"doomed" () ]
+          (fun ic ->
+            Client.call endpoint ~input:ic ~on_response:(fun l ->
+                responses := l :: !responses))
+      in
+      Alcotest.(check int) "answered" 1 summary.Client.sent;
+      Alcotest.(check int) "as a service error" 1 summary.Client.srv_errors;
+      match !responses with
+      | [ line ] ->
+          let json = Json.parse_exn line in
+          Alcotest.(check (option string))
+            "SRV006" (Some "SRV006")
+            (Option.bind (Json.member "code" json) Json.to_str);
+          Alcotest.(check (option string))
+            "requester id kept" (Some "doomed")
+            (Option.bind (Json.member "id" json) Json.to_str)
+      | other ->
+          Alcotest.failf "expected 1 response, got %d" (List.length other))
+
+let test_router_invalid_config () =
+  List.iter
+    (fun cfg ->
+      match Router.start cfg with
+      | (_ : Router.handle) ->
+          Alcotest.fail "invalid router config must raise"
+      | exception Invalid_argument _ -> ())
+    [
+      Router.default_config ~listen:(`Tcp ("127.0.0.1", 0)) ~backends:[];
+      {
+        (Router.default_config ~listen:(`Tcp ("127.0.0.1", 0))
+           ~backends:
+             [ ("dup", `Unix "/a.sock"); ("dup", `Unix "/b.sock") ])
+        with
+        Router.vnodes = 8;
+      };
+      {
+        (Router.default_config ~listen:(`Tcp ("127.0.0.1", 0))
+           ~backends:[ ("b", `Unix "/a.sock") ])
+        with
+        Router.max_attempts = 0;
+      };
+    ]
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic placement" `Quick
+            test_ring_deterministic;
+          Alcotest.test_case "balance" `Quick test_ring_balance;
+          Alcotest.test_case "minimal remapping" `Quick
+            test_ring_minimal_remapping;
+          Alcotest.test_case "successors = failover order" `Quick
+            test_ring_successors;
+          Alcotest.test_case "invalid arguments" `Quick test_ring_invalid;
+        ] );
+      ( "shed",
+        [
+          Alcotest.test_case "per-replica cap" `Quick test_shed_cap;
+          Alcotest.test_case "concurrent admissions" `Quick
+            test_shed_concurrent;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "health state machine" `Quick
+            test_replica_state_machine;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "key sampler" `Quick test_loadgen_sampler;
+          Alcotest.test_case "distinct job digests" `Quick
+            test_loadgen_distinct_digests;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "shard, cache, fail over" `Quick
+            test_router_end_to_end;
+          Alcotest.test_case "all backends down -> SRV006" `Quick
+            test_router_all_down_srv006;
+          Alcotest.test_case "invalid config" `Quick
+            test_router_invalid_config;
+        ] );
+    ]

@@ -88,6 +88,70 @@ let test_lru_invalid_caps () =
       (fun () -> Lru_cache.create ~max_weight:0 ~weight:(fun _ -> 1) ());
     ]
 
+(* The cache is shared by every connection-handler thread of the
+   server: hammer one instance from several threads with overlapping
+   deterministic key sets and check that the mutex keeps the caps and
+   the statistics exact — no lost hit counts, no double evictions, no
+   excursion above the entry or weight cap at any observable moment. *)
+let test_lru_concurrent () =
+  let max_entries = 32 and max_weight = 64 in
+  let evict_calls = Atomic.make 0 in
+  let cache =
+    Lru_cache.create ~max_entries ~max_weight
+      ~on_evict:(fun _ -> Atomic.incr evict_calls)
+      ~weight:(fun _ -> 2) ()
+  in
+  let violation = Atomic.make false in
+  let observe () =
+    if
+      Lru_cache.length cache > max_entries
+      || Lru_cache.total_weight cache > max_weight
+    then Atomic.set violation true
+  in
+  let threads = 4 and ops = 2000 in
+  let hits = Array.make threads 0 in
+  let misses = Array.make threads 0 in
+  let worker t () =
+    for i = 0 to ops - 1 do
+      (* overlapping key ranges so threads contend on the same entries *)
+      let k = Printf.sprintf "k%d" ((i * (t + 1)) mod 48) in
+      if i mod 2 = 0 then Lru_cache.add cache k i
+      else begin
+        match Lru_cache.find_opt cache k with
+        | Some _ -> hits.(t) <- hits.(t) + 1
+        | None -> misses.(t) <- misses.(t) + 1
+      end;
+      if i mod 64 = 0 then observe ()
+    done
+  in
+  let sampler_stop = Atomic.make false in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get sampler_stop) do
+          observe ();
+          Thread.yield ()
+        done)
+      ()
+  in
+  let workers = List.init threads (fun t -> Thread.create (worker t) ()) in
+  List.iter Thread.join workers;
+  Atomic.set sampler_stop true;
+  Thread.join sampler;
+  Alcotest.(check bool) "caps never exceeded" false (Atomic.get violation);
+  let stats = Lru_cache.stats cache in
+  let total array = Array.fold_left ( + ) 0 array in
+  Alcotest.(check int) "every hit counted once" (total hits)
+    stats.Lru_cache.hits;
+  Alcotest.(check int) "every miss counted once" (total misses)
+    stats.Lru_cache.misses;
+  Alcotest.(check int) "no double (or lost) evictions"
+    (Atomic.get evict_calls) stats.Lru_cache.evictions;
+  Alcotest.(check bool) "entry cap holds at rest" true
+    (Lru_cache.length cache <= max_entries);
+  Alcotest.(check bool) "weight cap holds at rest" true
+    (Lru_cache.total_weight cache <= max_weight)
+
 (* ------------------------------------------------------------------ *)
 (* Bounded request queue *)
 
@@ -176,7 +240,19 @@ let test_protocol_deadline_parsing () =
       | Ok _ -> Alcotest.failf "deadline_s %s must be rejected" bad
       | Error e ->
           if not (String.length e > 0) then Alcotest.fail "empty error")
-    [ "0"; "-1"; "\"soon\"" ]
+    [ "0"; "-1"; "\"soon\"" ];
+  (* model builders raise on out-of-domain specs (negative variance);
+     the service boundary must answer SRV001, not lose the handler
+     thread to the exception *)
+  match
+    Protocol.parse_request ~now ~default_id:"d"
+      "{\"id\":\"bad\",\"model\":\"onoff\",\"sigma2\":-5,\"size\":8,\"t\":0.5}"
+  with
+  | Ok _ -> Alcotest.fail "negative variance must be rejected"
+  | Error e ->
+      if not (String.length e > 0) then Alcotest.fail "empty error"
+  | exception Invalid_argument msg ->
+      Alcotest.failf "builder exception escaped parse_request: %s" msg
 
 let test_protocol_responses () =
   let job =
@@ -223,7 +299,7 @@ let test_protocol_error_response () =
     (Json.member "diagnostics" json <> None);
   (* every SRV code the server can emit is registered *)
   Alcotest.(check (list string)) "error table"
-    [ "SRV001"; "SRV002"; "SRV003"; "SRV004"; "SRV005" ]
+    [ "SRV001"; "SRV002"; "SRV003"; "SRV004"; "SRV005"; "SRV006" ]
     (List.map fst Protocol.error_table)
 
 let test_protocol_validate_clean_model () =
@@ -401,6 +477,123 @@ let test_server_concurrent_clients () =
             responses)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Stale Unix socket handling (Server.bind_endpoint rules) *)
+
+let test_stale_socket_unlinked () =
+  let path = Filename.temp_file "mrm2_stale" ".sock" in
+  Sys.remove path;
+  (* leave a socket file behind with no listener, as a crash would *)
+  let orphan = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind orphan (Unix.ADDR_UNIX path);
+  Unix.close orphan;
+  Alcotest.(check bool) "stale file on disk" true (Sys.file_exists path);
+  let config = Server.default_config (`Unix path) in
+  let handle = Server.start config in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain handle;
+      Server.wait handle)
+    (fun () ->
+      let summary =
+        with_input_lines
+          [ job_line ~id:"after-stale" () ]
+          (fun ic ->
+            Client.call (`Unix path) ~input:ic ~on_response:(fun _ -> ()))
+      in
+      Alcotest.(check int) "server answers over reclaimed path" 1
+        summary.Client.sent;
+      Alcotest.(check int) "no errors" 0 summary.Client.errors)
+
+let test_live_socket_refused () =
+  let path = Filename.temp_file "mrm2_live" ".sock" in
+  Sys.remove path;
+  let first = Server.start (Server.default_config (`Unix path)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain first;
+      Server.wait first)
+    (fun () ->
+      (* a second server must NOT clobber the live listener *)
+      match Server.start (Server.default_config (`Unix path)) with
+      | (_ : Server.handle) ->
+          Alcotest.fail "second bind over a live listener must raise"
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+          (* and the first server must still be serving *)
+          let summary =
+            with_input_lines
+              [ job_line ~id:"still-alive" () ]
+              (fun ic ->
+                Client.call (`Unix path) ~input:ic ~on_response:(fun _ -> ()))
+          in
+          Alcotest.(check int) "original listener intact" 1
+            summary.Client.sent)
+
+let test_non_socket_path_refused () =
+  let path = Filename.temp_file "mrm2_notasock" ".txt" in
+  (* a regular file: never unlink someone's data *)
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Server.start (Server.default_config (`Unix path)) with
+      | (_ : Server.handle) ->
+          Alcotest.fail "binding over a regular file must raise"
+      | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+          Alcotest.(check bool) "file untouched" true (Sys.file_exists path))
+
+(* ------------------------------------------------------------------ *)
+(* Client retry/backoff *)
+
+let test_client_retries_exhausted () =
+  let t0 = Unix.gettimeofday () in
+  match
+    with_input_lines
+      [ job_line ~id:"nobody-home" () ]
+      (fun ic ->
+        Client.call ~retries:2 (`Tcp ("127.0.0.1", 1)) ~input:ic
+          ~on_response:(fun _ -> ()))
+  with
+  | (_ : Client.summary) -> Alcotest.fail "unreachable endpoint must raise"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* two backoff sleeps happened: >= 0.5 * (0.05 + 0.1) *)
+      Alcotest.(check bool) "backoff waited" true
+        (Unix.gettimeofday () -. t0 >= 0.07)
+
+let test_client_retry_until_server_appears () =
+  let path = Filename.temp_file "mrm2_lateserve" ".sock" in
+  Sys.remove path;
+  let handle_cell = ref None in
+  let starter =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.15;
+        handle_cell := Some (Server.start (Server.default_config (`Unix path))))
+      ()
+  in
+  let summary =
+    Fun.protect
+      ~finally:(fun () ->
+        Thread.join starter;
+        match !handle_cell with
+        | Some handle ->
+            Server.drain handle;
+            Server.wait handle
+        | None -> ())
+      (fun () ->
+        with_input_lines
+          [ job_line ~id:"patient" () ]
+          (fun ic ->
+            (* the socket does not exist yet: ENOENT, retried with
+               backoff until the server comes up *)
+            Client.call ~retries:8 (`Unix path) ~input:ic
+              ~on_response:(fun _ -> ())))
+  in
+  Alcotest.(check int) "answered once the server appeared" 1
+    summary.Client.sent;
+  Alcotest.(check int) "no errors" 0 summary.Client.errors;
+  Alcotest.(check bool) "at least one retry recorded" true
+    (summary.Client.retries >= 1)
+
 let () =
   Alcotest.run "server"
     [
@@ -412,6 +605,8 @@ let () =
           Alcotest.test_case "replace + clear" `Quick
             test_lru_replace_and_clear;
           Alcotest.test_case "invalid caps" `Quick test_lru_invalid_caps;
+          Alcotest.test_case "concurrent hit/insert/evict" `Quick
+            test_lru_concurrent;
         ] );
       ( "rqueue",
         [
@@ -443,5 +638,18 @@ let () =
             test_server_unix_socket_lifecycle;
           Alcotest.test_case "concurrent clients" `Quick
             test_server_concurrent_clients;
+          Alcotest.test_case "stale socket reclaimed" `Quick
+            test_stale_socket_unlinked;
+          Alcotest.test_case "live socket refused" `Quick
+            test_live_socket_refused;
+          Alcotest.test_case "non-socket path refused" `Quick
+            test_non_socket_path_refused;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "retries exhausted" `Quick
+            test_client_retries_exhausted;
+          Alcotest.test_case "retry until server appears" `Quick
+            test_client_retry_until_server_appears;
         ] );
     ]
