@@ -464,8 +464,29 @@ let fig8 () =
   let parallel_fields =
     match parallel with
     | None ->
-        Printf.printf
-          "parallel leg skipped (jobs = 1; set MRM2_JOBS >= 2 to compare)\n";
+        (* A fig8 record without a parallel leg is not a perf record of
+           the parallel sweep at all — make skipping loud, and fatal
+           where a committed BENCH_fig8.json could silently regress to
+           a jobs = 1 run (CI, or an explicit request). *)
+        prerr_endline
+          "=========================================================";
+        prerr_endline
+          "WARNING: fig8 parallel leg SKIPPED (jobs = 1).";
+        prerr_endline
+          "The emitted BENCH_fig8.json has no speedup/parity fields.";
+        prerr_endline
+          "Set MRM2_JOBS >= 2 (on a multi-core box) to measure it.";
+        prerr_endline
+          "=========================================================";
+        if
+          Sys.getenv_opt "CI" <> None
+          || Sys.getenv_opt "MRM2_REQUIRE_PARALLEL" = Some "1"
+        then begin
+          prerr_endline
+            "fig8: refusing to emit a sequential-only record here \
+             (CI/MRM2_REQUIRE_PARALLEL); exiting 2.";
+          exit 2
+        end;
         []
     | Some par_measured ->
         let par_seconds =
@@ -497,12 +518,18 @@ let fig8 () =
           ("max_rel_diff", num !max_rel_diff);
         ]
   in
+  let structure =
+    Mrm_engine.Kernel.structure_kind
+      (Mrm_engine.Kernel.detect
+         (Mrm_ctmc.Generator.uniformized model.Model.generator ~rate:q))
+  in
   emit_bench ~name:"fig8"
     ([
        ("states", num (float_of_int states));
        ("order", num 3.);
        ("eps", num 1e-9);
        ("q", num q);
+       ("structure", Mrm_util.Json.Str structure);
        ("jobs", num (float_of_int jobs));
        ("times", num_list (Array.to_list times));
        ( "iterations",

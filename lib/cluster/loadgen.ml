@@ -203,15 +203,20 @@ let worker cfg ~remaining ~rng () =
 (* ------------------------------------------------------------------ *)
 (* Report *)
 
+(* Nearest-rank percentile: the q-th percentile of n sorted samples is
+   the element at 1-based rank ceil(q * n). No interpolation — the
+   reported p99 is an actually observed latency, and small samples
+   behave sanely: with n < 100, p99 is the maximum (rank n), never an
+   index past the end and never an alias of a lower percentile through
+   fractional-index rounding. q is clamped to [0, 1]; q = 0 means the
+   minimum by convention (rank 0 would underflow the array). *)
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then nan
   else begin
-    let rank = q *. float_of_int (n - 1) in
-    let lo = int_of_float (floor rank) in
-    let hi = min (n - 1) (lo + 1) in
-    let frac = rank -. float_of_int lo in
-    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
 (* Ask the target for its router-side stats; a plain replica answers

@@ -40,6 +40,16 @@ val key_sampler :
 (** A sampling closure over the {!key_weights} distribution;
     deterministic for a given generator state. *)
 
+val percentile : float array -> float -> float
+(** [percentile sorted q] is the nearest-rank [q]-th percentile of an
+    ascending-sorted sample: the element at 1-based rank
+    [ceil (q * n)], clamped to the array — an observed value, never an
+    interpolation. [q] is clamped to [[0, 1]]; [q = 0] returns the
+    minimum, the empty array gives [nan]. Exposed for the unit tests
+    pinning the small-sample behaviour (p99 of fewer than 100 samples
+    is the maximum, and never aliases p95 through fractional-index
+    rounding). *)
+
 val job_line : config -> int -> string
 (** The JSONL job spec for key [k]: a deterministic point on a
     (reward-variance × horizon) parameter grid, so distinct keys have

@@ -1,19 +1,9 @@
-(* Line-oriented socket I/O for the router's replica connections and
-   the load generator: one JSONL request out, one JSONL response back,
-   over a raw file descriptor with an optional receive deadline.
+(* The cluster tier's line-oriented socket I/O is the solver service's
+   shared helper ({!Mrm_server.Wire}) — one EINTR-retrying
+   implementation on both sides of the wire — plus endpoint dialing
+   with an optional send/receive deadline. *)
 
-   Channels (in_channel/out_channel) are deliberately avoided here:
-   a pooled connection moves between handler threads, and the raw
-   descriptor plus an explicit residue buffer keeps the state obvious
-   and the timeout behaviour (EAGAIN from SO_RCVTIMEO) catchable. *)
-
-type conn = {
-  fd : Unix.file_descr;
-  rbuf : Buffer.t;  (* bytes read past the last returned line *)
-}
-
-exception Timeout
-exception Closed
+include Mrm_server.Wire
 
 let connect ?timeout endpoint =
   let fd = Mrm_server.Client.connect endpoint in
@@ -22,65 +12,4 @@ let connect ?timeout endpoint =
       Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
   | Some _ | None -> ());
-  { fd; rbuf = Buffer.create 512 }
-
-let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
-
-let write_line conn line =
-  let payload = Bytes.of_string (line ^ "\n") in
-  let len = Bytes.length payload in
-  let rec push off =
-    if off < len then begin
-      match Unix.write conn.fd payload off (len - off) with
-      | 0 -> raise Closed
-      | n -> push (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-          (* the systhreads tick signal interrupts blocking syscalls;
-             an interrupted write is not a dead backend *)
-          push off
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-        ->
-          raise Timeout
-    end
-  in
-  push 0
-
-(* Extract the first complete line of [b], leaving the rest in place. *)
-let take_line b =
-  let s = Buffer.contents b in
-  match String.index_opt s '\n' with
-  | None -> None
-  | Some i ->
-      Buffer.clear b;
-      Buffer.add_substring b s (i + 1) (String.length s - i - 1);
-      Some (String.sub s 0 i)
-
-let read_line conn =
-  let chunk = Bytes.create 4096 in
-  let rec fill () =
-    match take_line conn.rbuf with
-    | Some line -> line
-    | None -> begin
-        match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
-        | 0 -> raise Closed
-        | n ->
-            Buffer.add_subbytes conn.rbuf chunk 0 n;
-            fill ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-          ->
-            raise Timeout
-      end
-  in
-  fill ()
-
-(* One lockstep exchange; any transport failure is an [Error]. *)
-let exchange conn line =
-  match
-    write_line conn line;
-    read_line conn
-  with
-  | response -> Ok response
-  | exception Timeout -> Error "timed out waiting for the response"
-  | exception Closed -> Error "connection closed"
-  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  of_fd fd

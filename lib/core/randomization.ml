@@ -1,6 +1,5 @@
 module Generator = Mrm_ctmc.Generator
 module Poisson = Mrm_ctmc.Poisson
-module Sparse = Mrm_linalg.Sparse
 module Vec = Mrm_linalg.Vec
 module Special = Mrm_util.Special
 module Pool = Mrm_engine.Pool
@@ -123,84 +122,104 @@ let validate_model model ~t ~order ~eps ~jobs =
     (Model.check_data model)
 
 (* ------------------------------------------------------------------ *)
-(* Parallel execution context: a domain pool plus a row partition of
-   the uniformized generator, balanced by nnz (see Mrm_engine). [None]
-   — no pool given, or a 1-job pool — takes the original sequential
-   loops untouched. *)
+(* The fused, double-buffered uniformization sweep shared by the
+   sequential and parallel paths.
 
-type par = { pool : Pool.t; partition : Partition.t }
+   Execution context: the detected matrix structure (tridiagonal band
+   for birth-death generators, CSR otherwise) plus a row partition.
+   With a multi-domain pool the partition is pinned — exactly one
+   range per pool party ([Partition.pinned]) — so [Kernel.sweep] can
+   keep every party on its own rows for all G iterations with a single
+   barrier per iteration. Without a pool (or with 1 job) the same
+   round bodies run in the caller over one full-width range, which is
+   bit-for-bit identical because rounds write disjoint row slices. *)
 
-let par_context pool q' =
+type sweep_ctx = {
+  sw_pool : Pool.t option;
+  sw_partition : Partition.t;
+  sw_structure : Kernel.structure;
+}
+
+let sweep_context pool q' ~n_states =
+  let structure = Kernel.detect q' in
+  Trace.add_attr "structure" (Trace.Str (Kernel.structure_kind structure));
   match pool with
-  | Some pool when Pool.jobs pool > 1 ->
-      Some { pool; partition = Partition.of_pool_for ~jobs:(Pool.jobs pool) q' }
-  | _ -> None
+  | Some p when Pool.jobs p > 1 ->
+      {
+        sw_pool = Some p;
+        sw_partition = Partition.pinned ~jobs:(Pool.jobs p) q';
+        sw_structure = structure;
+      }
+  | _ ->
+      {
+        sw_pool = None;
+        sw_partition = Partition.uniform ~parts:1 ~rows:n_states;
+        sw_structure = structure;
+      }
 
 let pool_jobs = function None -> 1 | Some pool -> Pool.jobs pool
 
-(* One uniformization step U^(j)(k) -> U^(j)(k+1) for every order j,
-   highest first (so lower orders still hold step-k values when read):
-   scratch := Q' U^(j) + R' U^(j-1) + (1/2) S' U^(j-2), then
-   U^(j) := scratch. The parallel body fuses the mat-vec row slice
-   with the reward-vector terms into a single region per order; the
-   copy needs its own region because the mat-vec reads U^(j) at
-   columns outside the local row range. *)
-let advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states =
-  for j = order downto 1 do
-    let uj1 = u.(j - 1) in
-    (match par with
-    | None -> begin
-        Sparse.mv_into q' u.(j) scratch;
-        for i = 0 to n_states - 1 do
-          scratch.(i) <- scratch.(i) +. (r'.(i) *. uj1.(i))
-        done;
-        if j >= 2 then begin
-          let uj2 = u.(j - 2) in
-          for i = 0 to n_states - 1 do
-            scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. uj2.(i))
-          done
-        end
-      end
-    | Some { pool; partition } -> begin
-        let uj = u.(j) in
-        let uj2 = if j >= 2 then Some u.(j - 2) else None in
-        Kernel.for_ranges pool partition (fun lo hi ->
-            Sparse.mv_into_range q' uj scratch ~lo ~hi;
-            for i = lo to hi - 1 do
-              scratch.(i) <- scratch.(i) +. (r'.(i) *. uj1.(i))
-            done;
-            match uj2 with
-            | None -> ()
-            | Some uj2 ->
-                for i = lo to hi - 1 do
-                  scratch.(i) <- scratch.(i) +. (0.5 *. s'.(i) *. uj2.(i))
-                done)
-      end);
-    match par with
-    | None -> Array.blit scratch 0 u.(j) 0 n_states
-    | Some { pool; partition } -> Kernel.copy_into pool partition scratch u.(j)
-  done
+(* Run the whole recursion: G rounds, round k advancing U(k) -> U(k+1)
+   and folding U(k+1) into the accumulators listed in [terms.(k+1)].
 
-(* acc.(j) += w * u.(j) for j = 1..order and every (w, acc) term —
-   one fused region for all accumulator blocks touched this step (the
-   multi-time sweep feeds several). Callers drop zero-weight terms. *)
-let accumulate ~par ~u ~order terms =
-  match par with
-  | None ->
-      List.iter
-        (fun (w, acc) ->
-          for j = 1 to order do
-            Vec.axpy ~alpha:w ~x:u.(j) ~y:acc.(j)
-          done)
-        terms
-  | Some { pool; partition } ->
-      Kernel.for_ranges pool partition (fun lo hi ->
-          List.iter
-            (fun (w, acc) ->
-              for j = 1 to order do
-                Vec.axpy_range ~alpha:w ~x:u.(j) ~y:acc.(j) ~lo ~hi
-              done)
-            terms)
+   U^(j)(k+1) = Q' U^(j)(k) + R' U^(j-1)(k) + (1/2) S' U^(j-2)(k);
+   U^(0)(k) = h always (the generator is conservative), kept implicit
+   as the shared, never-written [ones] vector at index 0 of both
+   buffers. Reads go to the current buffer, writes to the next, so one
+   barrier per round suffices and every per-row quantity is computed
+   in a single pass: the matrix row is walked once for all orders
+   ([Kernel.mv_fused]), then the reward-vector terms are added in the
+   original element-wise operation order (dot, then the R' term, then
+   the S' term, highest order first), then the step's Poisson terms
+   are folded into their accumulator blocks. The element-wise
+   operation sequence is exactly the one the historic
+   advance/accumulate pair performed, so results are bit-for-bit
+   unchanged — sequential or parallel, CSR or tridiagonal.
+
+   [terms.(k)] lists the (weight, accumulator-block) pairs step k
+   contributes to; zero-weight terms were dropped (and counted) by the
+   caller. [terms.(0)] is never read: U^(j)(0) = 0 for j >= 1, and
+   adding w * 0. to a +0. accumulator leaves +0. bit-for-bit, so the
+   historic k = 0 accumulation was a no-op. *)
+let run_sweep ctx ~r' ~s' ~order ~n_states ~g ~terms =
+  let ones = Vec.ones n_states in
+  let make_u () =
+    Array.init (order + 1) (fun j ->
+        if j = 0 then ones else Vec.zeros n_states)
+  in
+  let buf_a = make_u () and buf_b = make_u () in
+  (* Kernel views, highest order first, mirroring the historic loop. *)
+  let heads buf = Array.init order (fun idx -> buf.(order - idx)) in
+  let heads_a = heads buf_a and heads_b = heads buf_b in
+  let body ~round ~lo ~hi =
+    let cur, next, xs, ys =
+      if round land 1 = 0 then (buf_a, buf_b, heads_a, heads_b)
+      else (buf_b, buf_a, heads_b, heads_a)
+    in
+    Kernel.mv_fused ctx.sw_structure xs ys ~lo ~hi;
+    for j = order downto 1 do
+      let nj = next.(j) and cj1 = cur.(j - 1) in
+      for i = lo to hi - 1 do
+        nj.(i) <- nj.(i) +. (r'.(i) *. cj1.(i))
+      done;
+      if j >= 2 then begin
+        let cj2 = cur.(j - 2) in
+        for i = lo to hi - 1 do
+          nj.(i) <- nj.(i) +. (0.5 *. s'.(i) *. cj2.(i))
+        done
+      end
+    done;
+    List.iter
+      (fun (w, acc) ->
+        for j = 1 to order do
+          let accj = acc.(j) and nj = next.(j) in
+          for i = lo to hi - 1 do
+            accj.(i) <- accj.(i) +. (w *. nj.(i))
+          done
+        done)
+      terms.(round + 1)
+  in
+  Kernel.sweep ctx.sw_pool ctx.sw_partition ~rounds:g body
 
 let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
   if validate then
@@ -277,24 +296,23 @@ let moments ?(validate = false) ?(eps = 1e-9) ?pool model ~t ~order =
       record_truncation g;
       Trace.add_attr "q" (Trace.Float q);
       Trace.add_attr "d" (Trace.Float d);
-      (* u.(j) holds U^(j)(k); accumulators acc.(j) build
-         sum_k Pois(lambda;k) U^(j)(k). U^(0)(k) = h for every k because
-         the generator is conservative (Q' h = h), so order 0 is kept
-         implicit and costs nothing. *)
-      let u = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
-      u.(0) <- Vec.ones n_states;
+      (* Accumulators acc.(j) build sum_k Pois(lambda;k) U^(j)(k).
+         U^(0)(k) = h for every k because the generator is conservative
+         (Q' h = h), so order 0 is kept implicit and costs nothing. *)
       let acc = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
-      let scratch = Vec.zeros n_states in
-      let par = par_context pool q' in
+      let ctx = sweep_context pool q' ~n_states in
       Trace.with_span "randomization.sweep" ~attrs:[ ("G", Trace.Int g) ]
         (fun () ->
-          for k = 0 to g do
-            let w = Poisson.pmf ~lambda k in
-            if w > 0. then accumulate ~par ~u ~order [ (w, acc) ]
-            else Metrics.incr m_terms_skipped;
-            if k < g then
-              advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
-          done);
+          let terms =
+            Array.init (g + 1) (fun k ->
+                let w = Poisson.pmf ~lambda k in
+                if w > 0. then [ (w, acc) ]
+                else begin
+                  Metrics.incr m_terms_skipped;
+                  []
+                end)
+          in
+          if order >= 1 then run_sweep ctx ~r' ~s' ~order ~n_states ~g ~terms);
       (* V^(n) = n! d^n * acc_n; V^(0) = h exactly. *)
       let shifted_moments =
         Trace.with_span "randomization.finalize" (fun () ->
@@ -369,34 +387,30 @@ let moments_at_times ?(validate = false) ?(eps = 1e-9) ?pool model ~times
     let q' = Generator.uniformized model.Model.generator ~rate:q in
     let r' = Array.map (fun r -> r /. (q *. d)) shifted_rates in
     let s' = Array.map (fun v -> v /. (q *. d *. d)) model.Model.variances in
-    let u = Array.init (order + 1) (fun _ -> Vec.zeros n_states) in
-    u.(0) <- Vec.ones n_states;
     (* One accumulator block per requested time point. *)
     let accumulators =
       Array.map
         (fun _ -> Array.init (order + 1) (fun _ -> Vec.zeros n_states))
         times
     in
-    let scratch = Vec.zeros n_states in
-    let par = par_context pool q' in
+    let ctx = sweep_context pool q' ~n_states in
     Trace.with_span "randomization.sweep" ~attrs:[ ("G", Trace.Int g) ]
       (fun () ->
-        for k = 0 to g do
-          let terms = ref [] in
-          Array.iteri
-            (fun time_index t ->
-              if needs_sweep t && k <= g_of_t.(time_index) then begin
-                let w = Poisson.pmf ~lambda:(q *. t) k in
-                if w > 0. then
-                  terms := (w, accumulators.(time_index)) :: !terms
-                else Metrics.incr m_terms_skipped
-              end)
-            times;
-          (match !terms with
-          | [] -> ()
-          | terms -> accumulate ~par ~u ~order terms);
-          if k < g then advance ~par ~q' ~r' ~s' ~u ~scratch ~order ~n_states
-        done);
+        let terms =
+          Array.init (g + 1) (fun k ->
+              let step_terms = ref [] in
+              Array.iteri
+                (fun time_index t ->
+                  if needs_sweep t && k <= g_of_t.(time_index) then begin
+                    let w = Poisson.pmf ~lambda:(q *. t) k in
+                    if w > 0. then
+                      step_terms := (w, accumulators.(time_index)) :: !step_terms
+                    else Metrics.incr m_terms_skipped
+                  end)
+                times;
+              !step_terms)
+        in
+        run_sweep ctx ~r' ~s' ~order ~n_states ~g ~terms);
     Array.mapi
       (fun time_index t ->
         if not (needs_sweep t) then moments ~eps ?pool model ~t ~order

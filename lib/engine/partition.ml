@@ -48,13 +48,11 @@ let by_nnz ~parts matrix =
     { ranges = Array.init parts (fun k -> (bounds.(k), bounds.(k + 1))); rows }
   end
 
-let of_pool_for ~jobs matrix =
-  let rows = Sparse.rows matrix in
-  let parts = max 1 (min (max 1 rows) (4 * jobs)) in
-  let partition = by_nnz ~parts matrix in
-  (* Worst-case load ratio of the partition: parts * max_part_nnz /
-     total_nnz, 1.0 = perfectly balanced. Recorded as a running maximum
-     so a long run surfaces its worst split. *)
+(* Worst-case load ratio of the partition: parts * max_part_nnz /
+   total_nnz, 1.0 = perfectly balanced. Recorded as a running maximum
+   so a long run surfaces its worst split. *)
+let record_imbalance partition matrix =
+  let parts = Array.length partition.ranges in
   let total = Sparse.nnz matrix in
   if total > 0 && parts > 1 then begin
     let offsets = Sparse.row_offsets matrix in
@@ -66,6 +64,20 @@ let of_pool_for ~jobs matrix =
       (float_of_int (parts * !worst) /. float_of_int total)
   end;
   partition
+
+let of_pool_for ~jobs matrix =
+  let rows = Sparse.rows matrix in
+  let parts = max 1 (min (max 1 rows) (4 * jobs)) in
+  record_imbalance (by_nnz ~parts matrix) matrix
+
+let pinned ~jobs matrix =
+  if jobs < 1 then invalid_arg "Partition.pinned: jobs must be >= 1";
+  (* Exactly one range per party — the barrier protocol of
+     [Pool.run_pinned] requires parts = parties <= jobs, and every
+     party must own a range (possibly empty) so all of them keep
+     meeting the barrier. No 4x slack: pinned ranges are not
+     rescheduled, balance comes entirely from the nnz split. *)
+  record_imbalance (by_nnz ~parts:jobs matrix) matrix
 
 let of_ranges ~rows ranges =
   if rows < 0 then invalid_arg "Partition.of_ranges: negative rows";

@@ -36,8 +36,17 @@ val of_ranges : rows:int -> (int * int) array -> t
     ranges silently race. @raise Invalid_argument when [rows < 0]. *)
 
 val of_pool_for : jobs:int -> Mrm_linalg.Sparse.t -> t
-(** The partition the solvers use: {!by_nnz} with [4 * jobs] parts
-    (capped at the row count) — enough slack for the dynamic scheduler
-    to absorb load imbalance without measurable dispatch overhead. *)
+(** The partition the dynamically scheduled kernels use: {!by_nnz}
+    with [4 * jobs] parts (capped at the row count) — enough slack for
+    the dynamic scheduler to absorb load imbalance without measurable
+    dispatch overhead. *)
+
+val pinned : jobs:int -> Mrm_linalg.Sparse.t -> t
+(** The partition the persistent-chunk sweep uses: {!by_nnz} with
+    {e exactly} [jobs] parts, one per pool party, even when
+    [jobs > rows] (the surplus ranges are empty but their parties still
+    take part in every barrier). No 4x slack — a pinned range is never
+    rescheduled, so balance comes entirely from the nnz split.
+    @raise Invalid_argument when [jobs < 1]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -26,10 +26,20 @@ let create ?jobs () =
 let jobs = Pool_backend.jobs
 let shutdown = Pool_backend.shutdown
 
+let recommended_jobs = Pool_backend.recommended_jobs
+
 let run pool n f =
   Mrm_obs.Metrics.incr m_runs;
   Mrm_obs.Metrics.incr ~by:(max 0 n) m_jobs;
   Pool_backend.run pool n f
+
+let run_pinned pool ~parties ~rounds body =
+  let accepted = Pool_backend.run_pinned pool ~parties ~rounds body in
+  if accepted then begin
+    Mrm_obs.Metrics.incr m_runs;
+    Mrm_obs.Metrics.incr ~by:(max 0 parties) m_jobs
+  end;
+  accepted
 
 let with_pool ?jobs f =
   let pool = create ?jobs () in

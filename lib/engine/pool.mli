@@ -27,6 +27,12 @@ val default_jobs : unit -> int
 (** [MRM2_JOBS] when set, else [Domain.recommended_domain_count ()]
     (1 on the sequential backend). *)
 
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5, [1] on the
+    sequential backend — the machine's usable core count, ignoring
+    [MRM2_JOBS]. Lets callers (benchmarks, smoke tests) distinguish "the
+    user asked for N domains" from "the hardware can actually run N". *)
+
 val create : ?jobs:int -> unit -> t
 (** [jobs] defaults to {!default_jobs}.
     @raise Invalid_argument when [jobs < 1]. *)
@@ -48,6 +54,18 @@ val run : t -> int -> (int -> unit) -> unit
     re-raised afterwards and the pool survives. Re-entrant use —
     [body] calling [run]/[parallel_for] on the same pool — degrades to
     sequential execution instead of deadlocking. *)
+
+val run_pinned :
+  t -> parties:int -> rounds:int -> (round:int -> int -> unit) -> bool
+(** Persistent-chunk execution (see {!Pool_backend.run_pinned}): task
+    [k] runs [body ~round k] for [round = 0 .. rounds-1] pinned to one
+    domain, with a barrier between rounds — one synchronization per
+    round instead of a batch publish per kernel call. Returns [false]
+    without running anything when the pool cannot hold the protocol
+    (1 job, [parties < 2], [parties > jobs], busy, or the sequential
+    backend); callers fall back to an in-caller loop, which computes
+    bit-for-bit the same result when round bodies write disjoint
+    slices. *)
 
 val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for pool ~n f] applies [f] to [0 .. n-1], grouping

@@ -79,8 +79,16 @@ let drain pool batch =
   in
   loop ()
 
-let worker pool =
-  let seen = ref (fst (Atomic.get pool.current)) in
+(* [seen0] is the generation current when the pool was created,
+   captured by the spawning domain. The worker must NOT snapshot it
+   itself: on a single-core machine the spawner routinely publishes the
+   first batch before the worker executes its first instruction, and a
+   worker-side snapshot would mark that batch already-seen. Plain [run]
+   survives that (the publisher drains every task itself); [run_pinned]
+   does not — its parties block on each other at the barrier, so a
+   missing party deadlocks the sweep. *)
+let worker pool seen0 =
+  let seen = ref seen0 in
   let rec wait spins =
     if Atomic.get pool.stop then None
     else begin
@@ -134,9 +142,42 @@ let create ~jobs:n_jobs =
       workers = [||];
     }
   in
+  let seen0 = fst (Atomic.get pool.current) in
   pool.workers <-
-    Array.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    Array.init (n_jobs - 1) (fun _ ->
+        Domain.spawn (fun () -> worker pool seen0));
   pool
+
+(* Publish a batch, participate in draining it, wait for stragglers,
+   re-raise the first recorded failure. Caller must hold [busy]. *)
+let execute_batch pool batch =
+  let n = batch.size in
+  let generation = fst (Atomic.get pool.current) + 1 in
+  Mutex.lock pool.mutex;
+  pool.failure <- None;
+  Atomic.set pool.current (generation, batch);
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  (* The caller is a pool member too. *)
+  drain pool batch;
+  (* Wait for straggling workers: brief spin, then block. *)
+  let spins = ref spin_budget in
+  while Atomic.get batch.completed < n && !spins > 0 do
+    Domain.cpu_relax ();
+    decr spins
+  done;
+  if Atomic.get batch.completed < n then begin
+    Mutex.lock pool.mutex;
+    while Atomic.get batch.completed < n do
+      Condition.wait pool.finished pool.mutex
+    done;
+    Mutex.unlock pool.mutex
+  end;
+  let failure = pool.failure in
+  pool.failure <- None;
+  match failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let run pool n body =
   if n <= 0 then ()
@@ -147,39 +188,106 @@ let run pool n body =
     (* Single-job pools, single tasks, and re-entrant/concurrent runs
        take the zero-overhead in-caller path. *)
     run_sequential n body
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set pool.busy false)
+      (fun () ->
+        execute_batch pool
+          { body; size = n; next = Atomic.make 0; completed = Atomic.make 0 })
+
+(* ------------------------------------------------------------------ *)
+(* Pinned rounds: [parties] tasks that each survive [rounds] rounds,
+   separated by a barrier, instead of republishing a batch per round.
+   A randomization sweep at G ~ 40,000 iterations pays one barrier per
+   iteration here versus ~7 full publish/drain/finish cycles before.
+
+   The barrier is hybrid like the pool's other waits: a bounded
+   cpu_relax spin for the back-to-back iteration hand-off, then a
+   condition variable so an oversubscribed machine never live-locks. *)
+
+type barrier = {
+  b_mutex : Mutex.t;
+  b_cond : Condition.t;
+  b_parties : int;
+  b_arrived : int Atomic.t;
+  b_round : int Atomic.t;  (* generation: bumped when a round releases *)
+}
+
+let barrier_create parties =
+  {
+    b_mutex = Mutex.create ();
+    b_cond = Condition.create ();
+    b_parties = parties;
+    b_arrived = Atomic.make 0;
+    b_round = Atomic.make 0;
+  }
+
+let barrier_wait b =
+  (* Capture the generation BEFORE arriving: once the last party bumps
+     it, earlier arrivals may already be racing into the next round. *)
+  let round = Atomic.get b.b_round in
+  let arrived = 1 + Atomic.fetch_and_add b.b_arrived 1 in
+  if Int.equal arrived b.b_parties then begin
+    (* Reset before release: nobody re-enters barrier_wait until they
+       observe the new generation, which is published after this. *)
+    Atomic.set b.b_arrived 0;
+    Mutex.lock b.b_mutex;
+    Atomic.incr b.b_round;
+    Condition.broadcast b.b_cond;
+    Mutex.unlock b.b_mutex
+  end
+  else begin
+    let spins = ref spin_budget in
+    while !spins > 0 && Int.equal (Atomic.get b.b_round) round do
+      Domain.cpu_relax ();
+      decr spins
+    done;
+    if Int.equal (Atomic.get b.b_round) round then begin
+      Mutex.lock b.b_mutex;
+      while Int.equal (Atomic.get b.b_round) round do
+        Condition.wait b.b_cond b.b_mutex
+      done;
+      Mutex.unlock b.b_mutex
+    end
+  end
+
+let run_pinned pool ~parties ~rounds body =
+  if
+    pool.n_jobs = 1 || parties < 2 || parties > pool.n_jobs || rounds < 1
+  then false
+  else if not (Atomic.compare_and_set pool.busy false true) then
+    (* Concurrent/re-entrant use: the caller falls back to its own
+       sequential loop, exactly like [run] degrading. *)
+    false
   else begin
     Fun.protect
       ~finally:(fun () -> Atomic.set pool.busy false)
       (fun () ->
-        let batch =
-          { body; size = n; next = Atomic.make 0; completed = Atomic.make 0 }
+        let barrier = barrier_create parties in
+        let failed = Atomic.make false in
+        (* Every party must keep arriving at the barrier even after a
+           failure, or the others deadlock; after the first recorded
+           failure the remaining rounds skip their bodies (the batch
+           re-raises, so the half-written results are never observed). *)
+        let task k =
+          for round = 0 to rounds - 1 do
+            if not (Atomic.get failed) then begin
+              try body ~round k
+              with e ->
+                record_failure pool e (Printexc.get_raw_backtrace ());
+                Atomic.set failed true
+            end;
+            if round < rounds - 1 then barrier_wait barrier
+          done
         in
-        let generation = fst (Atomic.get pool.current) + 1 in
-        Mutex.lock pool.mutex;
-        pool.failure <- None;
-        Atomic.set pool.current (generation, batch);
-        Condition.broadcast pool.work;
-        Mutex.unlock pool.mutex;
-        (* The caller is a pool member too. *)
-        drain pool batch;
-        (* Wait for straggling workers: brief spin, then block. *)
-        let spins = ref spin_budget in
-        while Atomic.get batch.completed < n && !spins > 0 do
-          Domain.cpu_relax ();
-          decr spins
-        done;
-        if Atomic.get batch.completed < n then begin
-          Mutex.lock pool.mutex;
-          while Atomic.get batch.completed < n do
-            Condition.wait pool.finished pool.mutex
-          done;
-          Mutex.unlock pool.mutex
-        end;
-        let failure = pool.failure in
-        pool.failure <- None;
-        match failure with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
+        execute_batch pool
+          {
+            body = task;
+            size = parties;
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+          });
+    true
   end
 
 let shutdown pool =

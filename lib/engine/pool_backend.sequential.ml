@@ -30,4 +30,6 @@ let run _pool n body =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
+let run_pinned _pool ~parties:_ ~rounds:_ _body = false
+
 let shutdown _pool = ()

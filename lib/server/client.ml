@@ -89,31 +89,30 @@ let request_id line lineno =
     end
   | Error _ -> Printf.sprintf "req-%d" lineno
 
-(* One lockstep exchange over open channels. Raises [Disconnected]
-   when the transport fails before the response arrives — including a
-   receive timeout, which surfaces from the channel as [Sys_error]. *)
-let exchange ~ic ~oc ~summary line lineno =
+(* One lockstep exchange over an open connection. Raises [Disconnected]
+   when the transport fails before the response arrives — a receive
+   timeout ([Wire.Timeout]), a closed peer ([Wire.Closed]), or any
+   other socket failure. EINTR from the systhreads tick signal is
+   retried inside {!Wire} and never surfaces here (the channel-based
+   predecessor mistook it for a disconnect). *)
+let exchange ~conn ~summary line lineno =
   let id = request_id line lineno in
-  (match
-     output_string oc line;
-     output_char oc '\n';
-     flush oc
-   with
+  let fail msg = raise (Disconnected (Printf.sprintf "%s: %s" id msg)) in
+  (match Wire.write_line conn line with
   | () -> ()
-  | exception Sys_error msg ->
-      raise (Disconnected (Printf.sprintf "%s: %s" id msg)));
-  match input_line ic with
-  | exception End_of_file ->
-      raise (Disconnected (Printf.sprintf "%s: connection closed" id))
-  | exception Sys_error msg ->
-      raise (Disconnected (Printf.sprintf "%s: %s" id msg))
+  | exception Wire.Timeout -> fail "send timed out"
+  | exception Wire.Closed -> fail "connection closed"
+  | exception Unix.Unix_error (err, _, _) -> fail (Unix.error_message err));
+  match Wire.read_line conn with
+  | exception Wire.Timeout -> fail "receive timed out"
+  | exception Wire.Closed -> fail "connection closed"
+  | exception Unix.Unix_error (err, _, _) -> fail (Unix.error_message err)
   | response ->
       summary := absorb !summary response;
       response
 
 let session ~fd ~input ~on_response =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+  let conn = Wire.of_fd fd in
   let summary = ref empty_summary in
   let lineno = ref 0 in
   let rec loop () =
@@ -123,7 +122,7 @@ let session ~fd ~input ~on_response =
         incr lineno;
         let trimmed = String.trim line in
         if trimmed <> "" then
-          on_response (exchange ~ic ~oc ~summary trimmed !lineno);
+          on_response (exchange ~conn ~summary trimmed !lineno);
         loop ()
   in
   loop ();
@@ -191,12 +190,11 @@ let call ?(retries = 0) ?(timeout = 0.)
            && retry ~what:("connect: " ^ Unix.error_message err) ->
         ()
     | fd ->
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
+        let conn = Wire.of_fd fd in
         let drive () =
           while !next < Array.length lines do
             let line, lineno = lines.(!next) in
-            let response = exchange ~ic ~oc ~summary line lineno in
+            let response = exchange ~conn ~summary line lineno in
             failures := 0;
             incr next;
             on_response response

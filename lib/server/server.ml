@@ -218,25 +218,26 @@ let unregister h conn =
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 let handle_connection h conn =
-  let ic = Unix.in_channel_of_descr conn.fd in
-  let oc = Unix.out_channel_of_descr conn.fd in
+  (* Raw-descriptor line I/O via [Wire]: EINTR from the systhreads tick
+     signal is retried instead of surfacing as a bogus disconnect (the
+     buffered-channel predecessor dropped the client on it). A drain's
+     half-close ([SHUTDOWN_RECEIVE]) makes the blocked read return 0,
+     i.e. [Wire.Closed]. *)
+  let wire = Wire.of_fd conn.fd in
   let lineno = ref 0 in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
+    match Wire.read_line wire with
+    | exception (Wire.Closed | Wire.Timeout) -> ()
+    | exception Unix.Unix_error _ -> ()
     | line ->
         incr lineno;
         if String.trim line = "" then loop ()
         else begin
           let response = process h ~lineno:!lineno (String.trim line) in
-          match
-            output_string oc response;
-            output_char oc '\n';
-            flush oc
-          with
+          match Wire.write_line wire response with
           | () -> if Atomic.get h.stop then () else loop ()
-          | exception Sys_error _ -> ()
+          | exception (Wire.Closed | Wire.Timeout) -> ()
+          | exception Unix.Unix_error _ -> ()
         end
   in
   Fun.protect ~finally:(fun () -> unregister h conn) loop

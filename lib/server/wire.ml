@@ -1,0 +1,90 @@
+(* Line-oriented socket I/O shared by the solver service (both sides)
+   and the cluster tier: one JSONL line out, one line back, over a raw
+   file descriptor with an explicit residue buffer.
+
+   Channels (in_channel/out_channel) are deliberately avoided: a pooled
+   connection moves between handler threads, the timeout behaviour
+   (EAGAIN from SO_RCVTIMEO) must stay catchable instead of corrupting
+   a buffered channel, and — crucially — the systhreads tick signal
+   (SIGVTALRM) interrupts blocking syscalls. OCaml signal handlers are
+   installed without SA_RESTART, so every read/write here retries
+   EINTR: an interrupted syscall is not a dead peer. The channel-based
+   code this replaces surfaced EINTR as [Sys_error] and treated it as a
+   disconnect. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* bytes read past the last returned line *)
+}
+
+exception Timeout
+exception Closed
+
+let of_fd fd = { fd; rbuf = Buffer.create 512 }
+let fd conn = conn.fd
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let write_line conn line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec push off =
+    if off < len then begin
+      (* single_write, not write: [Unix.write] loops over internal
+         chunks and can raise EINTR after SOME chunks already hit the
+         socket, so retrying from [off] would duplicate bytes on the
+         wire. [single_write] issues exactly one write(2), making
+         "EINTR => nothing was written" actually hold. *)
+      match Unix.single_write conn.fd payload off (len - off) with
+      | 0 -> raise Closed
+      | n -> push (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          (* the systhreads tick signal interrupts blocking syscalls;
+             an interrupted write is not a dead peer *)
+          push off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          raise Timeout
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> raise Closed
+    end
+  in
+  push 0
+
+(* Extract the first complete line of [b], leaving the rest in place. *)
+let take_line b =
+  let s = Buffer.contents b in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear b;
+      Buffer.add_substring b s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+let read_line conn =
+  let chunk = Bytes.create 4096 in
+  let rec fill () =
+    match take_line conn.rbuf with
+    | Some line -> line
+    | None -> begin
+        match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise Closed
+        | n ->
+            Buffer.add_subbytes conn.rbuf chunk 0 n;
+            fill ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            raise Timeout
+      end
+  in
+  fill ()
+
+(* One lockstep exchange; any transport failure is an [Error]. *)
+let exchange conn line =
+  match
+    write_line conn line;
+    read_line conn
+  with
+  | response -> Ok response
+  | exception Timeout -> Error "timed out waiting for the response"
+  | exception Closed -> Error "connection closed"
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)

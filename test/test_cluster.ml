@@ -205,6 +205,39 @@ let test_loadgen_sampler () =
     true
     (head > 250)
 
+let test_loadgen_percentile_nearest_rank () =
+  (* Nearest-rank: index ceil(q*n) - 1, clamped. Pinned on the sample
+     counts where the old interpolating version misbehaved: tiny arrays
+     (p99 indexing past the end / aliasing p95) and exactly 100. *)
+  let p sorted q = Loadgen.percentile sorted q in
+  (* n = 1: every percentile is the only sample *)
+  let one = [| 42. |] in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "n=1, q=%g" q)
+        42. (p one q))
+    [ 0.; 0.5; 0.95; 0.99; 1. ];
+  (* n = 3: p50 -> rank 2 (the median), p95/p99 -> rank 3 (the max),
+     never an out-of-bounds index and never p95 = p50 aliasing *)
+  let three = [| 10.; 20.; 30. |] in
+  Alcotest.(check (float 0.)) "n=3 p0" 10. (p three 0.);
+  Alcotest.(check (float 0.)) "n=3 p50" 20. (p three 0.5);
+  Alcotest.(check (float 0.)) "n=3 p95" 30. (p three 0.95);
+  Alcotest.(check (float 0.)) "n=3 p99" 30. (p three 0.99);
+  Alcotest.(check (float 0.)) "n=3 p100" 30. (p three 1.);
+  (* n = 100: p95 -> rank 95, p99 -> rank 99 — distinct observed
+     samples, not interpolations, and p99 <> max *)
+  let hundred = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.)) "n=100 p50" 50. (p hundred 0.5);
+  Alcotest.(check (float 0.)) "n=100 p95" 95. (p hundred 0.95);
+  Alcotest.(check (float 0.)) "n=100 p99" 99. (p hundred 0.99);
+  Alcotest.(check (float 0.)) "n=100 p100" 100. (p hundred 1.);
+  (* out-of-range q is clamped, the empty sample is nan *)
+  Alcotest.(check (float 0.)) "q > 1 clamped" 100. (p hundred 1.5);
+  Alcotest.(check (float 0.)) "q < 0 clamped" 1. (p hundred (-0.5));
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (p [||] 0.5))
+
 let test_loadgen_distinct_digests () =
   let cfg = Loadgen.default_config (`Unix "/unused.sock") in
   let digest_of k =
@@ -447,6 +480,8 @@ let () =
       ( "loadgen",
         [
           Alcotest.test_case "key sampler" `Quick test_loadgen_sampler;
+          Alcotest.test_case "nearest-rank percentile" `Quick
+            test_loadgen_percentile_nearest_rank;
           Alcotest.test_case "distinct job digests" `Quick
             test_loadgen_distinct_digests;
         ] );

@@ -740,6 +740,176 @@ let test_racecheck_solve_bit_for_bit () =
   check_results_identical "racecheck on vs off" unchecked checked
 
 (* ------------------------------------------------------------------ *)
+(* Persistent pinned chunks: Pool.run_pinned and Kernel.sweep           *)
+
+let test_run_pinned_semantics () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (* Shapes the barrier protocol cannot serve are refused (the
+         caller falls back), never deadlocked on. *)
+      Alcotest.(check bool)
+        "parties > jobs refused" false
+        (Pool.run_pinned pool ~parties:3 ~rounds:2 (fun ~round:_ _ -> ()));
+      Alcotest.(check bool)
+        "rounds = 0 refused" false
+        (Pool.run_pinned pool ~parties:2 ~rounds:0 (fun ~round:_ _ -> ()));
+      let seq = Atomic.make 0 in
+      let stamp = Array.make_matrix 3 2 (-1) in
+      let accepted =
+        Pool.run_pinned pool ~parties:2 ~rounds:3 (fun ~round k ->
+            stamp.(round).(k) <- Atomic.fetch_and_add seq 1)
+      in
+      (* The sequential backend (OCaml 4) always declines; when the
+         domains backend accepts, every (round, party) pair ran exactly
+         once and the barrier totally orders rounds. *)
+      if accepted then begin
+        Alcotest.(check int) "6 executions" 6 (Atomic.get seq);
+        Array.iteri
+          (fun r per_round ->
+            Array.iteri
+              (fun k s ->
+                if s < 0 then Alcotest.failf "round %d party %d never ran" r k)
+              per_round)
+          stamp;
+        for r = 0 to 1 do
+          let last = max stamp.(r).(0) stamp.(r).(1) in
+          let first = min stamp.(r + 1).(0) stamp.(r + 1).(1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "round %d completes before round %d" r (r + 1))
+            true (last < first)
+        done
+      end)
+
+let test_run_pinned_single_job () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check bool)
+        "1-job pool declines pinned mode" false
+        (Pool.run_pinned pool ~parties:1 ~rounds:2 (fun ~round:_ _ -> ())))
+
+let diagonal_matrix rows =
+  Sparse.of_triplets ~rows ~cols:rows
+    (List.init rows (fun i -> (i, i, 1. +. float_of_int i)))
+
+let check_sweep_coverage name pool partition ~rows ~rounds =
+  let hits = Array.make_matrix rounds rows 0 in
+  Kernel.sweep pool partition ~rounds (fun ~round ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(round).(i) <- hits.(round).(i) + 1
+      done);
+  Array.iteri
+    (fun r per_round ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: every row once in round %d" name r)
+        (Array.make rows 1) per_round)
+    hits
+
+let test_sweep_coverage () =
+  let rows = 10 and rounds = 4 in
+  let m = diagonal_matrix rows in
+  check_sweep_coverage "no pool" None
+    (Partition.pinned ~jobs:1 m)
+    ~rows ~rounds;
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          check_sweep_coverage
+            (Printf.sprintf "jobs=%d pinned" jobs)
+            (Some pool)
+            (Partition.pinned ~jobs m)
+            ~rows ~rounds;
+          (* parts > jobs: run_pinned declines, in-caller fallback *)
+          check_sweep_coverage
+            (Printf.sprintf "jobs=%d fallback" jobs)
+            (Some pool)
+            (Partition.pinned ~jobs:(jobs + 3) m)
+            ~rows ~rounds))
+    job_counts;
+  (* more parties than rows: the surplus pinned ranges are empty
+     (coincident by_nnz boundaries) but their parties still meet every
+     barrier — coverage and termination must hold. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let small = diagonal_matrix 2 in
+      check_sweep_coverage "4 parties, 2 rows" (Some pool)
+        (Partition.pinned ~jobs:4 small)
+        ~rows:2 ~rounds:5)
+
+let test_sweep_exception_propagates () =
+  let m = diagonal_matrix 8 in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let partition = Partition.pinned ~jobs:2 m in
+      let raised =
+        try
+          Kernel.sweep (Some pool) partition ~rounds:3
+            (fun ~round ~lo ~hi:_ ->
+              if round = 1 && lo = 0 then failwith "sweep body exploded");
+          false
+        with Failure msg -> msg = "sweep body exploded"
+      in
+      Alcotest.(check bool) "exception re-raised" true raised;
+      (* the pool survives: plain batches and further pinned sweeps *)
+      let total = Atomic.make 0 in
+      Pool.run pool 10 (fun i -> ignore (Atomic.fetch_and_add total (i + 1)));
+      Alcotest.(check int) "pool survives run" 55 (Atomic.get total);
+      let count = Atomic.make 0 in
+      Kernel.sweep (Some pool) partition ~rounds:2
+        (fun ~round:_ ~lo:_ ~hi:_ -> ignore (Atomic.fetch_and_add count 1));
+      Alcotest.(check int) "pool survives sweep" 4 (Atomic.get count))
+
+let test_sweep_racecheck () =
+  with_racecheck true (fun () ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          let n = 6 in
+          expect_race "sweep overlap" "RACE001" (fun () ->
+              Kernel.sweep (Some pool)
+                (Partition.of_ranges ~rows:n [| (0, 4); (2, n) |])
+                ~rounds:2
+                (fun ~round:_ ~lo:_ ~hi:_ -> ()))))
+
+(* The tentpole parity property: the fused multi-vector product behind
+   the sweep — structure detection included — is bit-for-bit equal to
+   three independent [Sparse.mv_into_range] calls, over random
+   matrices (general CSR and birth-death band), random partition
+   granularities (parts > rows yields empty ranges from coincident
+   by_nnz boundaries). *)
+let prop_mv_fused_matches_mv_into_range =
+  QCheck2.Test.make ~count:150
+    ~name:"Kernel.mv_fused over any partition = 3x mv_into_range (bitwise)"
+    QCheck2.Gen.(
+      let* n = int_range 1 24 in
+      let* banded = bool in
+      let* entries = list_repeat (3 * n) (float_range (-2.) 2.) in
+      let* parts = int_range 1 40 in
+      let* xs_flat = list_repeat (3 * n) (float_range (-1.) 1.) in
+      return (n, banded, entries, parts, Array.of_list xs_flat))
+    (fun (n, banded, entries, parts, xs_flat) ->
+      let triplets =
+        List.mapi
+          (fun k v ->
+            if banded then begin
+              let i = k mod n in
+              let j = max 0 (min (n - 1) (i + (k mod 3) - 1)) in
+              (i, j, v)
+            end
+            else (k mod n, ((k * 5) + 1) mod n, v))
+          entries
+      in
+      let m = Sparse.of_triplets ~rows:n ~cols:n triplets in
+      let structure = Kernel.detect m in
+      (if banded && not (Kernel.structure_kind structure = "tridiagonal")
+       then Alcotest.fail "banded matrix not detected as tridiagonal");
+      let xs = Array.init 3 (fun s -> Array.sub xs_flat (s * n) n) in
+      let got = Array.init 3 (fun _ -> Array.make n Float.nan) in
+      let expected = Array.init 3 (fun _ -> Array.make n Float.nan) in
+      let partition = Partition.pinned ~jobs:parts m in
+      Array.iter
+        (fun (lo, hi) ->
+          Kernel.mv_fused structure xs got ~lo ~hi;
+          for s = 0 to 2 do
+            Sparse.mv_into_range m xs.(s) expected.(s) ~lo ~hi
+          done)
+        (Partition.ranges partition);
+      got = expected)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
@@ -766,6 +936,19 @@ let () =
           to_alcotest prop_partition_covers_random;
         ] );
       ("kernel", [ to_alcotest prop_kernel_matches_sequential ]);
+      ( "sweep",
+        [
+          Alcotest.test_case "run_pinned semantics" `Quick
+            test_run_pinned_semantics;
+          Alcotest.test_case "run_pinned on 1 job" `Quick
+            test_run_pinned_single_job;
+          Alcotest.test_case "coverage (pinned + fallback)" `Quick
+            test_sweep_coverage;
+          Alcotest.test_case "exception propagation" `Quick
+            test_sweep_exception_propagates;
+          Alcotest.test_case "racecheck coverage" `Quick test_sweep_racecheck;
+          to_alcotest prop_mv_fused_matches_mv_into_range;
+        ] );
       ( "racecheck",
         [
           Alcotest.test_case "overlap/gap/bounds rejected" `Quick

@@ -342,6 +342,183 @@ let test_tridiag_invalid () =
     (fun () -> ignore (Tridiag.eigen ~diag:[| 1.; 2. |] ~offdiag:[||]))
 
 (* ------------------------------------------------------------------ *)
+(* Fused multi-vector products and the tridiagonal fast path: every
+   variant must be bit-for-bit equal to independent [mv_into_range]
+   calls — the solver's parallel sweep relies on it. *)
+
+(* Random square CSR matrix as a triplet list; duplicate positions are
+   fine ([of_triplets] merges them). *)
+let gen_square_matrix =
+  QCheck2.Gen.(
+    let* n = int_range 1 20 in
+    let* entries = list_size (int_range 0 (3 * n)) (float_range (-2.) 2.) in
+    let* seed = int_range 1 1000 in
+    let triplets =
+      List.mapi
+        (fun k v -> ((k * seed) mod n, ((k * 7) + seed) mod n, v))
+        entries
+    in
+    return (n, triplets))
+
+let gen_vectors n count =
+  QCheck2.Gen.(
+    list_repeat (count * n) (float_range (-1.) 1.)
+    |> map (fun xs ->
+           let a = Array.of_list xs in
+           Array.init count (fun k -> Array.sub a (k * n) n)))
+
+(* Reference: [count] independent single-vector products over the same
+   range, outputs left untouched outside it. *)
+let reference_multi m xs ~lo ~hi =
+  Array.map
+    (fun x ->
+      let y = Array.make (Sparse.rows m) 0.123456789 in
+      Sparse.mv_into_range m x y ~lo ~hi;
+      y)
+    xs
+
+let prop_mv_multi_bitwise =
+  QCheck2.Test.make ~count:200
+    ~name:"mv{2,3,multi}_into_range = independent mv_into_range (bitwise)"
+    QCheck2.Gen.(
+      let* n, triplets = gen_square_matrix in
+      let* count = int_range 0 5 in
+      let* xs = gen_vectors n count in
+      let* a = int_range 0 n in
+      let* b = int_range 0 n in
+      return (n, triplets, xs, min a b, max a b))
+    (fun (n, triplets, xs, lo, hi) ->
+      let m = Sparse.of_triplets ~rows:n ~cols:n triplets in
+      let count = Array.length xs in
+      let expected = reference_multi m xs ~lo ~hi in
+      let ys = Array.init count (fun _ -> Array.make n 0.123456789) in
+      Sparse.mv_multi_into_range m xs ys ~lo ~hi;
+      let via_multi = expected = ys in
+      let via_pair =
+        count <> 2
+        || begin
+             let ys = Array.init 2 (fun _ -> Array.make n 0.123456789) in
+             Sparse.mv2_into_range m xs.(0) xs.(1) ys.(0) ys.(1) ~lo ~hi;
+             expected = ys
+           end
+      in
+      let via_triple =
+        count <> 3
+        || begin
+             let ys = Array.init 3 (fun _ -> Array.make n 0.123456789) in
+             Sparse.mv3_into_range m xs.(0) xs.(1) xs.(2) ys.(0) ys.(1)
+               ys.(2) ~lo ~hi;
+             expected = ys
+           end
+      in
+      via_multi && via_pair && via_triple)
+
+(* Random birth-death generator-shaped matrix: entries only on the
+   three central diagonals, any of them possibly zero (dropped by
+   [of_triplets], i.e. genuinely absent). *)
+let gen_birth_death =
+  QCheck2.Gen.(
+    let* n = int_range 1 20 in
+    let* diag = list_repeat n (oneof [ return 0.; float_range (-3.) 3. ]) in
+    let* lower =
+      list_repeat (max 0 (n - 1)) (oneof [ return 0.; float_range 0.1 2. ])
+    in
+    let* upper =
+      list_repeat (max 0 (n - 1)) (oneof [ return 0.; float_range 0.1 2. ])
+    in
+    let triplets =
+      List.concat
+        [
+          List.mapi (fun i v -> (i, i, v)) diag;
+          List.mapi (fun i v -> (i + 1, i, v)) lower;
+          List.mapi (fun i v -> (i, i + 1, v)) upper;
+        ]
+    in
+    return (n, triplets))
+
+let prop_tridiag_bitwise =
+  QCheck2.Test.make ~count:200
+    ~name:"tridiag fast path = CSR mv_into_range (bitwise)"
+    QCheck2.Gen.(
+      let* n, triplets = gen_birth_death in
+      let* count = int_range 0 4 in
+      let* xs = gen_vectors n count in
+      let* a = int_range 0 n in
+      let* b = int_range 0 n in
+      return (n, triplets, xs, min a b, max a b))
+    (fun (n, triplets, xs, lo, hi) ->
+      let m = Sparse.of_triplets ~rows:n ~cols:n triplets in
+      match Sparse.as_tridiagonal m with
+      | None -> false (* every generated matrix is tridiagonal *)
+      | Some td ->
+          Sparse.tridiag_dim td = n
+          &&
+          let count = Array.length xs in
+          let expected = reference_multi m xs ~lo ~hi in
+          let ys = Array.init count (fun _ -> Array.make n 0.123456789) in
+          Sparse.tridiag_mv_multi_into_range td xs ys ~lo ~hi;
+          let multi_ok = expected = ys in
+          let single_ok =
+            count < 1
+            || begin
+                 let y = Array.make n 0.123456789 in
+                 Sparse.tridiag_mv_into_range td xs.(0) y ~lo ~hi;
+                 expected.(0) = y
+               end
+          in
+          multi_ok && single_ok)
+
+let test_as_tridiagonal_rejects () =
+  let check name m expected =
+    Alcotest.(check bool)
+      name expected
+      (Option.is_some (Sparse.as_tridiagonal m))
+  in
+  check "off-band entry"
+    (Sparse.of_triplets ~rows:3 ~cols:3 [ (0, 2, 1.); (1, 1, 2.) ])
+    false;
+  check "non-square"
+    (Sparse.of_triplets ~rows:2 ~cols:3 [ (0, 0, 1.) ])
+    false;
+  check "diagonal only"
+    (Sparse.of_triplets ~rows:3 ~cols:3 [ (0, 0, 1.); (2, 2, 5.) ])
+    true;
+  check "empty matrix" (Sparse.of_triplets ~rows:4 ~cols:4 []) true;
+  check "full band"
+    (Sparse.of_triplets ~rows:3 ~cols:3
+       [ (0, 0, 1.); (0, 1, 2.); (1, 0, 3.); (1, 1, 4.); (1, 2, 5.);
+         (2, 1, 6.); (2, 2, 7.) ])
+    true
+
+let test_mv_multi_rejects_aliasing () =
+  let m = Sparse.identity 3 in
+  let x = [| 1.; 2.; 3. |] and x2 = [| 4.; 5.; 6. |] in
+  let y = Array.make 3 0. in
+  Alcotest.check_raises "output aliases input"
+    (Invalid_argument
+       "Sparse.mv_multi_into_range: inputs and outputs must be distinct")
+    (fun () -> Sparse.mv_multi_into_range m [| x |] [| x |] ~lo:0 ~hi:3);
+  Alcotest.check_raises "outputs alias each other"
+    (Invalid_argument
+       "Sparse.mv_multi_into_range: outputs must be distinct")
+    (fun () ->
+      Sparse.mv_multi_into_range m [| x; x2 |] [| y; y |] ~lo:0 ~hi:3)
+
+let test_mv_multi_empty_range () =
+  (* An empty [lo, hi) (coincident by_nnz boundaries produce these)
+     must leave the outputs untouched. *)
+  let m = Sparse.of_triplets ~rows:3 ~cols:3 [ (0, 0, 2.); (2, 1, 1.) ] in
+  let xs = [| [| 1.; 2.; 3. |] |] in
+  let ys = [| [| 9.; 9.; 9. |] |] in
+  Sparse.mv_multi_into_range m xs ys ~lo:2 ~hi:2;
+  check_vec "untouched" [| 9.; 9.; 9. |] ys.(0);
+  match Sparse.as_tridiagonal m with
+  | None -> Alcotest.fail "expected tridiagonal"
+  | Some td ->
+      Sparse.tridiag_mv_multi_into_range td xs ys ~lo:0 ~hi:0;
+      check_vec "tridiag untouched" [| 9.; 9.; 9. |] ys.(0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "mrm_linalg"
@@ -416,5 +593,15 @@ let () =
           Alcotest.test_case "weights sum" `Quick test_tridiag_weights_sum;
           Alcotest.test_case "size one" `Quick test_tridiag_size_one;
           Alcotest.test_case "invalid input" `Quick test_tridiag_invalid;
+        ] );
+      ( "fused kernels",
+        [
+          QCheck_alcotest.to_alcotest prop_mv_multi_bitwise;
+          QCheck_alcotest.to_alcotest prop_tridiag_bitwise;
+          Alcotest.test_case "as_tridiagonal detection" `Quick
+            test_as_tridiagonal_rejects;
+          Alcotest.test_case "aliasing rejected" `Quick
+            test_mv_multi_rejects_aliasing;
+          Alcotest.test_case "empty range" `Quick test_mv_multi_empty_range;
         ] );
     ]

@@ -594,6 +594,138 @@ let test_client_retry_until_server_appears () =
   Alcotest.(check bool) "at least one retry recorded" true
     (summary.Client.retries >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Shared wire helper (EINTR-retrying line I/O)                         *)
+
+module Wire = Mrm_server.Wire
+
+(* Run [f] while an interval timer delivers SIGALRM every few
+   milliseconds to a no-op handler. OCaml installs handlers without
+   SA_RESTART, so any blocking read/write in [f] keeps getting
+   interrupted with EINTR — exactly what the systhreads tick signal
+   does in production. *)
+let with_signal_storm f =
+  let previous = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let stop () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm previous
+  in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.005; it_value = 0.005 });
+  Fun.protect ~finally:stop f
+
+let test_wire_read_survives_eintr () =
+  (* Regression: a blocked read must ride out EINTR instead of treating
+     it as a disconnect (the old channel-based server/client I/O
+     surfaced it as Sys_error and dropped the connection). The writer
+     delays long enough for dozens of SIGALRMs to interrupt the read. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let reader = Wire.of_fd a in
+  Fun.protect
+    ~finally:(fun () ->
+      Wire.close reader;
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      with_signal_storm (fun () ->
+          let writer =
+            Thread.create
+              (fun () ->
+                Thread.delay 0.15;
+                let payload = Bytes.of_string "delayed response\n" in
+                let len = Bytes.length payload in
+                let rec push off =
+                  if off < len then
+                    match Unix.single_write b payload off (len - off) with
+                    | n -> push (off + n)
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                        push off
+                in
+                push 0)
+              ()
+          in
+          let line = Wire.read_line reader in
+          Thread.join writer;
+          Alcotest.(check string)
+            "line received through the storm" "delayed response" line))
+
+let test_wire_write_survives_eintr () =
+  (* Symmetric regression for the send side: pump enough data through a
+     socketpair that writes block on the kernel buffer while the drainer
+     is deliberately slow and signals keep firing. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let writer = Wire.of_fd a in
+  let reader = Wire.of_fd b in
+  Fun.protect
+    ~finally:(fun () ->
+      Wire.close writer;
+      Wire.close reader)
+    (fun () ->
+      with_signal_storm (fun () ->
+          let big = String.make 400_000 'x' in
+          let lines = 4 in
+          let got = ref 0 in
+          let drainer =
+            Thread.create
+              (fun () ->
+                for _ = 1 to lines do
+                  Thread.delay 0.02;
+                  if Wire.read_line reader = big then incr got
+                done)
+              ()
+          in
+          for _ = 1 to lines do
+            Wire.write_line writer big
+          done;
+          Thread.join drainer;
+          Alcotest.(check int) "all payloads crossed intact" lines !got))
+
+let test_wire_residue_and_close () =
+  (* Two lines arriving in one read are split via the residue buffer;
+     EOF surfaces as Closed. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conn = Wire.of_fd a in
+  let payload = Bytes.of_string "first\nsecond\n" in
+  ignore (Unix.write b payload 0 (Bytes.length payload));
+  Unix.close b;
+  Fun.protect
+    ~finally:(fun () -> Wire.close conn)
+    (fun () ->
+      Alcotest.(check string) "first" "first" (Wire.read_line conn);
+      Alcotest.(check string) "second" "second" (Wire.read_line conn);
+      match Wire.read_line conn with
+      | (_ : string) -> Alcotest.fail "EOF must raise Closed"
+      | exception Wire.Closed -> ())
+
+let test_wire_rcvtimeo_is_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.setsockopt_float a Unix.SO_RCVTIMEO 0.05;
+  let conn = Wire.of_fd a in
+  Fun.protect
+    ~finally:(fun () ->
+      Wire.close conn;
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Wire.read_line conn with
+      | (_ : string) -> Alcotest.fail "deadline must raise Timeout"
+      | exception Wire.Timeout -> ())
+
+let test_session_survives_eintr () =
+  (* End to end: a whole client session against a live server completes
+     under the signal storm — no spurious Disconnected. *)
+  with_server (Server.default_config (`Tcp ("127.0.0.1", 0))) (fun handle ->
+      let endpoint = tcp_endpoint handle in
+      with_signal_storm (fun () ->
+          let jobs = List.init 5 (fun k -> job_line ~id:(string_of_int k) ()) in
+          let summary =
+            with_input_lines jobs (fun ic ->
+                Client.call endpoint ~input:ic ~on_response:(fun _ -> ()))
+          in
+          Alcotest.(check int) "all answered" 5 summary.Client.sent;
+          Alcotest.(check int) "no errors" 0 summary.Client.errors))
+
 let () =
   Alcotest.run "server"
     [
@@ -651,5 +783,18 @@ let () =
             test_client_retries_exhausted;
           Alcotest.test_case "retry until server appears" `Quick
             test_client_retry_until_server_appears;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "read survives EINTR" `Quick
+            test_wire_read_survives_eintr;
+          Alcotest.test_case "write survives EINTR" `Quick
+            test_wire_write_survives_eintr;
+          Alcotest.test_case "residue buffer + Closed" `Quick
+            test_wire_residue_and_close;
+          Alcotest.test_case "SO_RCVTIMEO -> Timeout" `Quick
+            test_wire_rcvtimeo_is_timeout;
+          Alcotest.test_case "session survives EINTR" `Quick
+            test_session_survives_eintr;
         ] );
     ]
