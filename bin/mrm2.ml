@@ -676,7 +676,63 @@ let lint_src_cmd =
              $(b,Db.query)) as blocking for SRC011, in addition to the \
              built-in frontier. Repeatable.")
   in
-  let run paths baseline_path update strict format jobs blocking =
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "absint-fuel" ] ~docv:"STEPS"
+          ~doc:
+            "Per-function step budget for the abstract-interpretation \
+             pass (SRC020-SRC024; default 100000). Exhaustion aborts \
+             the function without a finding and is counted in the \
+             $(b,--strict) summary.")
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:
+            "Print the rule registry (code, severity, one-line \
+             description) and exit.")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:
+            "Print one rule's full documentation — severity, \
+             explanation, minimal firing example — and exit.")
+  in
+  let run paths baseline_path update strict format jobs blocking fuel
+      list_rules explain =
+    let module Absint = Mrm_analysis.Absint in
+    if list_rules then begin
+      List.iter
+        (fun (code, sev, line) ->
+          Printf.printf "%s  %-7s  %s\n" code
+            (Diagnostics.severity_label sev)
+            line)
+        Lint.rule_table;
+      0
+    end
+    else if explain <> None then begin
+      let code = Option.get explain in
+      match
+        ( List.find_opt (fun (c, _, _) -> c = code) Lint.rule_table,
+          List.find_opt (fun (c, _, _) -> c = code) Lint.rule_docs )
+      with
+      | Some (_, sev, line), Some (_, doc, example) ->
+          Printf.printf "%s (%s) — %s\n\n%s\n\nexample (fires):\n  %s\n" code
+            (Diagnostics.severity_label sev)
+            line doc example;
+          0
+      | _ ->
+          Printf.eprintf "mrm2 lint-src: unknown rule %s (try --list-rules)\n"
+            code;
+          2
+    end
+    else begin
     let paths =
       match paths with [] -> [ "lib"; "bin"; "bench"; "test" ] | ps -> ps
     in
@@ -691,7 +747,8 @@ let lint_src_cmd =
       let files = Lint.discover paths in
       (* The lexer's global state makes parsing sequential; the
          per-file rules are pure parsetree functions, so they fan out
-         across the pool. The whole-program pass stays on the caller. *)
+         across the pool. The whole-program passes (lockcheck, abstract
+         interpretation) stay on the caller. *)
       let parsed = Lint.parse_files files in
       let per_file =
         if jobs > 1 then
@@ -701,11 +758,24 @@ let lint_src_cmd =
           |> Array.to_list |> List.concat
         else List.concat_map Lint.analyze_parsed parsed
       in
+      let t_syn = Unix.gettimeofday () in
+      let inter = Lint.interprocedural ~extra_blocking:blocking parsed in
+      let t_lock = Unix.gettimeofday () in
+      let ai_findings, ai_stats = Lint.absint ?fuel parsed in
+      let t_ai = Unix.gettimeofday () in
       let findings =
-        List.sort Lint.compare_finding
-          (per_file @ Lint.interprocedural ~extra_blocking:blocking parsed)
+        List.sort Lint.compare_finding (per_file @ inter @ ai_findings)
       in
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let site_count status =
+        List.length
+          (List.filter
+             (fun (s : Absint.kernel_site) -> s.Absint.ks_status = status)
+             ai_stats.Absint.st_sites)
+      in
+      let proven = site_count Absint.Proven in
+      if proven > 0 then
+        Mrm_engine.Racecheck.note_statically_proven ~count:proven ();
+      let elapsed = t_ai -. t0 in
       if update then begin
         match baseline_path with
         | None ->
@@ -763,9 +833,37 @@ let lint_src_cmd =
                    regenerate with --update-baseline)@."
                   e.code e.file e.count)
               stale;
-            if strict then
-              Format.printf "lint-src: %d file(s) in %.2fs (%d job(s))@."
-                (List.length files) elapsed jobs
+            if strict then begin
+              Format.printf
+                "lint-src: %d file(s) in %.2fs (%d job(s); syntactic %.2fs, \
+                 lockcheck %.2fs, absint %.2fs)@."
+                (List.length files) elapsed jobs (t_syn -. t0)
+                (t_lock -. t_syn) (t_ai -. t_lock);
+              Format.printf
+                "lint-src: kernel sites: %d proven, %d flagged, %d unknown \
+                 (%d function(s) analyzed, %d fuel-exhausted)@."
+                proven
+                (site_count Absint.Flagged)
+                (site_count Absint.Unknown)
+                ai_stats.Absint.st_functions ai_stats.Absint.st_fuel_exhausted;
+              let by_rule =
+                List.fold_left
+                  (fun acc (f : Lint.finding) ->
+                    match List.assoc_opt f.Lint.code acc with
+                    | Some n ->
+                        (f.Lint.code, n + 1)
+                        :: List.remove_assoc f.Lint.code acc
+                    | None -> (f.Lint.code, 1) :: acc)
+                  [] findings
+                |> List.sort compare
+              in
+              if by_rule <> [] then
+                Format.printf "lint-src: findings by rule:%s@."
+                  (String.concat ""
+                     (List.map
+                        (fun (c, n) -> Printf.sprintf " %s x%d" c n)
+                        by_rule))
+            end
         | Sexp -> print_endline (Diagnostics.report_to_sexp report)
         | Json -> print_endline (Diagnostics.report_to_json report)
         | Github ->
@@ -777,12 +875,13 @@ let lint_src_cmd =
         else 0
       end
     end
+    end
   in
   let term =
     Term.(
       const run $ paths $ baseline_arg $ update_arg $ strict $ lint_format_arg
       $ jobs_arg ~default:sequential_default
-      $ blocking_arg)
+      $ blocking_arg $ fuel_arg $ list_rules_arg $ explain_arg)
   in
   Cmd.v
     (Cmd.info "lint-src"
@@ -793,9 +892,12 @@ let lint_src_cmd =
           writes in parallel jobs, stray terminal output, and the \
           interprocedural concurrency rules (lock leaks, blocking under \
           a lock, lock-order cycles, unguarded shared state, condition \
-          discipline). Deliberate exceptions are waived with (* \
-          mrm:ignore SRC001 -- reason *) comments or a checked-in \
-          baseline.")
+          discipline), plus an abstract-interpretation pass that proves \
+          kernel write ranges and flags numeric hazards (division by \
+          possible zero, out-of-bounds indices, NaN comparisons, \
+          escaping probabilities). Deliberate exceptions are waived \
+          with (* mrm:ignore SRC001 -- reason *) comments or a \
+          checked-in baseline.")
     term
 
 (* ------------------------------------------------------------------ *)

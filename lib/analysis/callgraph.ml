@@ -39,13 +39,15 @@ let last_components k s =
    bare name program-wide would confuse a local helper with an
    unrelated module's function of the same name (and local [let rec]
    helpers shadow everything anyway). *)
-let resolve t ~current_module callee =
-  let try_name n = Hashtbl.find_opt t.by_name n in
+let resolve_name find ~current_module callee =
   if String.contains callee '.' then
-    match try_name (last_components 2 callee) with
-    | Some cfg -> Some cfg
-    | None -> try_name callee
-  else try_name (current_module ^ "." ^ callee)
+    match find (last_components 2 callee) with
+    | Some v -> Some v
+    | None -> find callee
+  else find (current_module ^ "." ^ callee)
+
+let resolve t ~current_module callee =
+  resolve_name (Hashtbl.find_opt t.by_name) ~current_module callee
 
 let is_blocking ?(frontier = default_blocking) callee =
   List.mem (last_components 2 callee) frontier

@@ -16,6 +16,17 @@ val default_blocking : string list
 
 val build : Cfg.t list -> t
 
+val last_components : int -> string -> string
+(** Last [k] dot-components of a qualified name:
+    [last_components 2 "Mrm_engine.Pool.run" = "Pool.run"]. *)
+
+val resolve_name :
+  (string -> 'a option) -> current_module:string -> string -> 'a option
+(** The resolution convention of {!resolve} over any lookup function:
+    qualified names match by their last two components (then
+    verbatim); unqualified names match ["current_module.name"] only.
+    Reused by {!Absint} over its own value index. *)
+
 val resolve : t -> current_module:string -> string -> Cfg.t option
 (** Resolve a callee as written to a function graph of the program,
     or [None] for external / unresolvable calls. *)

@@ -82,6 +82,10 @@ val module_of_path : string -> string
 (** ["lib/server/rqueue.ml"] -> ["Rqueue"];
     ["pool_backend.domains.ml"] -> ["Pool_backend"]. *)
 
+val normalize_apply : Parsetree.expression -> Parsetree.expression
+(** Collapse [f @@ x], [x |> f] and curried chains into one flat
+    application of the ultimate head (shared with {!Absint}). *)
+
 val scan_module : module_name:string -> Parsetree.structure -> facts
 (** Pre-scan for lock-wrapper definitions and module-level mutable
     bindings. *)

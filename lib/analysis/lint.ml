@@ -75,7 +75,147 @@ let rule_table =
       Diagnostics.Warning,
       "Condition.wait without a re-check loop, or signal/broadcast \
        without the associated mutex held" );
+    ( "SRC020",
+      Diagnostics.Error,
+      "write to a shared array inside a partitioned-kernel body not \
+       provably within the job's [lo,hi) range (abstract interpretation)" );
+    ( "SRC021",
+      Diagnostics.Warning,
+      "division by a possibly-zero value, or log/sqrt/** applied to an \
+       argument that may leave the function's domain, outside a \
+       recognized guard" );
+    ( "SRC022",
+      Diagnostics.Warning,
+      "array index in a hot-path module not provably within the array's \
+       known length, or unsafe access without a supporting interval fact" );
+    ( "SRC023",
+      Diagnostics.Warning,
+      "ordered float comparison with an operand that may be NaN (0./0., \
+       log of a possibly non-positive value, unvalidated wire float)" );
+    ( "SRC024",
+      Diagnostics.Warning,
+      "probability-named value assigned an interval escaping [0,1] with \
+       no clamp" );
     ("SRC090", Diagnostics.Error, "file does not parse");
+  ]
+
+(* One paragraph + a minimal firing example per rule, behind
+   [mrm2 lint-src --list-rules] / [--explain]. The SRC02x examples are
+   verbatim lines of their defective fixtures under test/fixtures/src/
+   (asserted by test_absint), so the documentation cannot drift from
+   the code that demonstrates it. *)
+let rule_docs =
+  [
+    ( "SRC001",
+      "Exact float comparison ([=], [<>], [compare]) is almost never \
+       what numerical code means: two mathematically equal expressions \
+       rarely share a bit pattern after rounding. Compare against a \
+       tolerance, or suppress inline where the exact-bit check is the \
+       point (sentinels, round-trip tests).",
+      "if x = 0.1 +. 0.2 then ..." );
+    ( "SRC002",
+      "The polymorphic comparison walker boxes floats and defeats \
+       unboxing, which matters in the hot-path modules (lib/linalg, \
+       lib/core, lib/engine). Use the monomorphic Float/Int operations \
+       there.",
+      "if a > b then ...   (* a, b of unknown type in lib/core *)" );
+    ( "SRC003",
+      "Obj.magic defeats the type system entirely and *.unsafe_* \
+       accesses skip bounds checks; both turn logic errors into memory \
+       corruption. The engine's kernels earn their unchecked accesses \
+       through the range-partition invariant — everything else pays \
+       for the check.",
+      "Obj.magic x" );
+    ( "SRC004",
+      "[try ... with _ ->] swallows Out_of_memory, Stack_overflow, \
+       assertion failures and every future bug in the protected \
+       expression. Match the exceptions the code can actually raise.",
+      "try parse s with _ -> default" );
+    ( "SRC005",
+      "A closure handed to a parallel runner (Pool.run, parallel_for, \
+       map_array, Kernel.for_ranges) must not write state shared with \
+       other jobs unless the store index is provably job-private (the \
+       range-disjoint convention). Non-atomic cross-job writes are \
+       data races under OCaml 5's memory model.",
+      "Pool.run pool (fun k -> total := !total + k)" );
+    ( "SRC006",
+      "Library code must not print to the terminal; output goes \
+       through the sink abstraction so callers control formatting and \
+       destination. print_*/Printf.printf belong in bin/.",
+      "Printf.printf \"solved %d\\n\" n" );
+    ( "SRC010",
+      "A mutex acquired in a function is still held on some return or \
+       exception path. The lock-set dataflow follows raises through \
+       handlers and cleanup idioms (Fun.protect, Mutex.protect, local \
+       wrappers); wrap the critical section in Mutex.protect.",
+      "Mutex.lock t.mu; let r = work () in Mutex.unlock t.mu; r" );
+    ( "SRC011",
+      "A blocking call (Unix I/O, Thread.join, Condition.wait, queue \
+       pop, solver entry points) is reachable while a mutex is held, \
+       one level through the call graph: every contender stalls for \
+       the duration. Move the blocking call outside the critical \
+       section. Extend the frontier with --blocking Module.fn.",
+      "Mutex.protect t.mu (fun () -> Unix.read fd buf 0 len)" );
+    ( "SRC012",
+      "Two threads acquire the same locks in opposite orders somewhere \
+       in the program-wide acquisition graph — a deadlock waiting for \
+       the right interleaving. Impose a global lock order.",
+      "Mutex.lock a; Mutex.lock b  (* elsewhere: lock b; lock a *)" );
+    ( "SRC013",
+      "Module-level mutable state (ref, Hashtbl, Queue, Buffer) is \
+       written from a thread-root closure (Thread.create, \
+       Domain.spawn, pool runners) — directly or one call deep — \
+       without an Atomic or a held lock. This is SRC005 generalized \
+       across function boundaries.",
+      "let hits = ref 0  ... Domain.spawn (fun () -> incr hits)" );
+    ( "SRC014",
+      "Condition.wait must sit in a re-check loop (spurious wakeups \
+       are legal) and signal/broadcast must run with the associated \
+       mutex held, or the wakeup can be lost between the test and the \
+       wait.",
+      "if not !ready then Condition.wait c m" );
+    ( "SRC020",
+      "Inside a partitioned-kernel body (Kernel.for_ranges/sweep/\
+       reduce, Pool.run/run_pinned/parallel_for) every write to an \
+       array that outlives the job must land in the job's own [lo,hi) \
+       slice — that disjointness is the engine's whole memory-safety \
+       argument. The abstract interpreter re-analyzes each body under \
+       symbolic bounds and flags any store it cannot place inside the \
+       range; proven bodies are counted in the --strict summary and \
+       exempt the dynamic race checker.",
+      "for i = lo to hi do acc.(i) <- 0. done" );
+    ( "SRC021",
+      "The divisor (or the argument of log/sqrt/**) carries an \
+       abstract interval that includes zero (resp. leaves the \
+       function's domain) and no recognized guard ([<> 0.], [> 0.], \
+       epsilon max) dominates the use. Division by zero silently \
+       yields inf/nan and poisons every downstream moment.",
+      "let mean = total /. count in" );
+    ( "SRC022",
+      "In the hot-path modules an array subscript's interval is not \
+       contained in the array's known length — or an unsafe_get/set \
+       has no interval fact at all — so the access can trap (or, \
+       unsafe, corrupt memory) on some input. Hoist a bounds check or \
+       tighten the loop bound.",
+      "let third = Array.unsafe_get xs 3 in" );
+    ( "SRC023",
+      "An ordered float comparison has an operand that may be NaN \
+       (0./0., log of a possibly non-positive value, a wire float \
+       never validated with Float.is_nan/is_finite). Every ordered \
+       comparison on NaN is false, so both branches of the surrounding \
+       if are reachable in ways the code does not expect.",
+      "if ratio < threshold then" );
+    ( "SRC024",
+      "A value whose name says probability (p, prob, weight, pi0, \
+       mix…) is assigned an interval escaping [0,1] with no clamp in \
+       sight. Out-of-range probabilities break the conditioning \
+       identities silently — results stay finite but wrong.",
+      "let weight = 1.2 in" );
+    ( "SRC090",
+      "The file does not parse with the stock compiler-libs front \
+       end, so no other rule ran. The finding points at the first \
+       syntax error.",
+      "let f x = (   (* unterminated *)" );
   ]
 
 let severity_of code =
@@ -697,10 +837,50 @@ let interprocedural ?(extra_blocking = []) parsed =
          | None -> true)
   |> List.sort compare_finding
 
+let absint ?fuel parsed =
+  let impls =
+    List.filter_map
+      (fun p ->
+        match p.p_ast with
+        | Some (Impl str) -> Some (p.p_path, (classify p.p_path).hot, str)
+        | _ -> None)
+      parsed
+  in
+  let raw, stats = Absint.analyze ?fuel impls in
+  let contents_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace tbl p.p_path p.p_contents) parsed;
+    fun path -> Hashtbl.find_opt tbl path
+  in
+  let findings =
+    raw
+    |> List.map (fun (f : Absint.finding) ->
+           {
+             code = f.Absint.af_code;
+             severity = severity_of f.Absint.af_code;
+             file = f.Absint.af_file;
+             line = f.Absint.af_line;
+             col = f.Absint.af_col;
+             message = f.Absint.af_message;
+             context = f.Absint.af_context;
+           })
+    |> List.filter (fun f ->
+           match contents_of f.file with
+           | Some contents -> begin
+               match apply_suppressions ~contents [ f ] with
+               | [] -> false
+               | _ -> true
+             end
+           | None -> true)
+    |> List.sort compare_finding
+  in
+  (findings, stats)
+
 let lint_parsed ?extra_blocking parsed =
   List.sort compare_finding
     (List.concat_map analyze_parsed parsed
-    @ interprocedural ?extra_blocking parsed)
+    @ interprocedural ?extra_blocking parsed
+    @ fst (absint parsed))
 
 let lint_source ~path contents =
   lint_parsed [ parse_source ~path contents ]

@@ -47,14 +47,32 @@
     - [SRC014] (warning) — [Condition.wait] not wrapped in a re-check
       loop ([while]/recursive), or [Condition.signal]/[broadcast]
       without the associated mutex held.
+    - [SRC020] (error) — a write to a shared array inside a
+      partitioned-kernel body ([Kernel.for_ranges]/[sweep]/[reduce],
+      [Pool.run]/[run_pinned]/[parallel_for]) that is not provably
+      within the job's [[lo, hi)] range; bodies proven safe are
+      counted per site ({!Absint.stats}).
+    - [SRC021] (warning) — division by a possibly-zero value, or
+      [log]/[sqrt]/[**] applied to an argument that may leave the
+      function's domain, outside a recognized guard.
+    - [SRC022] (warning) — in the hot-path modules, an array index
+      whose interval is not contained in the array's known length, or
+      an [unsafe_get]/[unsafe_set] with no supporting interval fact.
+    - [SRC023] (warning) — an ordered float comparison with an operand
+      that may be NaN ([0./0.], [log] of a possibly non-positive
+      value, an unvalidated wire float).
+    - [SRC024] (warning) — a probability-named value assigned an
+      interval escaping [[0, 1]] with no clamp.
     - [SRC090] (error) — the file does not parse.
 
     SRC010–SRC014 come from {!Lockcheck} and run over the whole
-    analyzed program at once ({!interprocedural}); the per-file rules
-    are pure parsetree functions ({!analyze_parsed}) that callers may
-    fan out across domains after the sequential parse stage
-    ({!parse_files} — the compiler-libs lexer keeps global state, so
-    parsing itself must not run concurrently). *)
+    analyzed program at once ({!interprocedural}); SRC020–SRC024 come
+    from the abstract-interpretation pass ({!Absint}, staged by
+    {!absint}); the per-file rules are pure parsetree functions
+    ({!analyze_parsed}) that callers may fan out across domains after
+    the sequential parse stage ({!parse_files} — the compiler-libs
+    lexer keeps global state, so parsing itself must not run
+    concurrently). *)
 
 type finding = {
   code : string;
@@ -75,6 +93,13 @@ val to_diagnostic : finding -> Mrm_check.Diagnostics.t
 
 val rule_table : (string * Mrm_check.Diagnostics.severity * string) list
 (** (code, severity, one-line description) registry. *)
+
+val rule_docs : (string * string * string) list
+(** (code, one-paragraph explanation, minimal firing example) for
+    every code in {!rule_table} — behind [mrm2 lint-src --list-rules]
+    and [--explain]. The SRC020–SRC024 examples are verbatim lines of
+    their defective fixtures under [test/fixtures/src/] (tested), so
+    the documentation cannot drift from the code it demonstrates. *)
 
 (** {2 Staged pipeline} *)
 
@@ -106,9 +131,17 @@ val interprocedural : ?extra_blocking:string list -> parsed list -> finding list
     applied, sorted. [extra_blocking] extends
     {!Callgraph.default_blocking}. *)
 
+val absint : ?fuel:int -> parsed list -> finding list * Absint.stats
+(** The abstract-interpretation pass (SRC020–SRC024) over every
+    implementation file in the program, with inline suppressions
+    applied, sorted. [fuel] bounds the per-top-level-function step
+    budget (default {!Absint.default_fuel}); exhaustion aborts the
+    function without a finding and is counted in
+    {!Absint.stats.st_fuel_exhausted}. *)
+
 val lint_parsed : ?extra_blocking:string list -> parsed list -> finding list
-(** [analyze_parsed] on each file plus [interprocedural] over the
-    program, merged and sorted. *)
+(** [analyze_parsed] on each file plus [interprocedural] and {!absint}
+    over the program, merged and sorted. *)
 
 val lint_source : path:string -> string -> finding list
 (** Analyze one source text. [path] determines the rule set ([.mli] vs

@@ -268,8 +268,10 @@ let number_to_string v =
   else begin
     (* Shortest representation that round-trips binary64. *)
     let short = Printf.sprintf "%.12g" v in
-    (* mrm:ignore SRC001 — exactness is the point: emit the short form
-       only when it round-trips to the identical binary64. *)
+    (* mrm:ignore SRC001 SRC023 — exactness is the point: emit the
+       short form only when it round-trips to the identical binary64
+       (v is finite here, and a NaN parse would rightly fall through
+       to the long form). *)
     if float_of_string short = v then short else Printf.sprintf "%.17g" v
   end
 

@@ -29,14 +29,19 @@ let data_range series =
     (fun s ->
       List.iter
         (fun (x, y) ->
-          x_min := Float.min !x_min x;
-          x_max := Float.max !x_max x;
-          y_min := Float.min !y_min y;
-          y_max := Float.max !y_max y)
+          (* A stray inf/NaN point would poison the whole range
+             (Float.min/max propagate NaN) and every coordinate below
+             with it; plot the finite points only. *)
+          if Float.is_finite x && Float.is_finite y then begin
+            x_min := Float.min !x_min x;
+            x_max := Float.max !x_max x;
+            y_min := Float.min !y_min y;
+            y_max := Float.max !y_max y
+          end)
         s.points)
     series;
   if !x_min > !x_max then
-    invalid_arg "Svg_plot.render: no data points";
+    invalid_arg "Svg_plot.render: no finite data points";
   (* Widen degenerate ranges, pad by 5%. *)
   let widen lo hi =
     if hi -. lo < 1e-12 then (lo -. 0.5 -. abs_float lo, hi +. 0.5 +. abs_float hi)
@@ -57,15 +62,30 @@ let format_tick v =
 
 let render ?(width = 640) ?(height = 420) ~title ~x_label ~y_label series =
   let x_lo, x_hi, y_lo, y_hi = data_range series in
+  (* [data_range] keeps these finite and widened apart, but make the
+     projection self-contained: a degenerate or non-finite span would
+     turn every coordinate below into NaN. *)
+  let x_lo, x_hi, y_lo, y_hi =
+    if
+      Float.is_finite x_lo && Float.is_finite x_hi && Float.is_finite y_lo
+      && Float.is_finite y_hi
+    then (x_lo, x_hi, y_lo, y_hi)
+    else (0., 1., 0., 1.)
+  in
+  let span lo hi =
+    let s = hi -. lo in
+    if Float.is_finite s && s > 0. then s else 1.
+  in
+  let x_span = span x_lo x_hi and y_span = span y_lo y_hi in
   let margin_left = 70 and margin_right = 20 in
   let margin_top = 40 and margin_bottom = 55 in
   let plot_w = float_of_int (width - margin_left - margin_right) in
   let plot_h = float_of_int (height - margin_top - margin_bottom) in
   let sx x =
-    float_of_int margin_left +. ((x -. x_lo) /. (x_hi -. x_lo) *. plot_w)
+    float_of_int margin_left +. ((x -. x_lo) /. x_span *. plot_w)
   in
   let sy y =
-    float_of_int margin_top +. ((y_hi -. y) /. (y_hi -. y_lo) *. plot_h)
+    float_of_int margin_top +. ((y_hi -. y) /. y_span *. plot_h)
   in
   let buf = Buffer.create 4096 in
   let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

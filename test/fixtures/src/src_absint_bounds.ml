@@ -1,0 +1,7 @@
+(* Defective: the table has three slots; both reads ask for a fourth.
+   The checked read traps at runtime, the unsafe one corrupts. *)
+let pick () =
+  let xs = Array.make 3 0. in
+  (* mrm:ignore SRC003 — this fixture exercises the interval rule *)
+  let third = Array.unsafe_get xs 3 in
+  xs.(3) +. third

@@ -1,0 +1,6 @@
+(* Defective: count is exactly zero on the path where no sample
+   arrived, and the division runs unguarded. *)
+let average total =
+  let count = 0.5 -. 0.5 in
+  let mean = total /. count in
+  mean

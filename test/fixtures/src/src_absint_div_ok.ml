@@ -1,0 +1,4 @@
+(* Clean twin: the possibly-zero denominator is guarded. *)
+let average total =
+  let count = 0.5 -. 0.5 in
+  if count > 0. then total /. count else 0.

@@ -1,0 +1,5 @@
+(* Defective: a wire float is compared before any NaN validation; a
+   NaN silently takes the else branch. *)
+let accept line threshold =
+  let ratio = float_of_string line in
+  if ratio < threshold then 1 else 0

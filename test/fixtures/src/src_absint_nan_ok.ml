@@ -1,0 +1,5 @@
+(* Clean twin: the wire float is validated before the comparison. *)
+let accept line threshold =
+  let ratio = float_of_string line in
+  if Float.is_nan ratio then 0
+  else if ratio < threshold then 1 else 0

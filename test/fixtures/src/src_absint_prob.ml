@@ -1,0 +1,5 @@
+(* Defective: a probability-named binding escapes [0, 1] and is used
+   as a mixture weight with no clamp in sight. *)
+let blend a b =
+  let weight = 1.2 in
+  (weight *. a) +. ((1. -. weight) *. b)

@@ -1,0 +1,4 @@
+(* Clean twin: the mixture weight stays inside [0, 1]. *)
+let blend a b =
+  let weight = 0.7 in
+  (weight *. a) +. ((1. -. weight) *. b)

@@ -157,6 +157,8 @@ let test_normal_quantile_extreme_tails () =
     [ 1e-10; 1e-16; 1e-20; 1e-100; 1e-300; 1e-320 ];
   (* x ~ -38.27 at p = 1e-320: the pre-fix code returned NaN here. *)
   let x = Special.normal_quantile 1e-320 in
+  (* mrm:ignore SRC023 — a NaN regression would fail this check, which
+     is exactly what the assertion is for *)
   Alcotest.(check bool) "deep tail magnitude" true (x < -38. && x > -39.);
   (* The largest p below 1: refinement must stay finite, not overflow. *)
   let top = Special.normal_quantile (Float.pred 1.0) in
@@ -326,6 +328,8 @@ let test_stats_ci_coverage () =
   for _ = 1 to trials do
     let xs = Array.init n (fun _ -> Rng.normal rng) in
     let lo, hi = Stats.mean_confidence_interval ~confidence:0.95 xs in
+    (* mrm:ignore SRC023 — a NaN interval counts as uncovered and the
+       180/200 coverage check below fails, which is the right outcome *)
     if lo <= 0. && 0. <= hi then incr covered
   done;
   if !covered < 180 then
