@@ -16,6 +16,7 @@
      fig7   distribution bounds, sigma^2 = 10               (Figure 7)
      agree  randomization vs ODE vs simulation cross-check  (Section 7 claim)
      fig8   large-model moments and iteration counts        (Table 2, Figure 8)
+     cr     MMBM stationary density via cyclic reduction    (DESIGN section 12)
      micro  Bechamel micro-benchmarks of all kernels *)
 
 module Model = Mrm_core.Model
@@ -923,12 +924,86 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Stationary MMBM density via componentwise-accurate cyclic reduction
+   (DESIGN section 12): iteration counts, residual trajectory and wall
+   time across model sizes, cross-checked against the steady reward
+   rate computed independently by GTH on the modulating chain.          *)
+
+let cr () =
+  print_endline "=== cr: MMBM stationary density via cyclic reduction ===";
+  let sizes = [ 4; 8; 16; 32; 64 ] in
+  let records =
+    List.map
+      (fun sources ->
+        let model =
+          Onoff.model
+            { (Onoff.table1 ~sigma2:1.) with
+              sources;
+              capacity = float_of_int sources;
+            }
+        in
+        let rstar = Steady.reward_rate model in
+        (* serve faster than the mean arrival rate so the drained drift
+           is negative and the backlog is positive recurrent *)
+        let drain = rstar +. 2. in
+        let trajectory = ref [] in
+        let r, seconds =
+          wall_clock (fun () ->
+              Mrm_mmbm.Mmbm.solve ~drain ~regularize:1e-3 ~validate:true
+                ~on_iterate:(fun _ down -> trajectory := down :: !trajectory)
+                model)
+        in
+        let rate_err =
+          abs_float (r.Mrm_mmbm.Mmbm.reward_rate -. rstar)
+          /. (1. +. abs_float rstar)
+        in
+        Printf.printf
+          "n = %3d: %2d CR iterations, residual %.2e, %.4fs, mean level \
+           %.6g, reward-rate err vs GTH %.2e\n"
+          (sources + 1) r.Mrm_mmbm.Mmbm.iterations r.Mrm_mmbm.Mmbm.residual
+          seconds r.Mrm_mmbm.Mmbm.mean_level rate_err;
+        (sources + 1, r, seconds, List.rev !trajectory, rate_err))
+      sizes
+  in
+  let largest_trajectory =
+    match List.rev records with
+    | (_, _, _, trajectory, _) :: _ -> trajectory
+    | [] -> []
+  in
+  emit_bench ~name:"cr"
+    [
+      ( "states",
+        num_list (List.map (fun (n, _, _, _, _) -> float_of_int n) records) );
+      ("drift_shift", num 2.);
+      ("regularize", num 1e-3);
+      ( "iterations",
+        num_list
+          (List.map
+             (fun (_, r, _, _, _) ->
+               float_of_int r.Mrm_mmbm.Mmbm.iterations)
+             records) );
+      ( "residuals",
+        num_list
+          (List.map (fun (_, r, _, _, _) -> r.Mrm_mmbm.Mmbm.residual) records)
+      );
+      ( "tau",
+        num_list (List.map (fun (_, r, _, _, _) -> r.Mrm_mmbm.Mmbm.tau) records)
+      );
+      ("seconds", num_list (List.map (fun (_, _, s, _, _) -> s) records));
+      ( "reward_rate_rel_err",
+        num_list (List.map (fun (_, _, _, _, e) -> e) records) );
+      ("largest_residual_trajectory", num_list largest_trajectory);
+    ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("fig1", fig1); ("table1", table1); ("fig3", fig3); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("agree", agree);
-    ("fig8", fig8); ("dist", dist); ("fluid", fluid); ("ablation-eps", ablation_eps);
+    ("fig8", fig8); ("dist", dist); ("fluid", fluid); ("cr", cr);
+    ("ablation-eps", ablation_eps);
     ("ablation-moments", ablation_moment_count);
     ("ablation-ode", ablation_ode_methods);
     ("ablation-impulse", ablation_impulse); ("ablation-sweep", ablation_sweep);

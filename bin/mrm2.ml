@@ -7,6 +7,8 @@
      serve     - resident solver service (JSONL over a Unix/TCP socket,
                  LRU result cache, bounded queue, graceful drain)
      call      - client for a running serve (stream jobs, print results)
+     stationary- invariant density of the regulated reward level (MMBM
+                 cyclic reduction; --ctmc for the modulating chain only)
      bounds    - moment-based bounds on P(B(t) <= x)
      simulate  - Monte-Carlo estimates with confidence intervals
      path      - a discretized joint sample path (t, state, B(t))
@@ -549,6 +551,14 @@ let lint_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
   in
+  let stationary =
+    Arg.(
+      value & flag
+      & info [ "stationary" ]
+          ~doc:
+            "Also check stationary (MMBM) applicability: zero-variance \
+             states, nonnegative mean drift (MRM062-MRM064, warnings).")
+  in
   let print_report ~file format report =
     match format with
     | Human -> Format.printf "%a" Diagnostics.pp_report report
@@ -563,7 +573,7 @@ let lint_cmd =
     else if strict && Diagnostics.count Diagnostics.Warning report > 0 then 1
     else 0
   in
-  let run path t order eps format strict jobs =
+  let run path t order eps format strict stationary jobs =
     let text =
       let ic = open_in path in
       Fun.protect
@@ -611,13 +621,16 @@ let lint_cmd =
         in
         let config = { Check.t; order; eps; q = None; d = None; jobs } in
         let report = Check.check ~config data in
+        let report =
+          if stationary then report @ Check.check_stationary data else report
+        in
         print_report ~file:path format report;
         exit_code strict report
   in
   let term =
     Term.(
       const run $ file $ t_arg $ order $ eps_arg $ lint_format_arg $ strict
-      $ jobs_arg ~default:sequential_default)
+      $ stationary $ jobs_arg ~default:sequential_default)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -625,6 +638,228 @@ let lint_cmd =
          "Statically verify a model file: generator validity, reward \
           sanity, reachability, uniformization invariants and \
           conditioning, without solving anything")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* stationary                                                          *)
+
+type stationary_format = Shuman | Ssexp | Sjson
+
+let stationary_cmd =
+  let module Mmbm = Mrm_mmbm.Mmbm in
+  let module Diagnostics = Mrm_check.Diagnostics in
+  let module Json = Mrm_util.Json in
+  let format_conv =
+    let parse = function
+      | "human" -> Ok Shuman
+      | "sexp" -> Ok Ssexp
+      | "json" -> Ok Sjson
+      | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+    in
+    let print ppf f =
+      Format.pp_print_string ppf
+        (match f with Shuman -> "human" | Ssexp -> "sexp" | Sjson -> "json")
+    in
+    Arg.conv (parse, print)
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt format_conv Shuman
+      & info [ "format" ] ~docv:"F"
+          ~doc:"Output rendering: $(b,human), $(b,sexp) or $(b,json).")
+  in
+  let drain =
+    Arg.(
+      value & opt float 0.
+      & info [ "drain" ] ~docv:"C"
+          ~doc:
+            "Constant service rate subtracted from every reward rate; the \
+             level is then the backlog of a queue drained at $(docv). The \
+             drained mean drift must be negative (MRM063 names the \
+             threshold otherwise).")
+  in
+  let regularize =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "regularize" ] ~docv:"V"
+          ~doc:
+            "Floor every state variance at $(docv) (zero-variance states \
+             make the level diffusion degenerate, MRM062). Applying the \
+             floor is reported as an MRM067 warning. The phase marginal \
+             and reward rate do not depend on the variances, so a \
+             generous floor (1e-3) is safe for those outputs and keeps \
+             the shift parameter tau well conditioned.")
+  in
+  let ctmc =
+    Arg.(
+      value & flag
+      & info [ "ctmc" ]
+          ~doc:
+            "Only the modulating CTMC: GTH stationary distribution and \
+             steady reward rate, subtraction-free end to end. No \
+             variances needed — works for first-order models too.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Cross-check the phase marginal against the CTMC stationary \
+             distribution (they must agree analytically). Disagreement \
+             beyond 1e-8 adds an MRM068 warning and exits 1.")
+  in
+  let points =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "points" ] ~docv:"X1,X2,..."
+          ~doc:"Print the stationary density and cdf at these levels.")
+  in
+  let max_iter =
+    Arg.(
+      value & opt int 200
+      & info [ "max-iter" ] ~docv:"K"
+          ~doc:"Cyclic-reduction iteration cap (MRM065 when exhausted).")
+  in
+  let cr_eps =
+    Arg.(
+      value & opt float 1e-14
+      & info [ "eps" ] ~docv:"EPS"
+          ~doc:
+            "CR stopping threshold on the relative down-coupling block \
+             norm.")
+  in
+  let nums a = Json.List (Array.to_list (Array.map (fun v -> Json.Num v) a)) in
+  let print_ctmc format (model : Mrm_core.Model.t) =
+    let pi = Mrm_ctmc.Stationary.gth model.generator in
+    let rate = Mrm_linalg.Vec.dot pi model.rates in
+    (match format with
+    | Shuman ->
+        Array.iteri (fun i p -> Printf.printf "pi[%d] = %.12g\n" i p) pi;
+        Printf.printf "reward rate = %.12g\n" rate
+    | Ssexp ->
+        let b = Buffer.create 256 in
+        Buffer.add_string b "(ctmc-stationary (pi";
+        Array.iter (fun p -> Buffer.add_string b (Printf.sprintf " %.17g" p)) pi;
+        Buffer.add_string b (Printf.sprintf ") (reward_rate %.17g))" rate);
+        print_endline (Buffer.contents b)
+    | Sjson ->
+        print_endline
+          (Json.to_string
+             (Json.Obj [ ("pi", nums pi); ("reward_rate", Json.Num rate) ])));
+    0
+  in
+  let print_result format points (r : Mmbm.result) =
+    (match format with
+    | Shuman ->
+        Printf.printf "# stationary: tau = %g, cr iterations = %d, residual = %.3g\n"
+          r.tau r.iterations r.residual;
+        Array.iteri
+          (fun i p ->
+            Printf.printf "p[%d] = %.12g (atom %.12g)\n" i p r.atoms.(i))
+          r.marginal;
+        Printf.printf "mean level = %.12g\n" r.mean_level;
+        Printf.printf "reward rate = %.12g\n" r.reward_rate;
+        List.iter
+          (fun x ->
+            let d = Mmbm.density r x and c = Mmbm.cdf r x in
+            Printf.printf "x = %-12g density = %.12g cdf = %.12g\n" x
+              (Mrm_linalg.Vec.sum d) (Mrm_linalg.Vec.sum c))
+          points;
+        List.iter
+          (fun w -> Format.printf "%a@." Diagnostics.pp w)
+          r.warnings
+    | Ssexp ->
+        let b = Buffer.create 512 in
+        let vec name a =
+          Buffer.add_string b (Printf.sprintf " (%s" name);
+          Array.iter (fun v -> Buffer.add_string b (Printf.sprintf " %.17g" v)) a;
+          Buffer.add_string b ")"
+        in
+        Buffer.add_string b
+          (Printf.sprintf "(stationary (tau %.17g) (iterations %d) (residual %.3g)"
+             r.tau r.iterations r.residual);
+        vec "marginal" r.marginal;
+        vec "atoms" r.atoms;
+        Buffer.add_string b
+          (Printf.sprintf " (mean_level %.17g) (reward_rate %.17g)"
+             r.mean_level r.reward_rate);
+        List.iter
+          (fun x ->
+            vec (Printf.sprintf "density %.17g" x) (Mmbm.density r x);
+            vec (Printf.sprintf "cdf %.17g" x) (Mmbm.cdf r x))
+          points;
+        if r.warnings <> [] then begin
+          Buffer.add_string b " (warnings";
+          List.iter
+            (fun w -> Buffer.add_string b (" " ^ Diagnostics.to_sexp w))
+            r.warnings;
+          Buffer.add_string b ")"
+        end;
+        Buffer.add_string b ")";
+        print_endline (Buffer.contents b)
+    | Sjson ->
+        let point x =
+          Json.Obj
+            [
+              ("x", Json.Num x);
+              ("density", nums (Mmbm.density r x));
+              ("cdf", nums (Mmbm.cdf r x));
+            ]
+        in
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("marginal", nums r.marginal);
+                  ("atoms", nums r.atoms);
+                  ("mean_level", Json.Num r.mean_level);
+                  ("reward_rate", Json.Num r.reward_rate);
+                  ("tau", Json.Num r.tau);
+                  ("iterations", Json.Num (float_of_int r.iterations));
+                  ("residual", Json.Num r.residual);
+                  ("regularized", Json.Num (float_of_int r.regularized));
+                  ("points", Json.List (List.map point points));
+                  ( "warnings",
+                    Json.parse_exn (Diagnostics.report_to_json r.warnings) );
+                ])));
+    if List.exists (fun (w : Diagnostics.t) -> w.code = "MRM068") r.warnings
+    then 1
+    else 0
+  in
+  let run file kind sigma2 size drain regularize cr_eps max_iter ctmc validate
+      points format obs =
+    obs @@ fun () ->
+    let model = build_model ?file kind ~sigma2 ~size in
+    if ctmc then print_ctmc format model
+    else
+      match
+        Mmbm.solve ~drain ?regularize ~eps:cr_eps ~max_iterations:max_iter
+          ~validate model
+      with
+      | exception Mmbm.Error d ->
+          Format.eprintf "mrm2 stationary: %a@." Mrm_check.Diagnostics.pp d;
+          1
+      | r -> print_result format points r
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ model_arg $ sigma2_arg $ size_arg $ drain
+      $ regularize $ cr_eps $ max_iter $ ctmc $ validate $ points $ format_arg
+      $ obs_term)
+  in
+  Cmd.v
+    (Cmd.info "stationary"
+       ~doc:
+         "Stationary density of the accumulated-reward level (regulated \
+          MMBM) by componentwise-accurate Cyclic Reduction: phase \
+          marginal, mean level, steady reward rate and the \
+          matrix-exponential density $(b,nu e^(Hx)). With $(b,--ctmc), \
+          just the modulating chain's GTH stationary vector. Also \
+          available as the $(b,stationary) job kind of $(b,mrm2 batch) / \
+          $(b,mrm2 serve).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1010,10 +1245,12 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "Solve a batch of moment jobs (JSONL in, JSONL out). Each input \
-          line is an object with a model source ($(b,file), or $(b,model) \
+         "Solve a batch of jobs (JSONL in, JSONL out). Each input line \
+          is an object with a model source ($(b,file), or $(b,model) \
           with $(b,sigma2)/$(b,size)), $(b,times) or $(b,t), and optional \
-          $(b,id), $(b,order), $(b,eps), $(b,method). Structurally \
+          $(b,id), $(b,order), $(b,eps), $(b,method) and $(b,kind) \
+          ($(b,moments), the default, or $(b,stationary) with optional \
+          $(b,drain)/$(b,regularize) — no times needed). Structurally \
           identical jobs are solved once; duplicates reference the \
           representative in $(b,duplicate_of). Runs on every core by \
           default (override with $(b,--jobs) / $(b,MRM2_JOBS)).")
@@ -1575,6 +1812,7 @@ let () =
   let root = Cmd.group (Cmd.info "mrm2" ~doc)
       [ moments_cmd; batch_cmd; serve_cmd; call_cmd; route_cmd;
         loadgen_cmd; bounds_cmd; distribution_cmd; simulate_cmd; path_cmd;
-        mtta_cmd; fluid_cmd; info_cmd; lint_cmd; lint_src_cmd ]
+        mtta_cmd; fluid_cmd; stationary_cmd; info_cmd; lint_cmd;
+        lint_src_cmd ]
   in
   exit (Cmd.eval' root)

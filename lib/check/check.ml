@@ -467,6 +467,69 @@ let check_conditioning ?(config = default_config)
   end;
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Stationary (MMBM) applicability: degenerate drift partitions that
+   make the invariant-density solver (Mrm_mmbm) reject or degrade.
+   Advisory only — the transient solvers are unaffected — so every
+   finding is a warning and the pass is opt-in ([mrm2 lint
+   --stationary]). Defensive about malformed inputs: structural
+   problems are the other passes' job, so this one stays silent when
+   the generator cannot even be built. *)
+
+let check_stationary data =
+  let { q_matrix; rates; variances; _ } = data in
+  match Mrm_ctmc.Generator.of_sparse q_matrix with
+  | exception Invalid_argument _ -> []
+  | g -> (
+      match Mrm_ctmc.Stationary.gth g with
+      | exception Invalid_argument _ -> []
+      | pi ->
+          let acc = ref [] in
+          let add d = acc := d :: !acc in
+          let zero_variance = ref [] in
+          Array.iteri
+            (fun i v -> if v <= 0. then zero_variance := i :: !zero_variance)
+            variances;
+          (match List.rev !zero_variance with
+          | [] -> ()
+          | states ->
+              add
+                (D.warning ~code:"MRM062"
+                   ~context:
+                     [
+                       ("count", fi (List.length states));
+                       ( "states",
+                         String.concat ","
+                           (List.map fi
+                              (List.filteri (fun k _ -> k < 8) states)) );
+                     ]
+                   (fmt
+                      "%d state(s) have zero variance: mrm2 stationary needs \
+                       --regularize for this model"
+                      (List.length states))));
+          let mean_drift = ref 0. in
+          Array.iteri
+            (fun i r -> mean_drift := !mean_drift +. (pi.(i) *. r))
+            rates;
+          let scale =
+            Array.fold_left (fun m r -> Float.max m (abs_float r)) 1. rates
+          in
+          if abs_float !mean_drift <= 1e-12 *. scale then
+            add
+              (D.warning ~code:"MRM064"
+                 ~context:[ ("mean_drift", fg !mean_drift) ]
+                 "stationary mean drift is zero: the regulated level is null \
+                  recurrent (no stationary density)")
+          else if !mean_drift > 0. then
+            add
+              (D.warning ~code:"MRM063"
+                 ~context:[ ("mean_drift", fg !mean_drift) ]
+                 (fmt
+                    "stationary mean drift %g is positive: mrm2 stationary \
+                     needs --drain > %g for this model"
+                    !mean_drift !mean_drift));
+          List.rev !acc)
+
 let check ?tol ?config data =
   let dims = check_dimensions data in
   let findings =
@@ -525,5 +588,18 @@ let code_table =
     ("MRM053", D.Info, "paper-scale model solved sequentially (jobs = 1)");
     ("MRM060", D.Error, "invalid solver configuration (t, order or eps)");
     ("MRM061", D.Warning, "eps below attainable double precision");
+    ("MRM062", D.Error, "zero-variance states: stationary solver needs \
+                         --regularize (warning under mrm2 lint --stationary)");
+    ("MRM063", D.Error, "positive mean drift: no stationary density without \
+                         --drain (warning under mrm2 lint --stationary)");
+    ("MRM064", D.Error, "zero mean drift: regulated level is null recurrent \
+                         (warning under mrm2 lint --stationary)");
+    ("MRM065", D.Error, "cyclic reduction did not converge");
+    ("MRM066", D.Error, "singular pivot or defective boundary system in the \
+                         stationary solver");
+    ("MRM067", D.Warning, "variance floor (--regularize) applied");
+    ("MRM068", D.Warning, "stationary phase marginal disagrees with the CTMC \
+                           stationary vector (--validate)");
+    ("MRM069", D.Error, "unknown batch job kind");
     ("MRM090", D.Error, "model file parse error (emitted by mrm2 lint)");
   ]

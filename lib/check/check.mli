@@ -118,6 +118,14 @@ val check_conditioning : ?config:config -> data -> Diagnostics.t list
     info, points at [--jobs]/[MRM2_JOBS]), and [eps] below attainable
     double precision ([MRM061], warning). *)
 
+val check_stationary : data -> Diagnostics.t list
+(** Stationary (MMBM) applicability, as warnings: zero-variance states
+    that would make the level diffusion degenerate ([MRM062], needs
+    [--regularize]), positive mean drift ([MRM063], needs [--drain]),
+    and zero mean drift / null recurrence ([MRM064]). Opt-in — not part
+    of {!check}; [mrm2 lint --stationary] adds it. Skipped when the
+    generator is reducible (the core passes report that instead). *)
+
 val check : ?tol:float -> ?config:config -> data -> Diagnostics.t list
 (** All passes, in severity order. If {!check_dimensions} fails, only
     dimension and matrix-local generator findings are returned. *)

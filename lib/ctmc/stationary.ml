@@ -43,6 +43,22 @@ let gth g =
   let total = Vec.sum pi in
   Array.map (fun x -> x /. total) pi
 
+(* Naive LU baseline: solve Q^T pi = 0 with the last balance equation
+   replaced by sum pi = 1. Deliberately subtraction-heavy — the
+   two-timescale unit test demonstrates the digits it loses vs GTH. *)
+let lu g =
+  let n = Generator.dim g in
+  let q = Sparse.to_dense (Generator.matrix g) in
+  let system =
+    Mrm_linalg.Dense.init ~rows:n ~cols:n (fun i j ->
+        if i = n - 1 then 1. else Mrm_linalg.Dense.get q j i)
+  in
+  let rhs = Array.init n (fun i -> if i = n - 1 then 1. else 0.) in
+  match Mrm_linalg.Lu.solve_system system rhs with
+  | exception Mrm_linalg.Lu.Singular _ ->
+      invalid_arg "Stationary.lu: chain is reducible (singular system)"
+  | pi -> pi
+
 let power_iteration ?(eps = 1e-12) ?(max_iterations = 1_000_000) g =
   let n = Generator.dim g in
   let q = Generator.uniformization_rate g in

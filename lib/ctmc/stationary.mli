@@ -9,6 +9,15 @@ val gth : Generator.t -> float array
     thousand states.
     @raise Invalid_argument if the chain is reducible (a pivot vanishes). *)
 
+val lu : Generator.t -> float array
+(** Naive reference solve of [pi Q = 0, sum pi = 1] by LU with partial
+    pivoting (one balance equation replaced by the normalization row).
+    Unlike {!gth} it subtracts, so on stiff multi-timescale chains it
+    loses digits componentwise — kept as the accuracy baseline the GTH
+    tests compare against, not for production use.
+    @raise Invalid_argument if the system is exactly singular (reducible
+    chain). *)
+
 val power_iteration :
   ?eps:float -> ?max_iterations:int -> Generator.t -> float array
 (** Iterate [pi := pi P'] on the uniformized chain until the l1 change

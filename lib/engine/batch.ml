@@ -10,6 +10,8 @@ module Model_io = Mrm_core.Model_io
 
 type meth = Randomization | Ode | Gaver
 
+type kind = Moments | Stationary of { drain : float; regularize : float }
+
 type job = {
   id : string;
   model : Model.t;
@@ -17,16 +19,29 @@ type job = {
   order : int;
   eps : float;
   meth : meth;
+  kind : kind;
 }
 
 type point = { time : float; values : float array; iterations : int option }
+
+type density = {
+  marginal : float array;
+  mean_level : float;
+  reward_rate : float;
+  tau : float;
+  cr_iterations : int;
+  residual : float;
+  stationary_warnings : string list;
+}
+
+type solution = Points of point array | Density of density
 
 type outcome = {
   id : string;
   digest : string;
   duplicate_of : string option;
   elapsed : float;
-  result : (point array, string) result;
+  result : (solution, string) result;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -56,6 +71,15 @@ let digest job =
   add_int buf job.order;
   add_float buf job.eps;
   add_int buf (match job.meth with Randomization -> 0 | Ode -> 1 | Gaver -> 2);
+  (* Moments digests end here, byte-identical to the pre-kind format, so
+     existing caches and dedup keys survive. Stationary jobs append a
+     discriminating tag plus their own parameters. *)
+  (match job.kind with
+  | Moments -> ()
+  | Stationary { drain; regularize } ->
+      add_int buf 1;
+      add_float buf drain;
+      add_float buf regularize);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* ------------------------------------------------------------------ *)
@@ -65,7 +89,28 @@ let unconditional model ~order vectors =
   let pi = model.Model.initial in
   Array.init (order + 1) (fun n -> Vec.dot pi vectors.(n))
 
-let solve ?pool job =
+let solve_stationary job ~drain ~regularize =
+  let r =
+    Mrm_mmbm.Mmbm.solve ~drain
+      ?regularize:(if regularize > 0. then Some regularize else None)
+      job.model
+  in
+  Density
+    {
+      marginal = r.Mrm_mmbm.Mmbm.marginal;
+      mean_level = r.Mrm_mmbm.Mmbm.mean_level;
+      reward_rate = r.Mrm_mmbm.Mmbm.reward_rate;
+      tau = r.Mrm_mmbm.Mmbm.tau;
+      cr_iterations = r.Mrm_mmbm.Mmbm.iterations;
+      residual = r.Mrm_mmbm.Mmbm.residual;
+      stationary_warnings =
+        List.map
+          (fun (d : Mrm_check.Diagnostics.t) ->
+            Printf.sprintf "%s: %s" d.code d.message)
+          r.Mrm_mmbm.Mmbm.warnings;
+    }
+
+let solve_moments ?pool job =
   match job.meth with
   | Randomization ->
       let results =
@@ -106,11 +151,16 @@ let solve ?pool job =
           })
         job.times
 
+let solve ?pool job =
+  match job.kind with
+  | Moments -> Points (solve_moments ?pool job)
+  | Stationary { drain; regularize } -> solve_stationary job ~drain ~regularize
+
 let timed_solve ?pool job =
   let t0 = Unix.gettimeofday () in
   let result =
     match solve ?pool job with
-    | points -> Ok points
+    | solution -> Ok solution
     | exception exn -> Error (Printexc.to_string exn)
   in
   (result, Unix.gettimeofday () -. t0)
@@ -248,23 +298,60 @@ let times_of_spec json =
           | _, false -> Error "field \"times\": expected numbers"
           | floats, true -> Ok (Array.of_list floats)))
 
+let supported_kinds = [ "moments"; "stationary" ]
+
+let kind_of_json json =
+  match Json.member "kind" json with
+  | None -> Ok `Moments
+  | Some v -> (
+      match Json.to_str v with
+      | None -> Error "field \"kind\": expected a string"
+      | Some "moments" -> Ok `Moments
+      | Some "stationary" -> Ok `Stationary
+      | Some other ->
+          Error
+            (Printf.sprintf "MRM069: unknown job kind %S (supported: %s)"
+               other
+               (String.concat ", " supported_kinds)))
+
 let job_of_json ~default_id ?(default_eps = 1e-9) json =
   match json with
   | Json.Obj _ ->
       let* id = field_or json "id" ~default:default_id Json.to_str in
+      let* kind_tag = kind_of_json json in
       let* model = model_of_spec json in
-      let* times = times_of_spec json in
+      let* times =
+        (* Stationary solves have no time axis; tolerate an absent spec
+           (an explicit one is still validated so typos surface). *)
+        match (kind_tag, Json.member "times" json, Json.member "t" json) with
+        | `Stationary, None, None -> Ok [||]
+        | _ -> times_of_spec json
+      in
       let* order = field_or json "order" ~default:3 Json.to_int in
       let* eps = field_or json "eps" ~default:default_eps Json.to_float in
       let* meth =
         field_or json "method" ~default:Randomization (fun v ->
             Option.bind (Json.to_str v) meth_of_string)
       in
+      let* kind =
+        match kind_tag with
+        | `Moments -> Ok Moments
+        | `Stationary ->
+            let* drain = field_or json "drain" ~default:0. Json.to_float in
+            let* regularize =
+              field_or json "regularize" ~default:0. Json.to_float
+            in
+            if not (Float.is_finite drain) then
+              Error "field \"drain\": must be finite"
+            else if not (Float.is_finite regularize && regularize >= 0.) then
+              Error "field \"regularize\": must be >= 0"
+            else Ok (Stationary { drain; regularize })
+      in
       if order < 0 then Error "field \"order\": must be >= 0"
       else if not (eps > 0.) then Error "field \"eps\": must be > 0"
       else if Array.exists (fun t -> t < 0.) times then
         Error "field \"times\": must be >= 0"
-      else Ok { id; model; times; order; eps; meth }
+      else Ok { id; model; times; order; eps; meth; kind }
   | _ -> Error "job spec must be a JSON object"
 
 let outcome_to_json o =
@@ -281,7 +368,7 @@ let outcome_to_json o =
   match o.result with
   | Error message ->
       Obj (common @ [ ("status", Str "error"); ("error", Str message) ])
-  | Ok points ->
+  | Ok (Points points) ->
       let point p =
         Obj
           ([
@@ -298,4 +385,23 @@ let outcome_to_json o =
         @ [
             ("status", Str "ok");
             ("points", List (Array.to_list (Array.map point points)));
+          ])
+  | Ok (Density d) ->
+      let nums a = List (Array.to_list (Array.map (fun v -> Num v) a)) in
+      Obj
+        (common
+        @ [
+            ("status", Str "ok");
+            ( "stationary",
+              Obj
+                [
+                  ("marginal", nums d.marginal);
+                  ("mean_level", Num d.mean_level);
+                  ("reward_rate", Num d.reward_rate);
+                  ("tau", Num d.tau);
+                  ("iterations", Num (float_of_int d.cr_iterations));
+                  ("residual", Num d.residual);
+                  ( "warnings",
+                    List (List.map (fun w -> Str w) d.stationary_warnings) );
+                ] );
           ])

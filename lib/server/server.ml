@@ -103,10 +103,16 @@ let outcome_weight (o : Batch.outcome) =
   let base = 96 + String.length o.Batch.id + String.length o.Batch.digest in
   match o.Batch.result with
   | Error message -> base + String.length message
-  | Ok points ->
+  | Ok (Batch.Points points) ->
       Array.fold_left
         (fun acc (p : Batch.point) -> acc + 48 + (8 * Array.length p.Batch.values))
         base points
+  | Ok (Batch.Density d) ->
+      base + 96
+      + (8 * Array.length d.Batch.marginal)
+      + List.fold_left
+          (fun acc w -> acc + String.length w)
+          0 d.Batch.stationary_warnings
 
 (* ------------------------------------------------------------------ *)
 (* Request processing *)

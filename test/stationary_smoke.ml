@@ -1,0 +1,246 @@
+(* End-to-end smoke driver behind the @stationary-smoke dune alias (not
+   an alcotest binary): the MMBM stationary solver exercised from
+   outside through both front ends.
+
+   1. `mrm2 stationary` on the committed fixture (JSON output): exit 0,
+      phase marginal summing to 1, validation cross-check clean.
+   2. The same model through a real `mrm2 serve` process as the
+      "stationary" job kind of `mrm2 call`: the repeated job must be a
+      cache hit, bit-for-bit identical to the fresh solve apart from
+      the requester's id and the cached flag.
+   3. An unknown job kind over the same connection: a structured error
+      response carrying the MRM069 message, not a dead connection.
+   4. The server's exit metrics report must carry the mmbm.* counters
+      alongside the server.* ones.
+
+   Usage: stationary_smoke MRM2_EXE. Exits non-zero with a message on
+   the first violated check. *)
+
+module Json = Mrm_util.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("stationary_smoke: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lines_of_file path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  at 0
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let spawn exe argv ~stdout ~stderr =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let out =
+    Unix.openfile stdout [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let err =
+    Unix.openfile stderr [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let pid = Unix.create_process exe argv devnull out err in
+  Unix.close devnull;
+  Unix.close out;
+  Unix.close err;
+  pid
+
+let wait_exit pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, Unix.WSIGNALED s -> fail "process killed by signal %d" s
+  | _, Unix.WSTOPPED s -> fail "process stopped by signal %d" s
+
+let fixture = Filename.concat "fixtures" "stationary_fluid.mrm"
+
+let stationary_job ~id =
+  Printf.sprintf "{\"id\":\"%s\",\"file\":\"%s\",\"kind\":\"stationary\"}" id
+    fixture
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: stationary_smoke MRM2_EXE";
+  let mrm2 = Sys.argv.(1) in
+  let tmp suffix = Filename.temp_file "mrm2_stat_smoke" suffix in
+
+  (* -------------------------------------------------------------- *)
+  (* 1. the CLI front end on the fixture *)
+  let cli_out = tmp ".cli.out" and cli_err = tmp ".cli.err" in
+  let cli =
+    spawn mrm2
+      [|
+        mrm2; "stationary"; "--file"; fixture; "--validate"; "--format";
+        "json";
+      |]
+      ~stdout:cli_out ~stderr:cli_err
+  in
+  (match wait_exit cli with
+  | 0 -> ()
+  | code ->
+      fail "mrm2 stationary exited %d; stderr:\n%s" code (read_file cli_err));
+  let cli_json =
+    match Json.parse (String.trim (read_file cli_out)) with
+    | Ok json -> json
+    | Error e -> fail "mrm2 stationary output is not JSON (%s)" e
+  in
+  let marginal_mass =
+    match Option.bind (Json.member "marginal" cli_json) Json.to_list with
+    | None -> fail "mrm2 stationary output lacks a marginal"
+    | Some items ->
+        List.fold_left ( +. ) 0. (List.filter_map Json.to_float items)
+  in
+  if abs_float (marginal_mass -. 1.) > 1e-9 then
+    fail "CLI marginal mass %.12g (expected 1)" marginal_mass;
+
+  (* -------------------------------------------------------------- *)
+  (* 2. the same model through serve + call as a "stationary" job *)
+  let socket = tmp ".sock" in
+  Sys.remove socket;
+  let serve_out = tmp ".serve.out" and serve_err = tmp ".serve.err" in
+  let server =
+    spawn mrm2
+      [| mrm2; "serve"; "--socket"; socket; "--metrics" |]
+      ~stdout:serve_out ~stderr:serve_err
+  in
+  let deadline = Unix.gettimeofday () +. 15. in
+  let rec await_ready () =
+    if Unix.gettimeofday () > deadline then
+      fail "server not ready after 15s; stderr:\n%s" (read_file serve_err)
+    else if contains ~sub:"listening on" (read_file serve_err) then ()
+    else begin
+      (match Unix.waitpid [ Unix.WNOHANG ] server with
+      | 0, _ -> ()
+      | _, _ ->
+          fail "server exited before becoming ready; stderr:\n%s"
+            (read_file serve_err));
+      Unix.sleepf 0.05;
+      await_ready ()
+    end
+  in
+  await_ready ();
+  let session_jobs = tmp ".jobs.jsonl" in
+  write_file session_jobs
+    (String.concat "\n"
+       [ stationary_job ~id:"fresh"; stationary_job ~id:"repeat"; "" ]);
+  let call_out = tmp ".call.out" and call_err = tmp ".call.err" in
+  let client =
+    spawn mrm2
+      [| mrm2; "call"; "--socket"; socket; session_jobs |]
+      ~stdout:call_out ~stderr:call_err
+  in
+  (match wait_exit client with
+  | 0 -> ()
+  | code -> fail "mrm2 call exited %d; stderr:\n%s" code (read_file call_err));
+  (match lines_of_file call_out with
+  | [ fresh; repeat ] ->
+      let check_ok label line =
+        match Json.parse line with
+        | Error e -> fail "%s response is not JSON (%s): %s" label e line
+        | Ok json -> (
+            match Option.bind (Json.member "status" json) Json.to_str with
+            | Some "ok" -> json
+            | other ->
+                fail "%s response status %s: %s" label
+                  (Option.value other ~default:"missing")
+                  line)
+      in
+      let fresh_json = check_ok "fresh" fresh in
+      let repeat_json = check_ok "repeat" repeat in
+      (* the stationary payload must be present and normalized *)
+      let stat =
+        match Json.member "stationary" fresh_json with
+        | Some s -> s
+        | None -> fail "stationary response lacks the stationary object: %s" fresh
+      in
+      let mass =
+        match Option.bind (Json.member "marginal" stat) Json.to_list with
+        | None -> fail "wire stationary object lacks a marginal"
+        | Some items ->
+            List.fold_left ( +. ) 0. (List.filter_map Json.to_float items)
+      in
+      if abs_float (mass -. 1.) > 1e-9 then
+        fail "wire marginal mass %.12g (expected 1)" mass;
+      let cached json =
+        Option.bind (Json.member "cached" json) Json.to_bool
+        |> Option.value ~default:false
+      in
+      if cached fresh_json then fail "first stationary solve must not be cached";
+      if not (cached repeat_json) then
+        fail "repeated stationary job must be served from the cache: %s" repeat;
+      (* bit-for-bit: identical JSON apart from the requester's id and
+         the cached flag *)
+      let strip json =
+        match json with
+        | Json.Obj fields ->
+            Json.to_string
+              (Json.Obj
+                 (List.filter
+                    (fun (k, _) -> k <> "id" && k <> "cached")
+                    fields))
+        | other -> Json.to_string other
+      in
+      if strip fresh_json <> strip repeat_json then
+        fail "stationary cache hit differs from the fresh solve:\n%s\n%s"
+          fresh repeat
+  | other -> fail "expected 2 responses, got %d" (List.length other));
+
+  (* -------------------------------------------------------------- *)
+  (* 3. an unknown kind is a structured error response, not a hangup *)
+  let bad_jobs = tmp ".bad.jsonl" in
+  write_file bad_jobs
+    (Printf.sprintf
+       "{\"id\":\"bad\",\"file\":\"%s\",\"kind\":\"spectral\"}\n" fixture);
+  let bad_out = tmp ".bad.out" and bad_err = tmp ".bad.err" in
+  let bad_client =
+    spawn mrm2
+      [| mrm2; "call"; "--socket"; socket; bad_jobs |]
+      ~stdout:bad_out ~stderr:bad_err
+  in
+  let bad_code = wait_exit bad_client in
+  if bad_code = 0 then fail "unknown kind should make mrm2 call exit non-zero";
+  (match lines_of_file bad_out with
+  | [ line ] ->
+      (match Json.parse line with
+      | Error e -> fail "unknown-kind response is not JSON (%s): %s" e line
+      | Ok json -> (
+          match Option.bind (Json.member "status" json) Json.to_str with
+          | Some "error" ->
+              if not (contains ~sub:"MRM069" line) then
+                fail "unknown-kind error does not carry MRM069: %s" line;
+              if not (contains ~sub:"spectral" line) then
+                fail "unknown-kind error does not name the offender: %s" line
+          | _ -> fail "unknown kind should produce an error response: %s" line))
+  | other ->
+      fail "expected 1 response to the unknown-kind job, got %d"
+        (List.length other));
+
+  (* -------------------------------------------------------------- *)
+  (* 4. drain and check the metrics report *)
+  Unix.kill server Sys.sigterm;
+  (match wait_exit server with
+  | 0 -> ()
+  | code ->
+      fail "server exited %d after SIGTERM; stderr:\n%s" code
+        (read_file serve_err));
+  let report = read_file serve_err in
+  List.iter
+    (fun metric ->
+      if not (contains ~sub:metric report) then
+        fail "metrics report is missing %s; stderr:\n%s" metric report)
+    [ "server.requests"; "server.cache_hits"; "mmbm.solves"; "mmbm.cr_iterations" ];
+  print_endline "stationary_smoke: all checks passed"

@@ -280,6 +280,41 @@ let test_birth_death_closed_form () =
   Alcotest.(check bool) "closed form = GTH" true
     (Vec.approx_equal ~tol:1e-10 closed gth)
 
+let test_gth_two_timescale_beats_lu () =
+  (* Ill-conditioned two-timescale chain: climbing is 8 orders of
+     magnitude slower than falling, so the stationary mass spans ~56
+     orders of magnitude. The log-space product form is exact ground
+     truth; subtraction-free GTH must stay componentwise accurate while
+     the naive LU solve loses essentially all relative accuracy on the
+     rare states. *)
+  let states = 8 in
+  let birth _ = 1e-4 and death _ = 1e4 in
+  let exact = Stationary.birth_death ~states ~birth ~death in
+  let g = Generator.birth_death ~states ~birth ~death in
+  let pi_gth = Stationary.gth g in
+  let pi_lu = Stationary.lu g in
+  let rel_err pi =
+    let worst = ref 0. in
+    Array.iteri
+      (fun i x ->
+        worst := Float.max !worst (abs_float (x -. exact.(i)) /. exact.(i)))
+      pi;
+    !worst
+  in
+  let err_gth = rel_err pi_gth and err_lu = rel_err pi_lu in
+  if err_gth > 1e-12 then
+    Alcotest.failf "GTH lost componentwise accuracy: %g" err_gth;
+  if err_lu < 1e-2 then
+    Alcotest.failf "expected naive LU to lose digits, error only %g" err_lu;
+  (* on a well-conditioned chain the two agree *)
+  let easy =
+    Generator.birth_death ~states:5
+      ~birth:(fun i -> 1.5 +. (0.3 *. float_of_int i))
+      ~death:(fun i -> 0.8 *. float_of_int i)
+  in
+  Alcotest.(check bool) "lu = gth when benign" true
+    (Vec.approx_equal ~tol:1e-10 (Stationary.lu easy) (Stationary.gth easy))
+
 let test_birth_death_binomial () =
   (* Independent ON-OFF sources: pi is Binomial(n, beta/(alpha+beta)). *)
   let n = 10 and alpha = 4. and beta = 3. in
@@ -348,6 +383,8 @@ let () =
             test_gth_matches_power_iteration;
           Alcotest.test_case "reducible rejected" `Quick
             test_gth_reducible_rejected;
+          Alcotest.test_case "two-timescale: GTH beats naive LU" `Quick
+            test_gth_two_timescale_beats_lu;
           Alcotest.test_case "birth-death closed form" `Quick
             test_birth_death_closed_form;
           Alcotest.test_case "binomial product form" `Quick

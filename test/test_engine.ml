@@ -358,6 +358,7 @@ let small_job ?(id = "a") ?(eps = 1e-9) ?(order = 3) ?(meth = Batch.Randomizatio
     order;
     eps;
     meth;
+    kind = Batch.Moments;
   }
 
 let test_batch_dedup () =
@@ -378,7 +379,7 @@ let test_batch_dedup () =
   Alcotest.(check bool) "eps changes the digest" true
     (outcomes.(0).digest <> outcomes.(2).digest);
   match (outcomes.(0).result, outcomes.(1).result) with
-  | Ok a, Ok b ->
+  | Ok (Batch.Points a), Ok (Batch.Points b) ->
       Alcotest.(check bool) "shared values" true
         (a.(0).Batch.values = b.(0).Batch.values)
   | _ -> Alcotest.fail "batch jobs failed"
@@ -394,7 +395,8 @@ let test_batch_matches_direct_solver () =
       let outcomes = run [| small_job () |] in
       match outcomes.(0).result with
       | Error e -> Alcotest.failf "batch failed: %s" e
-      | Ok points ->
+      | Ok (Batch.Density _) -> Alcotest.fail "moments job returned a density"
+      | Ok (Batch.Points points) ->
           let model = Onoff.model (Onoff.table1 ~sigma2:1.) in
           let direct = Randomization.moments model ~t:1. ~order:3 in
           let expected =
@@ -459,7 +461,44 @@ let test_batch_job_of_json () =
   expect_error "both time forms" {|{"model":"onoff","t":1,"times":[1]}|};
   expect_error "bad method" {|{"model":"onoff","t":1,"method":"lattice"}|};
   expect_error "negative order" {|{"model":"onoff","t":1,"order":-2}|};
-  expect_error "not an object" {|[1,2]|}
+  expect_error "not an object" {|[1,2]|};
+  (* kind selection *)
+  (match parse {|{"model":"onoff","kind":"stationary","drain":2.5,"regularize":0.001}|} with
+  | Error e -> Alcotest.failf "stationary kind rejected: %s" e
+  | Ok job -> (
+      Alcotest.(check int) "stationary needs no times" 0
+        (Array.length job.Batch.times);
+      match job.Batch.kind with
+      | Batch.Stationary { drain; regularize } ->
+          Alcotest.(check (float 0.)) "drain" 2.5 drain;
+          Alcotest.(check (float 0.)) "regularize" 0.001 regularize
+      | Batch.Moments -> Alcotest.fail "kind should be stationary"));
+  (match parse {|{"model":"onoff","t":1,"kind":"moments"}|} with
+  | Error e -> Alcotest.failf "explicit moments kind rejected: %s" e
+  | Ok job ->
+      Alcotest.(check bool) "kind moments" true (job.Batch.kind = Batch.Moments));
+  (* an unknown kind is a structured diagnostic naming the offender and
+     the supported set, not a generic parse failure *)
+  (match parse {|{"model":"onoff","t":1,"kind":"spectral"}|} with
+  | Ok _ -> Alcotest.fail "unknown kind should be rejected"
+  | Error message ->
+      let contains sub =
+        let n = String.length sub in
+        let rec at i =
+          i + n <= String.length message
+          && (String.sub message i n = sub || at (i + 1))
+        in
+        at 0
+      in
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "unknown-kind message mentions %S (got: %s)" sub
+               message)
+            true (contains sub))
+        [ "MRM069"; "\"spectral\""; "moments"; "stationary" ]);
+  expect_error "bad regularize" {|{"model":"onoff","kind":"stationary","regularize":-1}|};
+  expect_error "stationary kind not a string" {|{"model":"onoff","t":1,"kind":7}|}
 
 let test_batch_outcome_json_round_trip () =
   let outcomes = Batch.run [| small_job ~id:"rt" () |] in
@@ -543,6 +582,120 @@ let test_batch_cli_fixture () =
         Alcotest.failf "CLI moment %d: %.17g vs library %.17g" n got
           expected_value)
     expected
+
+(* Moments and stationary jobs ride the same JSONL stream: the mixed
+   fixture has a moments job, two identical stationary jobs (dedup must
+   work across the new kind) and a stationary job loaded from a model
+   file. *)
+let test_batch_cli_mixed_kinds () =
+  let out = Filename.temp_file "mrm2_mixed" ".out" in
+  let command =
+    Printf.sprintf
+      "%s batch --jobs 1 fixtures/batch_mixed_kinds.jsonl > %s 2>/dev/null"
+      mrm2 out
+  in
+  let status = Sys.command command in
+  let lines =
+    let ic = open_in out in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec loop acc =
+          match input_line ic with
+          | line -> loop (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        loop [])
+  in
+  Sys.remove out;
+  Alcotest.(check int) "exit code" 0 status;
+  Alcotest.(check int) "one line per job" 4 (List.length lines);
+  let parsed = List.map Json.parse_exn lines in
+  List.iter
+    (fun json ->
+      Alcotest.(check (option string)) "status ok" (Some "ok")
+        (Option.bind (Json.member "status" json) Json.to_str))
+    parsed;
+  let nth = List.nth parsed in
+  (* the moments job keeps the points shape *)
+  Alcotest.(check bool) "moments job has points" true
+    (Json.member "points" (nth 0) <> None);
+  Alcotest.(check bool) "moments job has no stationary" true
+    (Json.member "stationary" (nth 0) = None);
+  (* both stationary jobs carry a stationary object, and the duplicate
+     references the representative *)
+  Alcotest.(check (option string)) "stationary dedup over the wire"
+    (Some "stat")
+    (Option.bind (Json.member "duplicate_of" (nth 2)) Json.to_str);
+  let stationary_of json =
+    match Json.member "stationary" json with
+    | Some s -> s
+    | None -> Alcotest.fail "stationary job lacks a stationary object"
+  in
+  let marginal json =
+    Option.bind (Json.member "marginal" (stationary_of json)) Json.to_list
+    |> Option.value ~default:[] |> List.filter_map Json.to_float
+  in
+  let mass = List.fold_left ( +. ) 0. (marginal (nth 1)) in
+  if abs_float (mass -. 1.) > 1e-9 then
+    Alcotest.failf "stationary marginal mass %.12g" mass;
+  (* the wire result agrees with the library solving the same model *)
+  let model =
+    Onoff.model { (Onoff.table1 ~sigma2:1.) with sources = 8; capacity = 8. }
+  in
+  let direct = Mrm_mmbm.Mmbm.solve ~drain:5. ~regularize:0.001 model in
+  let wire_rate =
+    Option.bind
+      (Json.member "reward_rate" (stationary_of (nth 1)))
+      Json.to_float
+    |> Option.value ~default:nan
+  in
+  if
+    abs_float (wire_rate -. direct.Mrm_mmbm.Mmbm.reward_rate)
+    > 1e-12 *. (1. +. abs_float wire_rate)
+  then
+    Alcotest.failf "CLI reward rate %.17g vs library %.17g" wire_rate
+      direct.Mrm_mmbm.Mmbm.reward_rate;
+  (* the file-loaded stationary job solved too (its model needs neither
+     drain nor regularization) *)
+  let file_mass = List.fold_left ( +. ) 0. (marginal (nth 3)) in
+  if abs_float (file_mass -. 1.) > 1e-9 then
+    Alcotest.failf "file-model marginal mass %.12g" file_mass
+
+(* An unknown kind must fail the whole batch up front with the
+   structured MRM069 message naming the offender and the supported
+   set — same shape as any other spec error. *)
+let test_batch_cli_unknown_kind () =
+  let err = Filename.temp_file "mrm2_kind" ".err" in
+  let command =
+    Printf.sprintf
+      "printf '{\"model\":\"onoff\",\"t\":1,\"kind\":\"spectral\"}\\n' \
+       | %s batch --jobs 1 - > /dev/null 2> %s"
+      mrm2 err
+  in
+  let status = Sys.command command in
+  let err_text =
+    let ic = open_in err in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove err;
+  Alcotest.(check int) "exit code" 1 status;
+  let contains sub =
+    let n = String.length sub in
+    let rec at i =
+      i + n <= String.length err_text
+      && (String.sub err_text i n = sub || at (i + 1))
+    in
+    at 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stderr mentions %S (got: %s)" sub err_text)
+        true (contains sub))
+    [ "MRM069"; "\"spectral\""; "moments"; "stationary" ]
 
 (* Default ids and diagnostics must be numbered by the *original* input
    line: blank (and whitespace-only) lines advance the counter without
@@ -628,6 +781,7 @@ let test_batch_digest_model_io_round_trip () =
           order = 3;
           eps = 1e-9;
           meth = Batch.Randomization;
+          kind = Batch.Moments;
         }
       in
       let reparsed = (Model_io.parse_string (Model_io.to_string model)).Model_io.model in
@@ -635,7 +789,23 @@ let test_batch_digest_model_io_round_trip () =
       Alcotest.(check string)
         (Printf.sprintf "digest stable across Model_io round trip (sigma2=%g)"
            sigma2)
-        (Batch.digest job) (Batch.digest job'))
+        (Batch.digest job) (Batch.digest job');
+      (* same stability for the stationary kind: the cache key must not
+         depend on which client serialized the model... *)
+      let stat k = { k with Batch.kind = Batch.Stationary { drain = 2.5; regularize = 1e-3 } } in
+      Alcotest.(check string)
+        (Printf.sprintf "stationary digest stable across round trip (sigma2=%g)"
+           sigma2)
+        (Batch.digest (stat job)) (Batch.digest (stat job'));
+      (* ...while different kinds (and different stationary parameters)
+         must never collide *)
+      Alcotest.(check bool) "kind discriminates the digest" true
+        (Batch.digest job <> Batch.digest (stat job));
+      let stat' k =
+        { k with Batch.kind = Batch.Stationary { drain = 2.5; regularize = 0. } }
+      in
+      Alcotest.(check bool) "stationary params discriminate" true
+        (Batch.digest (stat job) <> Batch.digest (stat' job)))
     [ 1.; 10.; 0.3 ]
 
 (* ------------------------------------------------------------------ *)
@@ -983,6 +1153,10 @@ let () =
           Alcotest.test_case "outcome JSON round trip" `Quick
             test_batch_outcome_json_round_trip;
           Alcotest.test_case "CLI fixture" `Quick test_batch_cli_fixture;
+          Alcotest.test_case "CLI mixed kinds" `Quick
+            test_batch_cli_mixed_kinds;
+          Alcotest.test_case "CLI unknown kind" `Quick
+            test_batch_cli_unknown_kind;
           Alcotest.test_case "CLI blank-line ids" `Quick
             test_batch_blank_line_ids;
           Alcotest.test_case "CLI blank-line error lineno" `Quick
